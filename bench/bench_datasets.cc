@@ -1,0 +1,36 @@
+// Table 4 reproduction: statistics of the evaluation datasets. The paper
+// reports the real NYC / Chengdu figures; this prints our scaled synthetic
+// substitutes side by side with the originals, so the preserved ratios are
+// visible (NYC larger than Chengdu in requests, vertices and edges).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace urpsm;
+using namespace urpsm::bench;
+
+int main() {
+  TablePrinter t({"Dataset", "#(Requests)", "#(Vertices)", "#(Edges)"});
+  for (bool nyc : {true, false}) {
+    const City city = LoadCity(nyc);
+    t.AddRow({city.name + " (synthetic)", std::to_string(city.requests.size()),
+              std::to_string(city.graph.num_vertices()),
+              std::to_string(city.graph.num_undirected_edges())});
+  }
+  t.AddRow({"NYC (paper)", "517100", "807795", "2100632"});
+  t.AddRow({"Chengdu (paper)", "259347", "214440", "466330"});
+  std::printf("Table 4 — dataset statistics\n%s\n", t.ToString().c_str());
+
+  // Hub-label oracle stats (the paper's shortest-path substrate [9]).
+  TablePrinter labels({"Dataset", "avg label", "label MB"});
+  for (bool nyc : {true, false}) {
+    const City city = LoadCity(nyc);
+    labels.AddRow({city.name,
+                   TablePrinter::Num(city.labels->average_label_size(), 1),
+                   TablePrinter::Num(city.labels->MemoryBytes() / 1048576.0,
+                                     2)});
+  }
+  std::printf("Hub labeling statistics\n%s\n", labels.ToString().c_str());
+  return 0;
+}

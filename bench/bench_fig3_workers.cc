@@ -1,0 +1,50 @@
+// Fig. 3 reproduction: impact of the number of workers |W| on unified
+// cost, served rate and response time for all five algorithms, on both
+// cities. Also reports the distance queries saved by Lemma-8 pruning
+// (the paper quotes 5.27-45.16 billion saved at full scale; here the
+// instances are scaled down, so expect millions).
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+using namespace urpsm;
+using namespace urpsm::bench;
+
+int main() {
+  for (bool nyc : {false, true}) {
+    const City city = LoadCity(nyc);
+    std::printf("=== Fig. 3 (%s): %d vertices, %zu requests ===\n\n",
+                city.name.c_str(), city.graph.num_vertices(),
+                city.requests.size());
+    std::vector<double> values(city.worker_sweep.begin(),
+                               city.worker_sweep.end());
+    const Defaults d;
+    const FigureResults r = RunSweep(
+        city, AllAlgorithms(PlannerConfig{.alpha = d.alpha}), values,
+        [&](double v, int rep, std::vector<Worker>* workers,
+            std::vector<Request>* requests, SimOptions* options) {
+          Rng rng(static_cast<std::uint64_t>(v) * 31 + 1 +
+                  static_cast<std::uint64_t>(rep) * 7717);
+          *workers = GenerateWorkers(city.graph, static_cast<int>(v),
+                                     d.capacity_mean, &rng);
+          *requests = city.requests;
+          options->alpha = d.alpha;
+        });
+    PrintFigure("Fig. 3", "|W|", city, r);
+
+    // Pruning savings panel (text of Sec. 6.2, varying |W|).
+    TablePrinter savings({"|W|", "GreedyDP queries", "pruneGreedyDP queries",
+                          "saved"});
+    const std::size_t greedy_idx = 3, prune_idx = 4;
+    for (std::size_t v = 0; v < r.value_labels.size(); ++v) {
+      const auto gq = r.reports[greedy_idx][v].distance_queries;
+      const auto pq = r.reports[prune_idx][v].distance_queries;
+      savings.AddRow({r.value_labels[v], std::to_string(gq),
+                      std::to_string(pq), std::to_string(gq - pq)});
+    }
+    std::printf("Fig. 3 — distance queries saved by pruning (%s)\n%s\n",
+                city.name.c_str(), savings.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Microbenchmark of the shortest-distance substrate: Dijkstra vs
+// bidirectional Dijkstra vs hub labels vs the LRU-cached hub labels the
+// simulations actually use. Hub labels are the paper's O(1)-ish query
+// assumption [9]; this shows why that assumption is reasonable.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/shortest/alt.h"
+#include "src/shortest/bidijkstra.h"
+#include "src/shortest/dijkstra.h"
+#include "src/shortest/contraction.h"
+#include "src/shortest/hub_labels.h"
+#include "src/shortest/oracle.h"
+#include "src/util/rng.h"
+#include "src/workload/city.h"
+
+namespace urpsm {
+namespace {
+
+struct OracleFixture {
+  OracleFixture() : graph(MakeNycLike(0.08, 5)) {
+    labels = std::make_unique<HubLabelOracle>(HubLabelOracle::Build(graph));
+    ch = std::make_unique<ContractionHierarchy>(
+        ContractionHierarchy::Build(graph));
+    alt = std::make_unique<AltOracle>(AltOracle::Build(graph, 8));
+  }
+  RoadNetwork graph;
+  std::unique_ptr<HubLabelOracle> labels;
+  std::unique_ptr<ContractionHierarchy> ch;
+  std::unique_ptr<AltOracle> alt;
+};
+
+OracleFixture& Fixture() {
+  static OracleFixture* f = new OracleFixture();
+  return *f;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    const VertexId s = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    benchmark::DoNotOptimize(DijkstraDistance(f.graph, s, t));
+  }
+}
+
+void BM_BidirectionalDijkstra(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    const VertexId s = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    benchmark::DoNotOptimize(BidirectionalDistance(f.graph, s, t));
+  }
+}
+
+void BM_HubLabels(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    const VertexId s = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    benchmark::DoNotOptimize(f.labels->Distance(s, t));
+  }
+}
+
+void BM_CachedHubLabels(benchmark::State& state) {
+  auto& f = Fixture();
+  CachedOracle cached(f.labels.get(), 1 << 20);
+  Rng rng(1);
+  // Zipf-ish reuse: a small hot set, as route planning produces.
+  std::vector<std::pair<VertexId, VertexId>> hot;
+  for (int i = 0; i < 64; ++i) {
+    hot.push_back({rng.UniformInt(0, f.graph.num_vertices() - 1),
+                   rng.UniformInt(0, f.graph.num_vertices() - 1)});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& [s, t] = hot[i++ & 63];
+    benchmark::DoNotOptimize(cached.Distance(s, t));
+  }
+}
+
+void BM_ContractionHierarchy(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    const VertexId s = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    benchmark::DoNotOptimize(f.ch->Distance(s, t));
+  }
+}
+
+void BM_AltOracle(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    const VertexId s = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    benchmark::DoNotOptimize(f.alt->Distance(s, t));
+  }
+}
+
+BENCHMARK(BM_Dijkstra);
+BENCHMARK(BM_BidirectionalDijkstra);
+BENCHMARK(BM_HubLabels);
+BENCHMARK(BM_ContractionHierarchy);
+BENCHMARK(BM_AltOracle);
+BENCHMARK(BM_CachedHubLabels);
+
+}  // namespace
+}  // namespace urpsm

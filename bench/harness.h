@@ -1,0 +1,194 @@
+#ifndef URPSM_BENCH_HARNESS_H_
+#define URPSM_BENCH_HARNESS_H_
+
+// Shared harness for the paper-figure benchmarks (Figs. 3-7).
+//
+// Each bench binary sweeps one parameter of Table 5 over both cities and
+// all five algorithms, printing one table per metric with the same rows/
+// series as the paper's figures. Instances are scaled-down substitutes for
+// the NYC/Chengdu taxi days (see DESIGN.md); set URPSM_BENCH_SCALE to
+// grow/shrink them (default 1.0) and URPSM_BENCH_WALL_LIMIT to change the
+// per-run kill switch in seconds (default 120; kinetic DNFs are reported
+// as "DNF", matching the paper's 10/20-hour timeout behaviour).
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/algos/batch.h"
+#include "src/algos/kinetic.h"
+#include "src/algos/tshare.h"
+#include "src/shortest/hub_labels.h"
+#include "src/sim/simulator.h"
+#include "src/util/table.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+
+namespace urpsm::bench {
+
+inline double EnvScale() {
+  const char* s = std::getenv("URPSM_BENCH_SCALE");
+  return s != nullptr ? std::atof(s) : 1.0;
+}
+
+inline double EnvWallLimit() {
+  const char* s = std::getenv("URPSM_BENCH_WALL_LIMIT");
+  return s != nullptr ? std::atof(s) : 120.0;
+}
+
+/// Repetitions averaged per sweep point (the paper repeats each setting
+/// 30 times on the full datasets; scaled-down default is 2).
+inline int EnvRepeats() {
+  const char* s = std::getenv("URPSM_BENCH_REPEATS");
+  const int r = s != nullptr ? std::atoi(s) : 2;
+  return r > 0 ? r : 1;
+}
+
+/// Table 5 defaults (bold entries), scaled to the synthetic cities.
+struct Defaults {
+  double grid_cell_km = 2.0;
+  double deadline_min = 10.0;
+  double capacity_mean = 4.0;
+  double alpha = 1.0;
+};
+
+/// One evaluation city: config + graph + hub labels + base request set.
+struct City {
+  std::string name;
+  bool is_nyc = false;
+  RoadNetwork graph;
+  std::unique_ptr<HubLabelOracle> labels;
+  std::vector<Request> requests;  // Table-5 default deadlines/penalties
+  std::vector<int> worker_sweep;  // Fig. 3 x-axis
+  int default_workers = 0;
+  double default_penalty_factor = 0.0;
+  std::vector<double> penalty_sweep;  // Fig. 7 x-axis
+};
+
+inline City LoadCity(bool nyc) {
+  const double s = EnvScale();
+  City city;
+  city.is_nyc = nyc;
+  city.name = nyc ? "NYC" : "Chengdu";
+  // Relative sizes follow Table 4 (NYC ~2x Chengdu requests, ~4x graph).
+  city.graph = nyc ? MakeNycLike(0.12 * s, 1) : MakeChengduLike(0.12 * s, 2);
+  city.labels = std::make_unique<HubLabelOracle>(HubLabelOracle::Build(city.graph));
+  Rng rng(nyc ? 101 : 202);
+  RequestParams rp;
+  rp.count = static_cast<int>((nyc ? 3000 : 1600) * s);
+  rp.duration_min = 1440.0;
+  rp.deadline_offset_min = Defaults{}.deadline_min;
+  rp.penalty_factor = nyc ? 20.0 : 10.0;  // Table 5: NYC penalties larger
+  rp.seed = nyc ? 11 : 22;
+  city.requests = GenerateRequests(city.graph, rp, city.labels.get(), &rng);
+  city.default_penalty_factor = rp.penalty_factor;
+  // Requests-per-worker matches the paper's scale (NYC 517k/30k ~ 17,
+  // Chengdu 259k/10k ~ 26 at the defaults).
+  if (nyc) {
+    city.worker_sweep = {60, 120, 180, 240, 300};
+    city.default_workers = 180;
+    city.penalty_sweep = {10, 20, 30, 40, 50};
+  } else {
+    city.worker_sweep = {15, 30, 60, 120, 180};
+    city.default_workers = 60;
+    city.penalty_sweep = {2, 5, 10, 20, 30};
+  }
+  return city;
+}
+
+/// The five algorithms of Sec. 6, in the paper's presentation order.
+inline std::vector<std::pair<std::string, PlannerFactory>> AllAlgorithms(
+    PlannerConfig base, std::int64_t kinetic_budget = 20000) {
+  return {
+      {"tshare", MakeTShareFactory(base)},
+      {"kinetic", MakeKineticFactory(base, kinetic_budget)},
+      {"batch", MakeBatchFactory(base)},
+      {"GreedyDP", MakeGreedyDpFactory(base)},
+      {"pruneGreedyDP", MakePruneGreedyDpFactory(base)},
+  };
+}
+
+/// Grid of results: one SimReport per (algorithm, sweep value).
+struct FigureResults {
+  std::vector<std::string> algorithms;
+  std::vector<std::string> value_labels;
+  // reports[a][v]
+  std::vector<std::vector<SimReport>> reports;
+};
+
+/// Runs `factories` against per-value instances produced by `make_run`
+/// (worker list + request list may vary with the sweep value) and averages
+/// EnvRepeats() repetitions with different worker placements, as the
+/// paper's protocol does.
+template <typename MakeRun>
+FigureResults RunSweep(
+    const City& city,
+    const std::vector<std::pair<std::string, PlannerFactory>>& factories,
+    const std::vector<double>& values, MakeRun&& make_run) {
+  FigureResults out;
+  for (const auto& [name, factory] : factories) out.algorithms.push_back(name);
+  out.reports.resize(factories.size());
+  const int repeats = EnvRepeats();
+  for (double v : values) {
+    char label[64];
+    std::snprintf(label, sizeof(label), "%g", v);
+    out.value_labels.push_back(label);
+    std::vector<std::vector<SimReport>> runs(factories.size());
+    for (int rep = 0; rep < repeats; ++rep) {
+      std::vector<Worker> workers;
+      std::vector<Request> requests;
+      SimOptions options;
+      options.wall_limit_seconds = EnvWallLimit();
+      make_run(v, rep, &workers, &requests, &options);
+      for (std::size_t a = 0; a < factories.size(); ++a) {
+        Simulation sim(&city.graph, city.labels.get(), workers, &requests,
+                       options);
+        runs[a].push_back(sim.Run(factories[a].second));
+      }
+    }
+    for (std::size_t a = 0; a < factories.size(); ++a) {
+      out.reports[a].push_back(AverageReports(runs[a]));
+    }
+  }
+  return out;
+}
+
+/// Prints the three headline metrics (and optional extras) in the shape of
+/// the paper's figure panels: rows = sweep values, columns = algorithms.
+inline void PrintFigure(const std::string& figure_title,
+                        const std::string& param_name, const City& city,
+                        const FigureResults& r) {
+  const auto metric_table =
+      [&](const std::string& metric,
+          const std::function<std::string(const SimReport&)>& get) {
+        std::vector<std::string> headers = {param_name};
+        for (const auto& a : r.algorithms) headers.push_back(a);
+        TablePrinter t(headers);
+        for (std::size_t v = 0; v < r.value_labels.size(); ++v) {
+          std::vector<std::string> row = {r.value_labels[v]};
+          for (std::size_t a = 0; a < r.algorithms.size(); ++a) {
+            const SimReport& rep = r.reports[a][v];
+            row.push_back(rep.timed_out ? "DNF" : get(rep));
+          }
+          t.AddRow(std::move(row));
+        }
+        std::printf("%s — %s (%s)\n%s\n", figure_title.c_str(),
+                    metric.c_str(), city.name.c_str(), t.ToString().c_str());
+      };
+  metric_table("Unified cost", [](const SimReport& rep) {
+    return TablePrinter::Num(rep.unified_cost, 1);
+  });
+  metric_table("Served rate", [](const SimReport& rep) {
+    return TablePrinter::Num(rep.served_rate, 3);
+  });
+  metric_table("Avg response time (ms)", [](const SimReport& rep) {
+    return TablePrinter::Num(rep.avg_response_ms, 3);
+  });
+}
+
+}  // namespace urpsm::bench
+
+#endif  // URPSM_BENCH_HARNESS_H_

@@ -1,0 +1,57 @@
+// Runs all five algorithms of the paper's evaluation on one shared
+// workload and prints a Fig.3-style comparison row per algorithm:
+// unified cost, served rate, response time, distance queries.
+//
+// Usage: algorithm_comparison [num_workers] [num_requests]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/algos/batch.h"
+#include "src/algos/kinetic.h"
+#include "src/algos/tshare.h"
+#include "src/shortest/hub_labels.h"
+#include "src/sim/simulator.h"
+#include "src/util/table.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+
+using namespace urpsm;
+
+int main(int argc, char** argv) {
+  const int num_workers = argc > 1 ? std::atoi(argv[1]) : 60;
+  const int num_requests = argc > 2 ? std::atoi(argv[2]) : 1200;
+
+  const RoadNetwork graph = MakeChengduLike(0.08, 31);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  Rng rng(41);
+  std::vector<Worker> workers = GenerateWorkers(graph, num_workers, 3.0, &rng);
+  RequestParams rp;
+  rp.count = num_requests;
+  rp.duration_min = 480.0;
+  std::vector<Request> requests = GenerateRequests(graph, rp, &labels, &rng);
+
+  const std::vector<std::pair<const char*, PlannerFactory>> algos = {
+      {"tshare", MakeTShareFactory({})},
+      {"kinetic", MakeKineticFactory({})},
+      {"batch", MakeBatchFactory({})},
+      {"GreedyDP", MakeGreedyDpFactory({})},
+      {"pruneGreedyDP", MakePruneGreedyDpFactory({})},
+  };
+
+  TablePrinter table({"algorithm", "unified cost", "served rate",
+                      "avg resp (ms)", "dist queries"});
+  for (const auto& [name, factory] : algos) {
+    Simulation sim(&graph, &labels, workers, &requests, SimOptions{});
+    const SimReport rep = sim.Run(factory);
+    table.AddRow({name, TablePrinter::Num(rep.unified_cost, 1),
+                  TablePrinter::Num(100 * rep.served_rate, 1) + "%",
+                  TablePrinter::Num(rep.avg_response_ms, 3),
+                  std::to_string(rep.distance_queries)});
+  }
+  std::printf("%d workers, %d requests, Chengdu-like city (%d vertices)\n\n",
+              num_workers, num_requests, graph.num_vertices());
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}

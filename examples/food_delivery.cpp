@@ -1,0 +1,67 @@
+// Food/parcel delivery scenario: couriers with box capacity carrying
+// multiple orders at once. Shared mobility in the paper's sense covers
+// exactly this case (Sec. 1) — a request's capacity K_r is "items in a
+// courier's box" and deadlines are delivery promises.
+//
+// Demonstrates: the revenue objective preset (alpha = c_w,
+// p_r = c_r * dis) and how Eq. (4) converts unified cost into revenue.
+
+#include <cstdio>
+
+#include "src/core/objective.h"
+#include "src/shortest/hub_labels.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+
+using namespace urpsm;
+
+int main() {
+  // A compact dense downtown: orders cluster around restaurants.
+  const RoadNetwork graph = MakeChengduLike(0.06, /*seed=*/11);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+
+  Rng rng(17);
+  // 40 couriers; each box holds 8 order-units.
+  std::vector<Worker> couriers = GenerateWorkers(graph, 40, 8.0, &rng);
+
+  RequestParams rp;
+  rp.count = 1200;
+  rp.duration_min = 240.0;        // a lunch-through-dinner window
+  rp.hotspot_count = 4;           // restaurant clusters
+  rp.hotspot_stddev_km = 0.6;
+  rp.uniform_fraction = 0.1;
+  rp.deadline_offset_min = 20.0;  // delivery promise
+  std::vector<Request> orders = GenerateRequests(graph, rp, &labels, &rng);
+  for (Request& r : orders) r.capacity = 1 + (r.id % 3);  // 1-3 items
+
+  // Revenue objective: couriers cost c_w per minute; an order pays
+  // c_r per minute of direct distance.
+  const double cw = 0.5, cr = 3.0;
+  SetRevenuePenalties(&orders, cr, &labels);
+
+  SimOptions options;
+  options.alpha = cw;
+  Simulation sim(&graph, &labels, couriers, &orders, options);
+  const SimReport rep =
+      sim.Run(MakePruneGreedyDpFactory(PlannerConfig{.alpha = cw}));
+  const InvariantReport inv = VerifyInvariants(sim.fleet(), orders);
+
+  const double revenue =
+      Revenue(orders, sim.served(), rep.total_distance, cr, cw, &labels);
+
+  std::printf("Food delivery on a Chengdu-like downtown\n");
+  std::printf("  couriers           : 40 (box capacity ~8)\n");
+  std::printf("  orders             : %d over %.0f min\n", rep.total_requests,
+              rp.duration_min);
+  std::printf("  delivered          : %d (%.1f%%)\n", rep.served_requests,
+              100 * rep.served_rate);
+  std::printf("  courier minutes    : %.1f\n", rep.total_distance);
+  std::printf("  unified cost       : %.1f\n", rep.unified_cost);
+  std::printf("  platform revenue   : %.1f  (Eq. 4 reduction)\n", revenue);
+  std::printf("  avg decision time  : %.3f ms\n", rep.avg_response_ms);
+  std::printf("  invariants         : %s\n",
+              inv.ok ? "OK" : inv.violation.c_str());
+  return inv.ok ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Simulates a full day of ride-sharing on a synthetic NYC-like city —
+// the workload of the paper's evaluation (Sec. 6.1) at laptop scale —
+// and prints the three headline metrics for pruneGreedyDP.
+//
+// Usage: ridesharing_day [num_workers] [num_requests] [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/shortest/hub_labels.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+
+using namespace urpsm;
+
+int main(int argc, char** argv) {
+  const int num_workers = argc > 1 ? std::atoi(argv[1]) : 150;
+  const int num_requests = argc > 2 ? std::atoi(argv[2]) : 3000;
+  const double scale = argc > 3 ? std::atof(argv[3]) : 0.08;
+
+  std::printf("Generating NYC-like city (scale %.2f)...\n", scale);
+  const RoadNetwork graph = MakeNycLike(scale, /*seed=*/1);
+  std::printf("  %d vertices, %lld edges\n", graph.num_vertices(),
+              static_cast<long long>(graph.num_undirected_edges()));
+
+  std::printf("Building hub labels (the paper's shortest-path oracle)...\n");
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  std::printf("  avg label size %.1f, %.1f MB\n", labels.average_label_size(),
+              labels.MemoryBytes() / 1048576.0);
+
+  Rng rng(7);
+  std::vector<Worker> workers = GenerateWorkers(graph, num_workers, 3.0, &rng);
+  RequestParams rp;
+  rp.count = num_requests;
+  rp.deadline_offset_min = 10.0;  // Table 5 default
+  rp.penalty_factor = 10.0;
+  std::vector<Request> requests = GenerateRequests(graph, rp, &labels, &rng);
+  std::printf("Simulating one day: %d workers, %d requests...\n\n",
+              num_workers, num_requests);
+
+  Simulation sim(&graph, &labels, workers, &requests, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  const InvariantReport inv = VerifyInvariants(sim.fleet(), requests);
+
+  std::printf("algorithm        : %s\n", rep.algorithm.c_str());
+  std::printf("served rate      : %.1f%% (%d / %d)\n", 100 * rep.served_rate,
+              rep.served_requests, rep.total_requests);
+  std::printf("unified cost     : %.1f\n", rep.unified_cost);
+  std::printf("total distance   : %.1f vehicle-minutes\n", rep.total_distance);
+  std::printf("avg response     : %.3f ms   (p95 %.3f, max %.3f)\n",
+              rep.avg_response_ms, rep.p95_response_ms, rep.max_response_ms);
+  std::printf("distance queries : %lld\n",
+              static_cast<long long>(rep.distance_queries));
+  std::printf("invariants       : %s\n", inv.ok ? "OK" : inv.violation.c_str());
+  return inv.ok ? 0 : 1;
+}

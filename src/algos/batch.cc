@@ -1,0 +1,145 @@
+#include "src/algos/batch.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "src/insertion/insertion.h"
+#include "src/sim/simulator.h"
+
+namespace urpsm {
+
+BatchPlanner::BatchPlanner(PlanningContext* ctx, Fleet* fleet,
+                           PlannerConfig config, double batch_interval_min,
+                           int max_group_size)
+    : ctx_(ctx),
+      fleet_(fleet),
+      config_(config),
+      batch_interval_(batch_interval_min),
+      max_group_size_(max_group_size) {
+  Point lo, hi;
+  ctx_->graph().BoundingBox(&lo, &hi);
+  index_ = std::make_unique<GridIndex>(lo, hi, config_.grid_cell_km);
+  fleet_->AttachIndex(index_.get());
+}
+
+WorkerId BatchPlanner::OnRequest(const Request& r) {
+  const double now = r.release_time;
+  if (batch_open_ && now >= batch_start_ + batch_interval_) FlushBatch(now);
+  if (!batch_open_) {
+    batch_open_ = true;
+    batch_start_ = now;
+  }
+  buffer_.push_back(r.id);
+  // Assignment is deferred to the batch boundary; the simulator reads the
+  // final outcome from the fleet's assignment records.
+  return kInvalidWorker;
+}
+
+void BatchPlanner::Finalize() {
+  if (batch_open_) FlushBatch(batch_start_ + batch_interval_);
+}
+
+BatchPlanner::GroupFit BatchPlanner::EvaluateGroup(
+    WorkerId w, const std::vector<RequestId>& group, double now, bool commit) {
+  GroupFit fit;
+  const Worker& worker = fleet_->worker(w);
+  Route scratch;  // virtual copy for evaluation
+  const Route* route = &fleet_->route(w);
+  if (!commit) {
+    scratch = *route;
+    route = &scratch;
+  }
+  for (RequestId rid : group) {
+    const Request& r = ctx_->request(rid);
+    const InsertionCandidate cand =
+        LinearDpInsertion(worker, *route, r, ctx_);
+    if (!cand.feasible()) continue;
+    ++fit.count;
+    fit.delta += cand.delta;
+    if (commit) {
+      fleet_->ApplyInsertion(w, r, cand.i, cand.j, ctx_->oracle());
+    } else {
+      scratch.Insert(r, cand.i, cand.j, ctx_->oracle());
+    }
+  }
+  return fit;
+}
+
+void BatchPlanner::FlushBatch(double now) {
+  batch_open_ = false;
+  if (buffer_.empty()) return;
+  std::vector<RequestId> batch;
+  batch.swap(buffer_);
+
+  // Group by pickup grid cell, splitting cells into groups of at most
+  // max_group_size_ members (a light-weight stand-in for the RV graph).
+  const double g = config_.grid_cell_km;
+  std::map<std::pair<int, int>, std::vector<RequestId>> by_cell;
+  for (RequestId rid : batch) {
+    const Point p = ctx_->graph().coord(ctx_->request(rid).origin);
+    by_cell[{static_cast<int>(p.x / g), static_cast<int>(p.y / g)}].push_back(
+        rid);
+  }
+  std::vector<std::vector<RequestId>> groups;
+  for (auto& [cell, members] : by_cell) {
+    std::sort(members.begin(), members.end(), [&](RequestId a, RequestId b) {
+      return ctx_->request(a).deadline < ctx_->request(b).deadline;
+    });
+    for (std::size_t k = 0; k < members.size();
+         k += static_cast<std::size_t>(max_group_size_)) {
+      const auto end =
+          std::min(members.size(), k + static_cast<std::size_t>(max_group_size_));
+      groups.emplace_back(members.begin() + static_cast<std::ptrdiff_t>(k),
+                          members.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  // Earliest-deadline groups first.
+  std::sort(groups.begin(), groups.end(),
+            [&](const std::vector<RequestId>& a,
+                const std::vector<RequestId>& b) {
+              return ctx_->request(a.front()).deadline <
+                     ctx_->request(b.front()).deadline;
+            });
+
+  for (const auto& group : groups) {
+    // Candidate workers around the group's first pickup.
+    double radius = 0.0;
+    for (RequestId rid : group) {
+      const Request& r = ctx_->request(rid);
+      radius = std::max(
+          radius, CandidateRadiusKm(r, ctx_->DirectDist(rid), now));
+    }
+    const Point origin_pt =
+        ctx_->graph().coord(ctx_->request(group.front()).origin);
+    const std::vector<WorkerId> candidates =
+        index_->WithinRadius(origin_pt, radius);
+
+    WorkerId best_worker = kInvalidWorker;
+    GroupFit best;
+    for (WorkerId w : candidates) {
+      fleet_->Touch(w, now);
+      const GroupFit fit = EvaluateGroup(w, group, now, /*commit=*/false);
+      if (fit.count == 0) continue;
+      if (fit.count > best.count ||
+          (fit.count == best.count && fit.delta < best.delta)) {
+        best = fit;
+        best_worker = w;
+      }
+    }
+    if (best_worker != kInvalidWorker) {
+      EvaluateGroup(best_worker, group, now, /*commit=*/true);
+    }
+  }
+}
+
+PlannerFactory MakeBatchFactory(PlannerConfig config,
+                                double batch_interval_min,
+                                int max_group_size) {
+  return [=](PlanningContext* ctx, Fleet* fleet) {
+    return std::make_unique<BatchPlanner>(ctx, fleet, config,
+                                          batch_interval_min, max_group_size);
+  };
+}
+
+}  // namespace urpsm

@@ -1,0 +1,63 @@
+#ifndef URPSM_SRC_ALGOS_BATCH_H_
+#define URPSM_SRC_ALGOS_BATCH_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/index/grid_index.h"
+
+namespace urpsm {
+
+/// Batch baseline (Alonso-Mora et al., PNAS'17 [11], simplified).
+///
+/// Requests are buffered into fixed wall-clock batches (6 simulated
+/// seconds, as in the paper's description). At each batch boundary the
+/// buffered requests are grouped by pickup proximity (same grid cell,
+/// bounded group size), groups are ordered by earliest deadline, and each
+/// group is assigned to the single worker that can serve the most of its
+/// members with the least total increased distance — members are inserted
+/// greedily with linear DP insertion. Members that do not fit the chosen
+/// worker are rejected, which is where batch loses served rate relative to
+/// per-request greedy planning.
+class BatchPlanner : public RoutePlanner {
+ public:
+  BatchPlanner(PlanningContext* ctx, Fleet* fleet, PlannerConfig config,
+               double batch_interval_min = 0.1, int max_group_size = 3);
+
+  WorkerId OnRequest(const Request& r) override;
+  void Finalize() override;
+  std::string_view name() const override { return "batch"; }
+  std::int64_t index_memory_bytes() const override {
+    return index_->MemoryBytes();
+  }
+
+ private:
+  void FlushBatch(double now);
+  /// Greedy multi-insert evaluation: how many of `group` fit into worker
+  /// `w`'s route (virtually), and at what total cost.
+  struct GroupFit {
+    int count = 0;
+    double delta = 0.0;
+  };
+  GroupFit EvaluateGroup(WorkerId w, const std::vector<RequestId>& group,
+                         double now, bool commit);
+
+  PlanningContext* ctx_;
+  Fleet* fleet_;
+  PlannerConfig config_;
+  double batch_interval_;
+  int max_group_size_;
+  std::unique_ptr<GridIndex> index_;
+  std::vector<RequestId> buffer_;
+  double batch_start_ = 0.0;
+  bool batch_open_ = false;
+};
+
+PlannerFactory MakeBatchFactory(PlannerConfig config,
+                                double batch_interval_min = 0.1,
+                                int max_group_size = 3);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_ALGOS_BATCH_H_

@@ -1,0 +1,160 @@
+#include "src/algos/kinetic.h"
+
+#include <algorithm>
+
+#include "src/sim/simulator.h"
+
+namespace urpsm {
+
+namespace {
+
+/// DFS frame data shared across the recursion.
+struct SearchContext {
+  PlanningContext* ctx = nullptr;
+  const std::vector<Stop>* stops = nullptr;   // all stops to order
+  std::vector<double> deadline;               // per stop: latest arrival
+  std::vector<int> load_change;               // per stop: +Kr / -Kr
+  std::vector<int> pickup_of;                 // dropoff idx -> pickup idx or -1
+  int capacity = 0;
+  std::int64_t* budget = nullptr;
+  double best_cost = kInf;
+  std::vector<int> best_order;
+  std::vector<int> current;
+  std::vector<bool> used;
+};
+
+void Dfs(SearchContext* s, VertexId at, double time, double cost, int load) {
+  if (*s->budget <= 0) return;
+  --*s->budget;
+  if (cost >= s->best_cost) return;  // branch and bound
+  const std::size_t total = s->stops->size();
+  if (s->current.size() == total) {
+    s->best_cost = cost;
+    s->best_order = s->current;
+    return;
+  }
+  for (std::size_t k = 0; k < total; ++k) {
+    if (s->used[k]) continue;
+    // Precedence: a drop-off only after its pickup (if the pickup is part
+    // of the ordering at all; onboard requests have pickup_of == -1).
+    const int pk = s->pickup_of[k];
+    if (pk >= 0 && !s->used[static_cast<std::size_t>(pk)]) continue;
+    const int new_load = load + s->load_change[k];
+    if (new_load > s->capacity) continue;
+    const Stop& stop = (*s->stops)[k];
+    const double leg = s->ctx->Dist(at, stop.location);
+    const double t = time + leg;
+    if (t > s->deadline[k]) continue;
+    s->used[k] = true;
+    s->current.push_back(static_cast<int>(k));
+    Dfs(s, stop.location, t, cost + leg, new_load);
+    s->current.pop_back();
+    s->used[k] = false;
+  }
+}
+
+}  // namespace
+
+KineticPlanner::KineticPlanner(PlanningContext* ctx, Fleet* fleet,
+                               PlannerConfig config,
+                               std::int64_t max_expansions_per_request)
+    : ctx_(ctx),
+      fleet_(fleet),
+      config_(config),
+      max_expansions_(max_expansions_per_request) {
+  Point lo, hi;
+  ctx_->graph().BoundingBox(&lo, &hi);
+  index_ = std::make_unique<GridIndex>(lo, hi, config_.grid_cell_km);
+  fleet_->AttachIndex(index_.get());
+}
+
+KineticPlanner::Ordering KineticPlanner::BestOrdering(const Worker& worker,
+                                                      const Route& route,
+                                                      const Request& r,
+                                                      std::int64_t* budget) {
+  std::vector<Stop> stops(route.stops().begin(), route.stops().end());
+  stops.push_back({r.origin, r.id, StopKind::kPickup});
+  stops.push_back({r.destination, r.id, StopKind::kDropoff});
+
+  SearchContext s;
+  s.ctx = ctx_;
+  s.stops = &stops;
+  s.capacity = worker.capacity;
+  s.budget = budget;
+  const std::size_t m = stops.size();
+  s.deadline.resize(m);
+  s.load_change.resize(m);
+  s.pickup_of.assign(m, -1);
+  std::vector<int> pickup_index(m, -1);
+  for (std::size_t k = 0; k < m; ++k) {
+    const Request& req = ctx_->request(stops[k].request);
+    if (stops[k].kind == StopKind::kPickup) {
+      s.deadline[k] = req.deadline - ctx_->DirectDist(req.id);
+      s.load_change[k] = req.capacity;
+      for (std::size_t d = 0; d < m; ++d) {
+        if ((*s.stops)[d].request == stops[k].request &&
+            (*s.stops)[d].kind == StopKind::kDropoff) {
+          s.pickup_of[d] = static_cast<int>(k);
+        }
+      }
+    } else {
+      s.deadline[k] = req.deadline;
+      s.load_change[k] = -req.capacity;
+    }
+  }
+  s.used.assign(m, false);
+  Dfs(&s, route.anchor(), route.anchor_time(), 0.0,
+      route.OnboardAtAnchor(ctx_->requests()));
+
+  Ordering out;
+  if (s.best_cost == kInf) return out;
+  out.cost = s.best_cost;
+  out.stops.reserve(m);
+  for (int k : s.best_order) out.stops.push_back(stops[static_cast<std::size_t>(k)]);
+  return out;
+}
+
+WorkerId KineticPlanner::OnRequest(const Request& r) {
+  const double now = r.release_time;
+  const double L = ctx_->DirectDist(r.id);
+  if (now + L > r.deadline) return kInvalidWorker;
+  const double radius = CandidateRadiusKm(r, L, now);
+  if (radius < 0.0) return kInvalidWorker;
+  const Point origin_pt = ctx_->graph().coord(r.origin);
+  const std::vector<WorkerId> candidates =
+      index_->WithinRadius(origin_pt, radius);
+
+  std::int64_t budget = max_expansions_;
+  WorkerId best_worker = kInvalidWorker;
+  Ordering best;
+  double best_delta = kInf;
+  for (WorkerId w : candidates) {
+    fleet_->Touch(w, now);
+    const Route& route = fleet_->route(w);
+    Ordering ord = BestOrdering(fleet_->worker(w), route, r, &budget);
+    if (ord.cost < kInf) {
+      const double delta = ord.cost - route.RemainingCost();
+      if (delta < best_delta) {
+        best_delta = delta;
+        best = std::move(ord);
+        best_worker = w;
+      }
+    }
+    if (budget <= 0) break;
+  }
+  if (budget <= 0) ++budget_exhausted_;
+  if (best_worker == kInvalidWorker) return kInvalidWorker;
+  fleet_->ReplaceRoute(best_worker, r, std::move(best.stops), ctx_->oracle());
+  return best_worker;
+}
+
+PlannerFactory MakeKineticFactory(PlannerConfig config,
+                                  std::int64_t max_expansions_per_request) {
+  return [config, max_expansions_per_request](PlanningContext* ctx,
+                                              Fleet* fleet) {
+    return std::make_unique<KineticPlanner>(ctx, fleet, config,
+                                            max_expansions_per_request);
+  };
+}
+
+}  // namespace urpsm

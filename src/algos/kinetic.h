@@ -1,0 +1,62 @@
+#ifndef URPSM_SRC_ALGOS_KINETIC_H_
+#define URPSM_SRC_ALGOS_KINETIC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/index/grid_index.h"
+
+namespace urpsm {
+
+/// Kinetic-tree baseline (Huang et al., PVLDB'14 [25]).
+///
+/// Instead of inserting into the current stop order, the kinetic approach
+/// keeps *all* feasible orderings of a worker's pending stops and picks the
+/// cheapest ordering that accommodates the new request — a search that is
+/// exponential in the number of pending stops, i.e. in the worker capacity
+/// ((2 Kw)! per the paper's Sec. 6.2 discussion). We realize the tree as a
+/// branch-and-bound DFS over orderings with deadline/capacity pruning,
+/// bounded by an expansion budget; when the budget is exhausted the best
+/// ordering found so far is used. This reproduces kinetic's profile:
+/// near-best service quality at small Kw, blow-up / DNF at large Kw.
+class KineticPlanner : public RoutePlanner {
+ public:
+  KineticPlanner(PlanningContext* ctx, Fleet* fleet, PlannerConfig config,
+                 std::int64_t max_expansions_per_request = 200000);
+
+  WorkerId OnRequest(const Request& r) override;
+  std::string_view name() const override { return "kinetic"; }
+  std::int64_t index_memory_bytes() const override {
+    return index_->MemoryBytes();
+  }
+
+  /// Requests whose search hit the expansion budget (tree blow-up).
+  std::int64_t budget_exhausted_count() const { return budget_exhausted_; }
+
+ private:
+  struct Ordering {
+    double cost = kInf;  // total travel time anchor -> last stop
+    std::vector<Stop> stops;
+  };
+
+  /// Cheapest feasible ordering of `route`'s pending stops plus the pickup
+  /// and drop-off of `r`, or cost == kInf if none found within budget.
+  Ordering BestOrdering(const Worker& worker, const Route& route,
+                        const Request& r, std::int64_t* budget);
+
+  PlanningContext* ctx_;
+  Fleet* fleet_;
+  PlannerConfig config_;
+  std::int64_t max_expansions_;
+  std::int64_t budget_exhausted_ = 0;
+  std::unique_ptr<GridIndex> index_;
+};
+
+PlannerFactory MakeKineticFactory(PlannerConfig config,
+                                  std::int64_t max_expansions_per_request =
+                                      200000);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_ALGOS_KINETIC_H_

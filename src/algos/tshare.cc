@@ -1,0 +1,63 @@
+#include "src/algos/tshare.h"
+
+#include "src/insertion/insertion.h"
+#include "src/sim/simulator.h"
+
+namespace urpsm {
+
+TSharePlanner::TSharePlanner(PlanningContext* ctx, Fleet* fleet,
+                             PlannerConfig config)
+    : ctx_(ctx), fleet_(fleet), config_(config) {
+  Point lo, hi;
+  ctx_->graph().BoundingBox(&lo, &hi);
+  index_ = std::make_unique<TShareGridIndex>(lo, hi, config_.grid_cell_km);
+  fleet_->AttachIndex(index_.get());
+}
+
+WorkerId TSharePlanner::OnRequest(const Request& r) {
+  const double now = r.release_time;
+  const double L = ctx_->DirectDist(r.id);
+  if (now + L > r.deadline) return kInvalidWorker;
+
+  // Single-sided search: walk cells in ascending distance from the pickup
+  // cell and stop at the first non-empty cell (within the pickup-
+  // reachability radius). This is the aggressive cutoff the paper blames
+  // for T-Share's served rate — nearby-but-busy workers shadow feasible
+  // ones a cell further out, and the search never revisits them.
+  const double radius_km =
+      (r.deadline - L - now) * MaxSpeedKmPerMin() + config_.grid_cell_km;
+  const Point origin_pt = ctx_->graph().coord(r.origin);
+  std::vector<WorkerId> candidates;
+  for (int cell : index_->CellsByDistance(origin_pt)) {
+    const double cell_km = index_->CellCenterDistanceKm(origin_pt, cell);
+    if (cell_km > radius_km) break;
+    const auto& workers = index_->CellWorkers(cell);
+    if (workers.empty()) continue;
+    candidates.assign(workers.begin(), workers.end());
+    break;
+  }
+  if (candidates.empty()) return kInvalidWorker;
+
+  WorkerId best_worker = kInvalidWorker;
+  InsertionCandidate best;
+  for (WorkerId w : candidates) {
+    fleet_->Touch(w, now);
+    const InsertionCandidate cand =
+        BasicInsertion(fleet_->worker(w), fleet_->route(w), r, ctx_);
+    if (cand.feasible() && cand.delta < best.delta) {
+      best = cand;
+      best_worker = w;
+    }
+  }
+  if (best_worker == kInvalidWorker) return kInvalidWorker;
+  fleet_->ApplyInsertion(best_worker, r, best.i, best.j, ctx_->oracle());
+  return best_worker;
+}
+
+PlannerFactory MakeTShareFactory(PlannerConfig config) {
+  return [config](PlanningContext* ctx, Fleet* fleet) {
+    return std::make_unique<TSharePlanner>(ctx, fleet, config);
+  };
+}
+
+}  // namespace urpsm

@@ -1,0 +1,70 @@
+#include "src/core/decision.h"
+
+#include <algorithm>
+
+namespace urpsm {
+
+// Mirrors LinearDpInsertion with every network distance that would need a
+// query replaced by its Euclidean travel-time lower bound, and every leg
+// distance taken from the schedule (arr[k+1] - arr[k], Lemma 7). All
+// feasibility filters are *relaxations* of the exact ones (lower-bound
+// distances make deadline/slack checks easier to pass), so the minimum is
+// taken over a superset of the exact feasible placements with
+// value-wise-smaller costs — a valid lower bound on Delta*.
+double DecisionLowerBound(const Worker& worker, const Route& route,
+                          const RouteState& st, const Request& r, double L,
+                          const RoadNetwork& graph) {
+  const int n = st.n;
+  const int cap = worker.capacity - r.capacity;
+  if (cap < 0) return kInf;
+
+  const auto euc_o = [&](int k) {
+    return graph.EuclideanLowerBoundMin(route.VertexAt(k), r.origin);
+  };
+  const auto euc_d = [&](int k) {
+    return graph.EuclideanLowerBoundMin(route.VertexAt(k), r.destination);
+  };
+  const auto leg = [&](int k) {
+    return st.arr[static_cast<std::size_t>(k + 1)] -
+           st.arr[static_cast<std::size_t>(k)];
+  };
+
+  double best = kInf;
+  double dio = kInf;  // Dio_euc[j] of Eq. (16)
+
+  for (int j = 0; j <= n; ++j) {
+    const auto js = static_cast<std::size_t>(j);
+    if (st.arr[js] > r.deadline) break;  // exact arrival: safe cutoff
+
+    // Cases i == j (first two branches of Eq. 17).
+    if (st.picked[js] <= cap && st.arr[js] + euc_o(j) + L <= r.deadline) {
+      const double lb = (j == n) ? euc_o(j) + L
+                                 : euc_o(j) + L + euc_d(j + 1) - leg(j);
+      if ((j == n || lb <= st.slack[js]) && lb < best) best = lb;
+    }
+
+    // General case i < j (third branch of Eq. 17).
+    if (j > 0 && dio < kInf && st.picked[js] <= cap) {
+      const double ldet_d =
+          (j == n) ? euc_d(j) : euc_d(j) + euc_d(j + 1) - leg(j);
+      const bool ddl_ok = st.arr[js] + dio + euc_d(j) <= r.deadline;
+      const bool slack_ok = j == n || dio + ldet_d <= st.slack[js];
+      if (ddl_ok && slack_ok) best = std::min(best, dio + ldet_d);
+    }
+
+    // Transition of Eq. (16).
+    if (j < n) {
+      if (st.picked[js] > cap) {
+        dio = kInf;
+      } else {
+        const double ldet = euc_o(j) + euc_o(j + 1) - leg(j);
+        if (ldet <= st.slack[js]) dio = std::min(dio, ldet);
+      }
+    }
+  }
+  // Delta* >= 0 always (detours are non-negative in a metric), so clamping
+  // tightens the bound without invalidating it.
+  return best == kInf ? kInf : std::max(0.0, best);
+}
+
+}  // namespace urpsm

@@ -1,0 +1,33 @@
+#ifndef URPSM_SRC_CORE_DECISION_H_
+#define URPSM_SRC_CORE_DECISION_H_
+
+#include <vector>
+
+#include "src/model/feasibility.h"
+#include "src/model/route.h"
+#include "src/model/types.h"
+
+namespace urpsm {
+
+/// A worker together with the decision-phase lower bound on its minimal
+/// insertion cost for the current request.
+struct WorkerBound {
+  WorkerId worker = kInvalidWorker;
+  double lower_bound = kInf;
+};
+
+/// LB(Delta*) of Sec. 5.1 (Lemma 7, Eq. 15-17): a lower bound on the
+/// minimal increased distance of inserting `r` into `route`, computed with
+/// Euclidean travel-time lower bounds and the route's cached schedule.
+///
+/// Issues **zero** shortest-distance queries: the caller supplies
+/// L = dis(o_r, d_r) (the decision phase's single query, shared across all
+/// workers). Returns kInf when even the relaxed feasibility checks fail —
+/// in that case the exact insertion is provably infeasible too.
+double DecisionLowerBound(const Worker& worker, const Route& route,
+                          const RouteState& st, const Request& r, double L,
+                          const RoadNetwork& graph);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_CORE_DECISION_H_

@@ -1,0 +1,38 @@
+#include "src/core/objective.h"
+
+namespace urpsm {
+
+void SetServeAllPenalties(std::vector<Request>* requests) {
+  for (Request& r : *requests) r.penalty = kServeAllPenalty;
+}
+
+void SetUnitPenalties(std::vector<Request>* requests) {
+  for (Request& r : *requests) r.penalty = 1.0;
+}
+
+void SetRevenuePenalties(std::vector<Request>* requests, double fare_per_min,
+                         DistanceOracle* oracle) {
+  for (Request& r : *requests) {
+    r.penalty = fare_per_min * oracle->Distance(r.origin, r.destination);
+  }
+}
+
+void ScalePenalties(std::vector<Request>* requests, double factor) {
+  for (Request& r : *requests) r.penalty *= factor;
+}
+
+double Revenue(const std::vector<Request>& requests,
+               const std::vector<bool>& served, double total_distance,
+               double fare_per_min, double worker_cost_per_min,
+               DistanceOracle* oracle) {
+  double fare = 0.0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (served[i]) {
+      fare += fare_per_min *
+              oracle->Distance(requests[i].origin, requests[i].destination);
+    }
+  }
+  return fare - worker_cost_per_min * total_distance;
+}
+
+}  // namespace urpsm

@@ -1,0 +1,62 @@
+#ifndef URPSM_SRC_CORE_OBJECTIVE_H_
+#define URPSM_SRC_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "src/model/types.h"
+#include "src/shortest/oracle.h"
+
+namespace urpsm {
+
+/// Penalty used by the "minimize total distance while serving all
+/// requests" preset. A large finite stand-in for the paper's p_r = inf so
+/// that unified costs remain comparable arithmetic values.
+inline constexpr double kServeAllPenalty = 1e12;
+
+/// The unified objective (Def. 5): UC = alpha * sum_w D(S_w) +
+/// sum_{rejected} p_r. Per-request penalties live in Request::penalty;
+/// the objective itself only carries the distance weight alpha.
+struct Objective {
+  double alpha = 1.0;
+
+  /// Special case (Sec. 3.2): minimize total travel distance while serving
+  /// every request — alpha = 1, p_r = "infinite".
+  static Objective MinTotalDistance() { return {1.0}; }
+
+  /// Special case: maximize the number of served requests — alpha = 0,
+  /// p_r = 1.
+  static Objective MaxServedCount() { return {0.0}; }
+
+  /// Special case: maximize platform revenue — alpha = c_w (worker cost
+  /// per unit time), p_r = c_r * dis(o_r, d_r).
+  static Objective MaxRevenue(double worker_cost_per_min) {
+    return {worker_cost_per_min};
+  }
+};
+
+/// Rewrites request penalties for the min-total-distance preset.
+void SetServeAllPenalties(std::vector<Request>* requests);
+
+/// Rewrites request penalties for the max-served-count preset (p_r = 1).
+void SetUnitPenalties(std::vector<Request>* requests);
+
+/// Rewrites request penalties for the revenue preset:
+/// p_r = fare_per_min * dis(o_r, d_r). Issues one distance query per
+/// request (these are the same L_r values every algorithm caches anyway).
+void SetRevenuePenalties(std::vector<Request>* requests, double fare_per_min,
+                         DistanceOracle* oracle);
+
+/// Scales every penalty by `factor` (the paper's p_r sweep multiplies
+/// dis(o_r, d_r) by 2..50; see Table 5).
+void ScalePenalties(std::vector<Request>* requests, double factor);
+
+/// Platform revenue under the reduction of Sec. 3.2 (Eq. 2):
+/// revenue = c_r * sum_{served} dis(o_r, d_r) - c_w * sum_w D(S_w).
+double Revenue(const std::vector<Request>& requests,
+               const std::vector<bool>& served, double total_distance,
+               double fare_per_min, double worker_cost_per_min,
+               DistanceOracle* oracle);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_CORE_OBJECTIVE_H_

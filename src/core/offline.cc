@@ -1,0 +1,146 @@
+#include "src/core/offline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+
+namespace urpsm {
+
+namespace {
+
+/// DFS over stop orderings for one worker: pickups wait for release times,
+/// drop-offs must meet deadlines, load must fit. Branch-and-bound on cost.
+struct RouteSearch {
+  PlanningContext* ctx;
+  const Worker* worker;
+  std::vector<Stop> stops;
+  std::vector<bool> used;
+  double best = kInf;
+
+  void Dfs(VertexId at, double time, double cost, int load, int placed) {
+    if (cost >= best) return;
+    if (placed == static_cast<int>(stops.size())) {
+      best = cost;
+      return;
+    }
+    for (std::size_t k = 0; k < stops.size(); ++k) {
+      if (used[k]) continue;
+      const Stop& s = stops[k];
+      const Request& r = ctx->request(s.request);
+      if (s.kind == StopKind::kDropoff) {
+        // Pickup must already be placed.
+        bool picked = false;
+        for (std::size_t p = 0; p < stops.size(); ++p) {
+          if (used[p] && stops[p].request == s.request &&
+              stops[p].kind == StopKind::kPickup) {
+            picked = true;
+            break;
+          }
+        }
+        if (!picked) continue;
+      }
+      const double leg = ctx->Dist(at, s.location);
+      double t = time + leg;
+      int new_load = load;
+      if (s.kind == StopKind::kPickup) {
+        t = std::max(t, r.release_time);  // free waiting until release
+        new_load += r.capacity;
+        if (new_load > worker->capacity) continue;
+      } else {
+        if (t > r.deadline) continue;
+        new_load -= r.capacity;
+      }
+      used[k] = true;
+      Dfs(s.location, t, cost + leg, new_load, placed + 1);
+      used[k] = false;
+    }
+  }
+};
+
+}  // namespace
+
+double BestRouteCost(const Worker& worker,
+                     const std::vector<RequestId>& assigned,
+                     PlanningContext* ctx) {
+  if (assigned.empty()) return 0.0;
+  RouteSearch search;
+  search.ctx = ctx;
+  search.worker = &worker;
+  for (RequestId rid : assigned) {
+    const Request& r = ctx->request(rid);
+    search.stops.push_back({r.origin, rid, StopKind::kPickup});
+    search.stops.push_back({r.destination, rid, StopKind::kDropoff});
+  }
+  search.used.assign(search.stops.size(), false);
+  search.Dfs(worker.initial_location, 0.0, 0.0, 0, 0);
+  return search.best;
+}
+
+OfflineSolution SolveOffline(const std::vector<Worker>& workers,
+                             const std::vector<Request>& requests,
+                             double alpha, PlanningContext* ctx) {
+  assert(requests.size() <= 10 && workers.size() <= 4);
+
+  // Memoized per-worker optimal route costs, keyed by assigned set.
+  std::map<std::pair<WorkerId, std::vector<RequestId>>, double> route_cache;
+  const auto worker_cost = [&](WorkerId w,
+                               const std::vector<RequestId>& set) {
+    const auto key = std::make_pair(w, set);
+    auto it = route_cache.find(key);
+    if (it != route_cache.end()) return it->second;
+    const double c =
+        BestRouteCost(workers[static_cast<std::size_t>(w)], set, ctx);
+    route_cache[key] = c;
+    return c;
+  };
+
+  OfflineSolution best;
+  best.unified_cost = kInf;
+  std::vector<std::vector<RequestId>> assigned(workers.size());
+  std::vector<WorkerId> choice(requests.size(), kInvalidWorker);
+
+  // DFS over per-request decisions: reject, or one of the workers.
+  const std::function<void(std::size_t, double)> recurse =
+      [&](std::size_t idx, double penalty_so_far) {
+        if (penalty_so_far >= best.unified_cost) return;  // bound
+        if (idx == requests.size()) {
+          double distance = 0.0;
+          for (WorkerId w = 0; w < static_cast<WorkerId>(workers.size());
+               ++w) {
+            const double c = worker_cost(w, assigned[static_cast<std::size_t>(w)]);
+            if (c == kInf) return;  // infeasible combination
+            distance += c;
+          }
+          const double uc = alpha * distance + penalty_so_far;
+          if (uc < best.unified_cost) {
+            best.unified_cost = uc;
+            best.total_distance = distance;
+            best.assignment = choice;
+            best.served = 0;
+            for (WorkerId w : choice) best.served += (w != kInvalidWorker);
+          }
+          return;
+        }
+        const Request& r = requests[idx];
+        // Try serving with each worker (feasibility checked at the leaf
+        // via the route search; prune early when the worker set is already
+        // infeasible).
+        for (WorkerId w = 0; w < static_cast<WorkerId>(workers.size()); ++w) {
+          auto& set = assigned[static_cast<std::size_t>(w)];
+          set.push_back(r.id);
+          if (worker_cost(w, set) < kInf) {
+            choice[idx] = w;
+            recurse(idx + 1, penalty_so_far);
+          }
+          set.pop_back();
+        }
+        // Reject.
+        choice[idx] = kInvalidWorker;
+        recurse(idx + 1, penalty_so_far + r.penalty);
+      };
+  recurse(0, 0.0);
+  return best;
+}
+
+}  // namespace urpsm

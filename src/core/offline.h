@@ -1,0 +1,47 @@
+#ifndef URPSM_SRC_CORE_OFFLINE_H_
+#define URPSM_SRC_CORE_OFFLINE_H_
+
+#include <vector>
+
+#include "src/model/feasibility.h"
+#include "src/model/types.h"
+
+namespace urpsm {
+
+/// Exact offline optimum of a (tiny) URPSM instance.
+///
+/// The paper proves no online algorithm has a constant competitive ratio
+/// (Sec. 3.3) but never measures the gap; this solver computes the true
+/// clairvoyant optimum on small instances by exhaustive search, enabling
+/// empirical competitive-ratio measurements (bench_optimality_gap) and
+/// ground-truth tests for the online planners.
+///
+/// Model: the offline planner knows every request in advance but still
+/// must respect release times (a pickup cannot happen before t_r; waiting
+/// at a vertex is free — only travel counts toward D(S_w)), deadlines and
+/// capacities. It minimizes alpha * sum_w D(S_w) + sum_rejected p_r over
+/// all serve/reject subsets, worker assignments and stop orderings.
+struct OfflineSolution {
+  double unified_cost = 0.0;
+  double total_distance = 0.0;
+  int served = 0;
+  /// Per request id: serving worker or kInvalidWorker.
+  std::vector<WorkerId> assignment;
+};
+
+/// Exhaustive branch-and-bound. Complexity is exponential; intended for
+/// instances with at most ~8 requests and ~3 workers (asserts on larger).
+OfflineSolution SolveOffline(const std::vector<Worker>& workers,
+                             const std::vector<Request>& requests,
+                             double alpha, PlanningContext* ctx);
+
+/// Minimal travel cost of one worker serving exactly `assigned` (all of
+/// them), honoring release/deadline/capacity; kInf if infeasible.
+/// Exposed for tests.
+double BestRouteCost(const Worker& worker,
+                     const std::vector<RequestId>& assigned,
+                     PlanningContext* ctx);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_CORE_OFFLINE_H_

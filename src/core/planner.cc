@@ -1,0 +1,105 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+
+#include "src/insertion/insertion.h"
+
+namespace urpsm {
+
+double CandidateRadiusKm(const Request& r, double L, double now) {
+  // The pickup must happen by e_r - L (Eq. 6). A worker anchored at
+  // distance euc from o_r cannot reach it before
+  // anchor_time + euc / v_max, so euc <= (e_r - L - anchor_time) * v_max
+  // is necessary. Busy workers can have anchor_time < now (their anchor is
+  // the last stop they passed), which *enlarges* their window; to stay a
+  // strict superset we allow one deadline-span of anchor lag — a worker
+  // whose anchor is older than that cannot slot the pickup in time anyway.
+  const double slack_min = (r.deadline - L) - now;
+  if (slack_min < 0.0) return -1.0;
+  const double lag_allowance = r.deadline - r.release_time;
+  return (slack_min + lag_allowance) * MaxSpeedKmPerMin();
+}
+
+GreedyDpPlanner::GreedyDpPlanner(PlanningContext* ctx, Fleet* fleet,
+                                 PlannerConfig config)
+    : ctx_(ctx), fleet_(fleet), config_(config) {
+  Point lo, hi;
+  ctx_->graph().BoundingBox(&lo, &hi);
+  index_ = std::make_unique<GridIndex>(lo, hi, config_.grid_cell_km);
+  fleet_->AttachIndex(index_.get());
+}
+
+WorkerId GreedyDpPlanner::OnRequest(const Request& r) {
+  const double now = r.release_time;
+  const double L = ctx_->DirectDist(r.id);  // the decision phase's 1 query
+  if (now + L > r.deadline) return kInvalidWorker;  // unservable even ideally
+
+  // Line 3 of Algo. 5: candidate filter via grid index and deadline.
+  const double radius = CandidateRadiusKm(r, L, now);
+  if (radius < 0.0) return kInvalidWorker;
+  const Point origin_pt = ctx_->graph().coord(r.origin);
+  std::vector<WorkerId> candidates = index_->WithinRadius(origin_pt, radius);
+  if (candidates.empty()) return kInvalidWorker;
+
+  // Phase 1 — decision (Algo. 4): per-worker lower bounds, no new queries.
+  std::vector<WorkerBound> bounds;
+  bounds.reserve(candidates.size());
+  std::vector<RouteState> states(candidates.size());
+  std::vector<std::size_t> state_index;  // bound k -> states slot
+  state_index.reserve(candidates.size());
+  double min_lb = kInf;
+  for (std::size_t k = 0; k < candidates.size(); ++k) {
+    const WorkerId w = candidates[k];
+    fleet_->Touch(w, now);
+    const Route& route = fleet_->route(w);
+    states[k] = BuildRouteState(route, ctx_);
+    const double lb = DecisionLowerBound(fleet_->worker(w), route, states[k],
+                                         r, L, ctx_->graph());
+    if (lb == kInf) continue;  // provably infeasible for this worker
+    bounds.push_back({w, lb});
+    state_index.push_back(k);
+    min_lb = std::min(min_lb, lb);
+  }
+  if (bounds.empty()) return kInvalidWorker;
+  // Line 5 of Algo. 4: reject when the penalty is cheaper than even the
+  // optimistic cost of serving.
+  if (r.penalty < config_.alpha * min_lb) return kInvalidWorker;
+
+  // Phase 2 — planning: scan in ascending LB order with exact insertion.
+  std::vector<std::size_t> order(bounds.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bounds[a].lower_bound < bounds[b].lower_bound;
+  });
+
+  WorkerId best_worker = kInvalidWorker;
+  InsertionCandidate best;
+  for (std::size_t k : order) {
+    // Lemma 8: every remaining worker's exact cost is at least its LB.
+    // The epsilon guards the cutoff against float noise: on straight-line
+    // trips the Euclidean bound equals the exact network distance, and
+    // rounding can put Delta* an epsilon *below* its own LB; a strict
+    // comparison there would (very rarely) diverge from GreedyDP.
+    if (config_.use_pruning && best.feasible() &&
+        best.delta < bounds[k].lower_bound - 1e-9 * (1.0 + best.delta)) {
+      break;
+    }
+    const WorkerId w = bounds[k].worker;
+    ++exact_evaluations_;
+    const InsertionCandidate cand =
+        LinearDpInsertion(fleet_->worker(w), fleet_->route(w),
+                          states[state_index[k]], r, ctx_);
+    if (cand.feasible() && cand.delta < best.delta) {
+      best = cand;
+      best_worker = w;
+    }
+  }
+  if (best_worker == kInvalidWorker) return kInvalidWorker;
+  if (config_.exact_reject_check && r.penalty < config_.alpha * best.delta) {
+    return kInvalidWorker;
+  }
+  fleet_->ApplyInsertion(best_worker, r, best.i, best.j, ctx_->oracle());
+  return best_worker;
+}
+
+}  // namespace urpsm

@@ -1,0 +1,92 @@
+#ifndef URPSM_SRC_CORE_PLANNER_H_
+#define URPSM_SRC_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/core/decision.h"
+#include "src/index/grid_index.h"
+#include "src/model/feasibility.h"
+#include "src/sim/fleet.h"
+
+namespace urpsm {
+
+/// Online route-planning algorithm: receives each request at its release
+/// time (the fleet is already advanced to that time) and either assigns it
+/// to a worker — mutating that worker's route through the Fleet — or
+/// rejects it by returning kInvalidWorker. The invariable constraint of
+/// Def. 5 is enforced by the simulator: a rejection is final.
+class RoutePlanner {
+ public:
+  virtual ~RoutePlanner() = default;
+
+  /// Processes one released request; returns the serving worker or
+  /// kInvalidWorker for rejection.
+  virtual WorkerId OnRequest(const Request& r) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  /// Called once after the last request; batch-style planners flush any
+  /// buffered work here.
+  virtual void Finalize() {}
+
+  /// Memory footprint of the planner's spatial index (Fig. 5's metric).
+  virtual std::int64_t index_memory_bytes() const { return 0; }
+};
+
+/// Builds the planner under test once the simulation has wired up the
+/// planning context and fleet.
+using PlannerFactory =
+    std::function<std::unique_ptr<RoutePlanner>(PlanningContext*, Fleet*)>;
+
+/// Configuration shared by the paper's planner and our baselines.
+struct PlannerConfig {
+  double alpha = 1.0;        // weight of total distance in the unified cost
+  double grid_cell_km = 2.0; // grid size g (Table 5; default 2 km)
+  bool use_pruning = true;   // Lemma 8 pruning; false = plain GreedyDP
+  /// Ablation (off in the paper): also reject when the *exact* minimal
+  /// increased distance ends up exceeding p_r / alpha.
+  bool exact_reject_check = false;
+};
+
+/// pruneGreedyDP (Algo. 5) and its unpruned ablation GreedyDP.
+///
+/// Per request: (1) grid-index + deadline candidate filter; (2) decision
+/// phase (Algo. 4) computing per-worker lower bounds with one distance
+/// query total, rejecting when p_r < alpha * min LB; (3) planning phase
+/// scanning workers in ascending-LB order with exact linear DP insertion,
+/// stopping early via Lemma 8 when pruning is enabled.
+class GreedyDpPlanner : public RoutePlanner {
+ public:
+  GreedyDpPlanner(PlanningContext* ctx, Fleet* fleet, PlannerConfig config);
+
+  WorkerId OnRequest(const Request& r) override;
+  std::string_view name() const override {
+    return config_.use_pruning ? "pruneGreedyDP" : "GreedyDP";
+  }
+  std::int64_t index_memory_bytes() const override {
+    return index_->MemoryBytes();
+  }
+
+  /// Exact linear-DP evaluations performed (for the pruning ablation).
+  std::int64_t exact_evaluations() const { return exact_evaluations_; }
+
+ private:
+  PlanningContext* ctx_;
+  Fleet* fleet_;
+  PlannerConfig config_;
+  std::unique_ptr<GridIndex> index_;
+  std::int64_t exact_evaluations_ = 0;
+};
+
+/// Conservative candidate radius (km): a worker anchored farther than this
+/// from the request origin provably cannot pick it up by e_r - L (its
+/// earliest possible arrival, anchor_time + Euclidean time, is too late).
+double CandidateRadiusKm(const Request& r, double L, double now);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_CORE_PLANNER_H_

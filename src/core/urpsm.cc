@@ -1,0 +1,45 @@
+#include "src/core/urpsm.h"
+
+#include <sstream>
+
+namespace urpsm {
+
+namespace {
+
+std::string Problem(const std::string& what, int id) {
+  std::ostringstream out;
+  out << what << " (id " << id << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::string ValidateInstance(const Instance& instance) {
+  const VertexId n = instance.graph.num_vertices();
+  if (n == 0) return "empty road network";
+  for (std::size_t i = 0; i < instance.workers.size(); ++i) {
+    const Worker& w = instance.workers[i];
+    if (w.id != static_cast<WorkerId>(i)) return Problem("worker id not dense", w.id);
+    if (w.initial_location < 0 || w.initial_location >= n) {
+      return Problem("worker location out of range", w.id);
+    }
+    if (w.capacity <= 0) return Problem("non-positive worker capacity", w.id);
+  }
+  double prev_release = -kInf;
+  for (std::size_t i = 0; i < instance.requests.size(); ++i) {
+    const Request& r = instance.requests[i];
+    if (r.id != static_cast<RequestId>(i)) return Problem("request id not dense", r.id);
+    if (r.origin < 0 || r.origin >= n) return Problem("origin out of range", r.id);
+    if (r.destination < 0 || r.destination >= n) {
+      return Problem("destination out of range", r.id);
+    }
+    if (r.deadline < r.release_time) return Problem("deadline before release", r.id);
+    if (r.capacity <= 0) return Problem("non-positive request capacity", r.id);
+    if (r.penalty < 0.0) return Problem("negative penalty", r.id);
+    if (r.release_time < prev_release) return Problem("requests unsorted", r.id);
+    prev_release = r.release_time;
+  }
+  return "";
+}
+
+}  // namespace urpsm

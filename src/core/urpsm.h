@@ -1,0 +1,37 @@
+#ifndef URPSM_SRC_CORE_URPSM_H_
+#define URPSM_SRC_CORE_URPSM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/model/types.h"
+
+namespace urpsm {
+
+/// A complete URPSM problem instance: the road network plus the worker
+/// fleet and the (release-time-sorted) request stream. This is the unit
+/// the workload generators produce, the I/O module round-trips, and the
+/// simulator consumes.
+struct Instance {
+  std::string name;
+  RoadNetwork graph;
+  std::vector<Worker> workers;
+  std::vector<Request> requests;  // sorted by release_time ascending
+};
+
+/// The unified cost UC(W, R) of Def. 5 from its two aggregates.
+inline double UnifiedCost(double alpha, double total_distance,
+                          double rejected_penalty_sum) {
+  return alpha * total_distance + rejected_penalty_sum;
+}
+
+/// Structural validation of an instance: ids dense and in order, vertices
+/// in range, deadlines after releases, positive capacities/penalties,
+/// requests sorted by release time. Returns an empty string when valid,
+/// else a description of the first problem found.
+std::string ValidateInstance(const Instance& instance);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_CORE_URPSM_H_

@@ -1,0 +1,32 @@
+#ifndef URPSM_SRC_GEO_POINT_H_
+#define URPSM_SRC_GEO_POINT_H_
+
+#include <cmath>
+
+namespace urpsm {
+
+/// Planar coordinate of a road-network vertex, in kilometres.
+///
+/// The paper stores latitude/longitude per vertex and uses the Euclidean
+/// distance between coordinates as a lower bound on the network shortest
+/// distance (Sec. 5.1). We work in a projected planar frame, so plain
+/// Euclidean distance is exact for that purpose.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Euclidean distance between two points, in kilometres.
+inline double EuclideanDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_GEO_POINT_H_

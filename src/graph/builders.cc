@@ -1,0 +1,104 @@
+#include "src/graph/builders.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace urpsm {
+
+RoadNetwork MakeCycleGraph(int n, double edge_length_km, RoadClass cls) {
+  assert(n >= 3);
+  // Place vertices on a circle whose chord between neighbours is shorter
+  // than edge_length_km, keeping Euclidean lower bounds valid.
+  const double radius =
+      edge_length_km * static_cast<double>(n) / (2.0 * std::numbers::pi);
+  std::vector<Point> coords(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double angle = 2.0 * std::numbers::pi * i / n;
+    coords[static_cast<std::size_t>(i)] = {radius * std::cos(angle),
+                                           radius * std::sin(angle)};
+  }
+  std::vector<EdgeSpec> edges;
+  edges.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    edges.push_back({i, (i + 1) % n, edge_length_km, cls});
+  }
+  return RoadNetwork::FromEdges(std::move(coords), edges);
+}
+
+RoadNetwork MakeGridGraph(int rows, int cols, double spacing_km,
+                          RoadClass cls) {
+  assert(rows >= 1 && cols >= 1);
+  std::vector<Point> coords;
+  coords.reserve(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      coords.push_back({c * spacing_km, r * spacing_km});
+    }
+  }
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<EdgeSpec> edges;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) edges.push_back({id(r, c), id(r, c + 1), spacing_km, cls});
+      if (r + 1 < rows) edges.push_back({id(r, c), id(r + 1, c), spacing_km, cls});
+    }
+  }
+  return RoadNetwork::FromEdges(std::move(coords), edges);
+}
+
+RoadNetwork MakePathGraph(int n, double edge_length_km, RoadClass cls) {
+  assert(n >= 1);
+  std::vector<Point> coords(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    coords[static_cast<std::size_t>(i)] = {i * edge_length_km, 0.0};
+  }
+  std::vector<EdgeSpec> edges;
+  for (int i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1, edge_length_km, cls});
+  }
+  return RoadNetwork::FromEdges(std::move(coords), edges);
+}
+
+RoadNetwork MakeRandomGeometricGraph(int n, double side_km, int k, Rng* rng,
+                                     double detour_factor, RoadClass cls) {
+  assert(n >= 2 && k >= 1 && detour_factor >= 1.0);
+  std::vector<Point> coords(static_cast<std::size_t>(n));
+  for (auto& p : coords) p = {rng->Uniform(0, side_km), rng->Uniform(0, side_km)};
+
+  std::vector<EdgeSpec> edges;
+  // k-nearest-neighbour edges.
+  std::vector<std::pair<double, int>> dist(static_cast<std::size_t>(n));
+  for (int u = 0; u < n; ++u) {
+    for (int v = 0; v < n; ++v) {
+      dist[static_cast<std::size_t>(v)] = {
+          EuclideanDistance(coords[static_cast<std::size_t>(u)],
+                            coords[static_cast<std::size_t>(v)]),
+          v};
+    }
+    const int take = std::min(k + 1, n);  // +1 skips self (distance 0)
+    std::partial_sort(dist.begin(), dist.begin() + take, dist.end());
+    for (int i = 0; i < take; ++i) {
+      const int v = dist[static_cast<std::size_t>(i)].second;
+      if (v == u) continue;
+      if (v < u) continue;  // deduplicate (u,v)/(v,u) pairs from both sides
+      edges.push_back({u, v, dist[static_cast<std::size_t>(i)].first * detour_factor, cls});
+    }
+  }
+  // Random chain guaranteeing connectivity.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::shuffle(order.begin(), order.end(), rng->engine());
+  for (int i = 0; i + 1 < n; ++i) {
+    const int u = order[static_cast<std::size_t>(i)];
+    const int v = order[static_cast<std::size_t>(i + 1)];
+    const double d = EuclideanDistance(coords[static_cast<std::size_t>(u)],
+                                       coords[static_cast<std::size_t>(v)]);
+    edges.push_back({u, v, d * detour_factor, cls});
+  }
+  return RoadNetwork::FromEdges(std::move(coords), edges);
+}
+
+}  // namespace urpsm

@@ -1,0 +1,38 @@
+#ifndef URPSM_SRC_GRAPH_BUILDERS_H_
+#define URPSM_SRC_GRAPH_BUILDERS_H_
+
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace urpsm {
+
+/// Basic deterministic graph builders used by tests, the hardness
+/// constructions (Sec. 3.3 uses an undirected cycle graph) and as building
+/// blocks of the synthetic city generator.
+
+/// Undirected cycle v0 - v1 - ... - v_{n-1} - v0. Every edge has the given
+/// length (km) and road class. Vertices are placed on a circle so that
+/// Euclidean lower bounds stay valid.
+RoadNetwork MakeCycleGraph(int n, double edge_length_km,
+                           RoadClass cls = RoadClass::kResidential);
+
+/// Axis-aligned grid with `rows` x `cols` vertices and `spacing_km` between
+/// neighbours; all edges share one road class.
+RoadNetwork MakeGridGraph(int rows, int cols, double spacing_km,
+                          RoadClass cls = RoadClass::kResidential);
+
+/// Path graph v0 - v1 - ... - v_{n-1} with unit spacing along the x axis.
+RoadNetwork MakePathGraph(int n, double edge_length_km,
+                          RoadClass cls = RoadClass::kResidential);
+
+/// Random connected geometric graph: `n` vertices uniform in a
+/// `side_km` x `side_km` square, each vertex connected to its `k` nearest
+/// neighbours, then augmented with a random spanning chain for connectivity.
+/// Edge lengths are the Euclidean distances (times a detour factor >= 1).
+RoadNetwork MakeRandomGeometricGraph(int n, double side_km, int k, Rng* rng,
+                                     double detour_factor = 1.2,
+                                     RoadClass cls = RoadClass::kResidential);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_GRAPH_BUILDERS_H_

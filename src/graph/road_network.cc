@@ -1,0 +1,82 @@
+#include "src/graph/road_network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace urpsm {
+
+namespace {
+
+// Speeds are 80% of typical legal limits (paper Sec. 6.1), converted from
+// km/h to km/min: motorway 100*0.8, primary 80*0.8, secondary 50*0.8,
+// residential 30*0.8.
+constexpr double kSpeedsKmPerMin[] = {
+    80.0 / 60.0,  // motorway  (~22.2 m/s)
+    64.0 / 60.0,  // primary
+    40.0 / 60.0,  // secondary
+    24.0 / 60.0,  // residential (~6.7 m/s)
+};
+
+}  // namespace
+
+double SpeedKmPerMin(RoadClass cls) {
+  return kSpeedsKmPerMin[static_cast<int>(cls)];
+}
+
+double MaxSpeedKmPerMin() { return kSpeedsKmPerMin[0]; }
+
+RoadNetwork RoadNetwork::FromEdges(std::vector<Point> coords,
+                                   const std::vector<EdgeSpec>& edges) {
+  RoadNetwork g;
+  g.coords_ = std::move(coords);
+  const VertexId n = g.num_vertices();
+
+  std::vector<std::int64_t> degree(n + 1, 0);
+  for (const EdgeSpec& e : edges) {
+    assert(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n);
+    if (e.u == e.v) continue;
+    ++degree[e.u];
+    ++degree[e.v];
+    ++g.num_undirected_edges_;
+    g.edges_.push_back(e);
+  }
+  g.offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) g.offsets_[v + 1] = g.offsets_[v] + degree[v];
+  g.arcs_.resize(static_cast<std::size_t>(g.offsets_[n]));
+
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const EdgeSpec& e : edges) {
+    if (e.u == e.v) continue;
+    const double cost = e.length_km / SpeedKmPerMin(e.cls);
+    g.arcs_[static_cast<std::size_t>(cursor[e.u]++)] = {e.v, cost};
+    g.arcs_[static_cast<std::size_t>(cursor[e.v]++)] = {e.u, cost};
+  }
+  return g;
+}
+
+VertexId RoadNetwork::NearestVertex(const Point& p) const {
+  VertexId best = kInvalidVertex;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    const double d = EuclideanDistance(coords_[v], p);
+    if (d < best_d) {
+      best_d = d;
+      best = v;
+    }
+  }
+  return best;
+}
+
+void RoadNetwork::BoundingBox(Point* lo, Point* hi) const {
+  lo->x = lo->y = std::numeric_limits<double>::infinity();
+  hi->x = hi->y = -std::numeric_limits<double>::infinity();
+  for (const Point& p : coords_) {
+    lo->x = std::min(lo->x, p.x);
+    lo->y = std::min(lo->y, p.y);
+    hi->x = std::max(hi->x, p.x);
+    hi->y = std::max(hi->y, p.y);
+  }
+}
+
+}  // namespace urpsm

@@ -1,0 +1,113 @@
+#ifndef URPSM_SRC_GRAPH_ROAD_NETWORK_H_
+#define URPSM_SRC_GRAPH_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/geo/point.h"
+
+namespace urpsm {
+
+/// Identifier of a road-network vertex. Vertices are dense, 0-based.
+using VertexId = std::int32_t;
+inline constexpr VertexId kInvalidVertex = -1;
+
+/// Road class of an edge; determines free-flow travel speed. Mirrors the
+/// paper's setup where a taxi travels at a constant per-road-class speed
+/// (80% of the class speed limit, Sec. 6.1).
+enum class RoadClass : std::uint8_t {
+  kMotorway = 0,
+  kPrimary = 1,
+  kSecondary = 2,
+  kResidential = 3,
+};
+
+/// Free-flow speed for a road class, in km/minute.
+/// Motorway ≈ 23 m/s and residential ≈ 6 m/s as quoted in the paper.
+double SpeedKmPerMin(RoadClass cls);
+
+/// Fastest speed over all road classes, in km/minute. Euclidean travel-time
+/// lower bounds divide straight-line distance by this value.
+double MaxSpeedKmPerMin();
+
+/// An undirected edge to be inserted into a RoadNetwork under construction.
+struct EdgeSpec {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+  double length_km = 0.0;
+  RoadClass cls = RoadClass::kResidential;
+};
+
+/// Immutable undirected road network with travel-time edge costs.
+///
+/// Storage is CSR (compressed sparse rows) over both directions of every
+/// undirected edge. Edge cost is the free-flow travel time in minutes
+/// (length / class speed); the paper uses travel time and travel distance
+/// interchangeably (Def. 1) and so do we — all "distances" in this library
+/// are minutes of travel unless stated otherwise.
+class RoadNetwork {
+ public:
+  /// One outgoing arc in the CSR adjacency.
+  struct Arc {
+    VertexId to = kInvalidVertex;
+    double cost = 0.0;  // travel time, minutes
+  };
+
+  /// An empty network; assign a built one (e.g. from FromEdges) before use.
+  RoadNetwork() = default;
+
+  /// Builds a network from vertex coordinates and undirected edges.
+  /// Self-loops are dropped; parallel edges are kept (Dijkstra handles them).
+  static RoadNetwork FromEdges(std::vector<Point> coords,
+                               const std::vector<EdgeSpec>& edges);
+
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(coords_.size());
+  }
+  std::int64_t num_undirected_edges() const { return num_undirected_edges_; }
+
+  /// The original undirected edge list (self-loops removed); retained for
+  /// serialization and inspection.
+  const std::vector<EdgeSpec>& edges() const { return edges_; }
+
+  const Point& coord(VertexId v) const { return coords_[v]; }
+  const std::vector<Point>& coords() const { return coords_; }
+
+  /// Outgoing arcs of `v`.
+  std::span<const Arc> Neighbors(VertexId v) const {
+    return {arcs_.data() + offsets_[v],
+            static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+  }
+
+  /// Euclidean straight-line distance between two vertices, in km.
+  double EuclideanKm(VertexId u, VertexId v) const {
+    return EuclideanDistance(coords_[u], coords_[v]);
+  }
+
+  /// Lower bound on the shortest travel time between two vertices,
+  /// in minutes: straight-line distance at the fastest road speed.
+  /// Guaranteed <= the true shortest-path cost.
+  double EuclideanLowerBoundMin(VertexId u, VertexId v) const {
+    return EuclideanKm(u, v) / MaxSpeedKmPerMin();
+  }
+
+  /// Vertex whose coordinate is nearest to `p` (linear scan; used when
+  /// mapping request coordinates onto the network, as the paper pre-maps
+  /// pickup/drop-off coordinates to the closest vertex).
+  VertexId NearestVertex(const Point& p) const;
+
+  /// Bounding box of all vertex coordinates.
+  void BoundingBox(Point* lo, Point* hi) const;
+
+ private:
+  std::vector<Point> coords_;
+  std::vector<EdgeSpec> edges_;
+  std::vector<std::int64_t> offsets_;  // size num_vertices()+1
+  std::vector<Arc> arcs_;
+  std::int64_t num_undirected_edges_ = 0;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_GRAPH_ROAD_NETWORK_H_

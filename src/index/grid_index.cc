@@ -1,0 +1,123 @@
+#include "src/index/grid_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace urpsm {
+
+GridIndex::GridIndex(Point lo, Point hi, double cell_km)
+    : lo_(lo), cell_km_(cell_km) {
+  assert(cell_km > 0.0);
+  cells_x_ = std::max(1, static_cast<int>(std::ceil((hi.x - lo.x) / cell_km)));
+  cells_y_ = std::max(1, static_cast<int>(std::ceil((hi.y - lo.y) / cell_km)));
+  cells_.resize(static_cast<std::size_t>(cells_x_) * cells_y_);
+}
+
+int GridIndex::CellX(double x) const {
+  const int c = static_cast<int>((x - lo_.x) / cell_km_);
+  return std::clamp(c, 0, cells_x_ - 1);
+}
+
+int GridIndex::CellY(double y) const {
+  const int c = static_cast<int>((y - lo_.y) / cell_km_);
+  return std::clamp(c, 0, cells_y_ - 1);
+}
+
+void GridIndex::Insert(WorkerId w, const Point& p) {
+  cells_[static_cast<std::size_t>(CellOf(p))].push_back(w);
+}
+
+void GridIndex::Remove(WorkerId w, const Point& p) {
+  auto& cell = cells_[static_cast<std::size_t>(CellOf(p))];
+  auto it = std::find(cell.begin(), cell.end(), w);
+  if (it != cell.end()) {
+    *it = cell.back();
+    cell.pop_back();
+  }
+}
+
+void GridIndex::Move(WorkerId w, const Point& from, const Point& to) {
+  if (CellOf(from) == CellOf(to)) return;
+  Remove(w, from);
+  Insert(w, to);
+}
+
+std::vector<WorkerId> GridIndex::WithinRadius(const Point& p,
+                                              double radius_km) const {
+  std::vector<WorkerId> out;
+  if (radius_km < 0.0) return out;
+  const int cx = CellX(p.x);
+  const int cy = CellY(p.y);
+  const int rings = static_cast<int>(radius_km / cell_km_) + 1;
+  const int x0 = std::max(0, cx - rings);
+  const int x1 = std::min(cells_x_ - 1, cx + rings);
+  const int y0 = std::max(0, cy - rings);
+  const int y1 = std::min(cells_y_ - 1, cy + rings);
+  for (int y = y0; y <= y1; ++y) {
+    for (int x = x0; x <= x1; ++x) {
+      const auto& cell = cells_[static_cast<std::size_t>(y) * cells_x_ + x];
+      out.insert(out.end(), cell.begin(), cell.end());
+    }
+  }
+  return out;
+}
+
+std::vector<WorkerId> GridIndex::All() const {
+  std::vector<WorkerId> out;
+  for (const auto& cell : cells_) out.insert(out.end(), cell.begin(), cell.end());
+  return out;
+}
+
+std::int64_t GridIndex::MemoryBytes() const {
+  std::int64_t total = static_cast<std::int64_t>(cells_.capacity() *
+                                                 sizeof(std::vector<WorkerId>));
+  for (const auto& cell : cells_) {
+    total += static_cast<std::int64_t>(cell.capacity() * sizeof(WorkerId));
+  }
+  return total;
+}
+
+TShareGridIndex::TShareGridIndex(Point lo, Point hi, double cell_km)
+    : GridIndex(lo, hi, cell_km) {
+  const int n = cells_x_ * cells_y_;
+  sorted_.resize(static_cast<std::size_t>(n));
+  std::vector<std::pair<double, int>> order(static_cast<std::size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    const Point center = CellCenter(c);
+    for (int d = 0; d < n; ++d) {
+      order[static_cast<std::size_t>(d)] = {
+          EuclideanDistance(center, CellCenter(d)), d};
+    }
+    std::sort(order.begin(), order.end());
+    auto& row = sorted_[static_cast<std::size_t>(c)];
+    row.resize(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) row[static_cast<std::size_t>(d)] = order[static_cast<std::size_t>(d)].second;
+  }
+}
+
+Point TShareGridIndex::CellCenter(int cell) const {
+  const int y = cell / cells_x_;
+  const int x = cell % cells_x_;
+  return {lo_.x + (x + 0.5) * cell_km_, lo_.y + (y + 0.5) * cell_km_};
+}
+
+const std::vector<int>& TShareGridIndex::CellsByDistance(const Point& p) const {
+  return sorted_[static_cast<std::size_t>(CellOf(p))];
+}
+
+double TShareGridIndex::CellCenterDistanceKm(const Point& p, int cell) const {
+  return EuclideanDistance(CellCenter(CellOf(p)), CellCenter(cell));
+}
+
+std::int64_t TShareGridIndex::MemoryBytes() const {
+  std::int64_t total = GridIndex::MemoryBytes();
+  total += static_cast<std::int64_t>(sorted_.capacity() *
+                                     sizeof(std::vector<int>));
+  for (const auto& row : sorted_) {
+    total += static_cast<std::int64_t>(row.capacity() * sizeof(int));
+  }
+  return total;
+}
+
+}  // namespace urpsm

@@ -1,0 +1,40 @@
+#include "src/insertion/insertion.h"
+
+namespace urpsm {
+
+// Algo. 1: enumerate every (i, j) pair, build the candidate stop sequence,
+// and validate it from scratch. O(n^3) time (O(n^3 q) with O(q) distance
+// queries); kept deliberately naive as the paper's baseline and as ground
+// truth for the DP implementations.
+InsertionCandidate BasicInsertion(const Worker& worker, const Route& route,
+                                  const Request& r, PlanningContext* ctx) {
+  InsertionCandidate best;
+  const int n = route.size();
+  const int onboard = route.OnboardAtAnchor(ctx->requests());
+  const Stop pickup{r.origin, r.id, StopKind::kPickup};
+  const Stop dropoff{r.destination, r.id, StopKind::kDropoff};
+  const double base_cost = route.RemainingCost();
+
+  std::vector<Stop> candidate;
+  for (int i = 0; i <= n; ++i) {
+    for (int j = i; j <= n; ++j) {
+      candidate.assign(route.stops().begin(), route.stops().end());
+      candidate.insert(candidate.begin() + j, dropoff);
+      candidate.insert(candidate.begin() + i, pickup);
+      double cost = 0.0;
+      if (!ValidateStops(route.anchor(), route.anchor_time(), candidate,
+                         worker.capacity, onboard, ctx, &cost)) {
+        continue;
+      }
+      const double delta = cost - base_cost;
+      if (delta < best.delta) {
+        best.delta = delta;
+        best.i = i;
+        best.j = j;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace urpsm

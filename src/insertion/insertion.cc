@@ -1,0 +1,45 @@
+#include "src/insertion/insertion.h"
+
+namespace urpsm {
+
+double InsertionDelta(const Route& route, const Request& r, int i, int j,
+                      PlanningContext* ctx) {
+  const int n = route.size();
+  const auto leg = [&](int k) {
+    return route.leg_costs()[static_cast<std::size_t>(k)];
+  };
+  if (i == j) {
+    if (i == n) {
+      // Fig. 2a: append at the end.
+      return ctx->Dist(route.VertexAt(n), r.origin) + ctx->DirectDist(r.id);
+    }
+    // Fig. 2b: o and d both between l_i and l_{i+1}.
+    return ctx->Dist(route.VertexAt(i), r.origin) + ctx->DirectDist(r.id) +
+           ctx->Dist(r.destination, route.VertexAt(i + 1)) - leg(i);
+  }
+  // Fig. 2c: general case, det(l_i, o, l_{i+1}) + det(l_j, d, l_{j+1}).
+  const double det_o = ctx->Dist(route.VertexAt(i), r.origin) +
+                       ctx->Dist(r.origin, route.VertexAt(i + 1)) - leg(i);
+  double det_d;
+  if (j == n) {
+    det_d = ctx->Dist(route.VertexAt(n), r.destination);
+  } else {
+    det_d = ctx->Dist(route.VertexAt(j), r.destination) +
+            ctx->Dist(r.destination, route.VertexAt(j + 1)) - leg(j);
+  }
+  return det_o + det_d;
+}
+
+InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
+                                    const Request& r, PlanningContext* ctx) {
+  const RouteState st = BuildRouteState(route, ctx);
+  return NaiveDpInsertion(worker, route, st, r, ctx);
+}
+
+InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
+                                     const Request& r, PlanningContext* ctx) {
+  const RouteState st = BuildRouteState(route, ctx);
+  return LinearDpInsertion(worker, route, st, r, ctx);
+}
+
+}  // namespace urpsm

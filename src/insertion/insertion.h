@@ -1,0 +1,55 @@
+#ifndef URPSM_SRC_INSERTION_INSERTION_H_
+#define URPSM_SRC_INSERTION_INSERTION_H_
+
+#include "src/model/feasibility.h"
+#include "src/model/route.h"
+#include "src/model/types.h"
+
+namespace urpsm {
+
+/// Result of an insertion evaluation (Def. 6): the cheapest feasible
+/// placement of the request's pickup (after route position i) and drop-off
+/// (after position j, i <= j), and the route-distance increase delta.
+/// An infeasible result has delta == kInf and i == j == -1.
+struct InsertionCandidate {
+  double delta = kInf;
+  int i = -1;
+  int j = -1;
+
+  bool feasible() const { return delta < kInf; }
+};
+
+/// O(n^3) basic insertion (Algo. 1, Jaw et al. [27][28]): enumerates all
+/// O(n^2) placements and validates each candidate route from scratch.
+/// Ground truth for the DP variants.
+InsertionCandidate BasicInsertion(const Worker& worker, const Route& route,
+                                  const Request& r, PlanningContext* ctx);
+
+/// O(n^2) naive DP insertion (Algo. 2): same enumeration, but O(1)
+/// feasibility checks and O(1) delta via the arr/ddl/slack/picked arrays.
+InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
+                                    const Request& r, PlanningContext* ctx);
+
+/// O(n) linear DP insertion (Algo. 3): enumerates only drop-off positions
+/// and finds the best pickup position in O(1) with the Dio/Plc dynamic
+/// program (Eq. 11-12, Lemma 6, Corollary 1). Issues at most 2n+1
+/// shortest-distance queries (Lemma 9).
+InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
+                                     const Request& r, PlanningContext* ctx);
+
+/// Variants taking a prebuilt RouteState (for callers that already have it).
+InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
+                                    const RouteState& st, const Request& r,
+                                    PlanningContext* ctx);
+InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
+                                     const RouteState& st, const Request& r,
+                                     PlanningContext* ctx);
+
+/// Increased distance Delta_{i,j} of a concrete placement (Eq. 5), with no
+/// feasibility checking. Exposed for tests.
+double InsertionDelta(const Route& route, const Request& r, int i, int j,
+                      PlanningContext* ctx);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_INSERTION_INSERTION_H_

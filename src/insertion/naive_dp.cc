@@ -1,0 +1,81 @@
+#include "src/insertion/insertion.h"
+
+#include <vector>
+
+namespace urpsm {
+
+// Algo. 2: enumerate all O(n^2) pairs (i, j); each pair is checked in O(1)
+// using the auxiliary arrays (Lemmas 4 and 5) and Delta_{i,j} from Eq. (5).
+// We use `continue` where the paper uses `break` on conditions (3)/(4) of
+// Lemma 4: those quantities are not monotone in j (dis(l_j, d_r) can shrink
+// as j grows), so continuing is required for exact equivalence with basic
+// insertion. This does not change the O(n^2) bound.
+InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
+                                    const RouteState& st, const Request& r,
+                                    PlanningContext* ctx) {
+  InsertionCandidate best;
+  const int n = st.n;
+  const int cap = worker.capacity - r.capacity;
+  if (cap < 0) return best;
+  const double L = ctx->DirectDist(r.id);
+
+  // dis(l_k, o_r) and dis(l_k, d_r) for every route position (2n + 2
+  // queries; the naive variant does not optimize query count).
+  std::vector<double> d_o(static_cast<std::size_t>(n + 1));
+  std::vector<double> d_d(static_cast<std::size_t>(n + 1));
+  for (int k = 0; k <= n; ++k) {
+    d_o[static_cast<std::size_t>(k)] = ctx->Dist(route.VertexAt(k), r.origin);
+    d_d[static_cast<std::size_t>(k)] =
+        ctx->Dist(route.VertexAt(k), r.destination);
+  }
+  const auto leg = [&](int k) {
+    return route.leg_costs()[static_cast<std::size_t>(k)];
+  };
+
+  for (int i = 0; i <= n; ++i) {
+    const auto is = static_cast<std::size_t>(i);
+    // Positions at/after i are unreachable before r's deadline: no pickup
+    // or drop-off placed there can ever meet it (arr is non-decreasing).
+    if (st.arr[is] > r.deadline) break;
+    // Lemma 5 (1): capacity on the segment l_i -> o_r -> l_{i+1}.
+    if (st.picked[is] > cap) continue;
+    // Lemma 4 (1), tightened with the pickup deadline of Eq. (6).
+    if (st.arr[is] + d_o[is] > r.deadline - L) continue;
+
+    // Cases i == j (Fig. 2a / 2b).
+    {
+      const double delta = (i == n)
+                               ? d_o[is] + L
+                               : d_o[is] + L + d_d[is + 1] - leg(i);
+      // Lemma 4 (3): r's own drop-off deadline.
+      const bool own_ok = st.arr[is] + d_o[is] + L <= r.deadline;
+      // Lemma 4 (4): delay of every later stop.
+      const bool others_ok = i == n || delta <= st.slack[is];
+      if (own_ok && others_ok && delta < best.delta) {
+        best = {delta, i, i};
+      }
+    }
+
+    // General case i < j (Fig. 2c).
+    if (i == n) continue;
+    const double det_o = d_o[is] + d_o[is + 1] - leg(i);
+    // Lemma 4 (2): the pickup detour alone must respect every later slack.
+    if (det_o > st.slack[is]) continue;
+    for (int j = i + 1; j <= n; ++j) {
+      const auto js = static_cast<std::size_t>(j);
+      // Lemma 5 (2): r is on board through position j.
+      if (st.picked[js] > cap) break;
+      const double det_d =
+          (j == n) ? d_d[js] : d_d[js] + d_d[js + 1] - leg(j);
+      const double delta = det_o + det_d;
+      // Lemma 4 (3): arrival at d_r.
+      if (st.arr[js] + det_o + d_d[js] > r.deadline) continue;
+      // Lemma 4 (4): delay of stops after j.
+      if (j < n && delta > st.slack[js]) continue;
+      if (delta < best.delta) best = {delta, i, j};
+    }
+  }
+  return best;
+}
+
+}  // namespace urpsm

@@ -1,0 +1,86 @@
+#include "src/model/feasibility.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace urpsm {
+
+double PlanningContext::DirectDist(RequestId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (direct_dist_.size() <= idx) direct_dist_.resize(idx + 1, kInf);
+  if (direct_dist_[idx] == kInf) {
+    const Request& r = request(id);
+    direct_dist_[idx] = oracle_->Distance(r.origin, r.destination);
+  }
+  return direct_dist_[idx];
+}
+
+RouteState BuildRouteState(const Route& route, PlanningContext* ctx) {
+  RouteState st;
+  st.n = route.size();
+  const auto size = static_cast<std::size_t>(st.n + 1);
+  st.arr.resize(size);
+  st.ddl.resize(size);
+  st.slack.resize(size);
+  st.picked.resize(size);
+
+  st.arr[0] = route.anchor_time();
+  st.ddl[0] = kInf;
+  st.picked[0] = route.OnboardAtAnchor(ctx->requests());
+
+  for (int k = 1; k <= st.n; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const Stop& stop = route.stops()[ks - 1];
+    st.arr[ks] = st.arr[ks - 1] + route.leg_costs()[ks - 1];
+    const Request& r = ctx->request(stop.request);
+    if (stop.kind == StopKind::kPickup) {
+      st.ddl[ks] = r.deadline - ctx->DirectDist(stop.request);
+      st.picked[ks] = st.picked[ks - 1] + r.capacity;
+    } else {
+      st.ddl[ks] = r.deadline;
+      st.picked[ks] = st.picked[ks - 1] - r.capacity;
+    }
+  }
+
+  st.slack[static_cast<std::size_t>(st.n)] = kInf;
+  for (int k = st.n - 1; k >= 0; --k) {
+    const auto ks = static_cast<std::size_t>(k);
+    st.slack[ks] = std::min(st.slack[ks + 1], st.ddl[ks + 1] - st.arr[ks + 1]);
+  }
+  return st;
+}
+
+bool ValidateStops(VertexId anchor, double anchor_time,
+                   const std::vector<Stop>& stops, int worker_capacity,
+                   int onboard, PlanningContext* ctx, double* total_cost) {
+  double t = anchor_time;
+  double cost = 0.0;
+  int load = onboard;
+  VertexId prev = anchor;
+  std::unordered_set<RequestId> picked;
+  for (const Stop& s : stops) {
+    const double leg = ctx->Dist(prev, s.location);
+    t += leg;
+    cost += leg;
+    prev = s.location;
+    const Request& r = ctx->request(s.request);
+    if (s.kind == StopKind::kPickup) {
+      if (!picked.insert(s.request).second) return false;  // duplicate pickup
+      load += r.capacity;
+      if (load > worker_capacity) return false;
+    } else {
+      // The pickup must precede the drop-off unless the rider is already
+      // on board (pickup committed before the anchor).
+      const bool picked_in_route = picked.contains(s.request);
+      if (!picked_in_route && onboard == 0) return false;
+      load -= r.capacity;
+      if (load < 0) return false;
+      if (t > r.deadline) return false;
+    }
+  }
+  if (total_cost != nullptr) *total_cost = cost;
+  return true;
+}
+
+}  // namespace urpsm

@@ -1,0 +1,77 @@
+#ifndef URPSM_SRC_MODEL_FEASIBILITY_H_
+#define URPSM_SRC_MODEL_FEASIBILITY_H_
+
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/model/route.h"
+#include "src/model/types.h"
+#include "src/shortest/oracle.h"
+
+namespace urpsm {
+
+/// Shared state threaded through decision/insertion/planning: the road
+/// network, the distance oracle, the request table (indexed by RequestId)
+/// and a per-request cache of the direct origin->destination shortest
+/// distance L_r = dis(o_r, d_r). Caching L_r keeps the deadline array
+/// (Eq. 6) free of repeat queries and makes the decision phase's
+/// "exactly one shortest-distance query" property (Lemma 7) hold.
+class PlanningContext {
+ public:
+  PlanningContext(const RoadNetwork* graph, DistanceOracle* oracle,
+                  const std::vector<Request>* requests)
+      : graph_(graph), oracle_(oracle), requests_(requests) {}
+
+  const RoadNetwork& graph() const { return *graph_; }
+  DistanceOracle* oracle() const { return oracle_; }
+  const std::vector<Request>& requests() const { return *requests_; }
+  const Request& request(RequestId id) const {
+    return (*requests_)[static_cast<std::size_t>(id)];
+  }
+
+  double Dist(VertexId u, VertexId v) const { return oracle_->Distance(u, v); }
+
+  /// L_r = dis(o_r, d_r); computed at most once per request.
+  double DirectDist(RequestId id);
+
+ private:
+  const RoadNetwork* graph_;
+  DistanceOracle* oracle_;
+  const std::vector<Request>* requests_;
+  std::vector<double> direct_dist_;  // kInf-filled lazily grown cache
+};
+
+/// The auxiliary arrays of Sec. 4.3 for a route with n stops; all are
+/// indexed by route position k in [0, n] (k = 0 is the anchor).
+///
+///   arr[k]    — arrival time at l_k (Eq. 7)
+///   ddl[k]    — latest feasible arrival at l_k (Eq. 6); +inf at the anchor
+///   slack[k]  — max tolerable detour between l_k and l_k+1 (Eq. 8); +inf at n
+///   picked[k] — capacity units on board after visiting l_k (Eq. 9)
+struct RouteState {
+  int n = 0;
+  std::vector<double> arr;
+  std::vector<double> ddl;
+  std::vector<double> slack;
+  std::vector<int> picked;
+};
+
+/// Builds the auxiliary arrays for `route`. Uses only the route's cached
+/// leg costs plus (cached) direct distances, so it issues no new
+/// shortest-distance queries after the first time each onboard request's
+/// L_r is seen.
+RouteState BuildRouteState(const Route& route, PlanningContext* ctx);
+
+/// Ground-truth feasibility check used by tests and the basic insertion:
+/// recomputes the schedule of `stops` starting from (anchor, anchor_time)
+/// with fresh distance queries and verifies Def. 4's three conditions
+/// (pickup precedes drop-off, drop-off by deadline, capacity bound).
+/// `onboard` is the load already on the vehicle at the anchor.
+bool ValidateStops(VertexId anchor, double anchor_time,
+                   const std::vector<Stop>& stops, int worker_capacity,
+                   int onboard, PlanningContext* ctx,
+                   double* total_cost = nullptr);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_MODEL_FEASIBILITY_H_

@@ -1,0 +1,118 @@
+#include "src/model/route.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace urpsm {
+
+double Route::ArrivalAt(int k) const {
+  assert(k >= 0 && k <= size());
+  double t = anchor_time_;
+  for (int l = 0; l < k; ++l) t += leg_costs_[static_cast<std::size_t>(l)];
+  return t;
+}
+
+double Route::RemainingCost() const {
+  double total = 0.0;
+  for (double c : leg_costs_) total += c;
+  return total;
+}
+
+void Route::Insert(const Request& r, int i, int j, DistanceOracle* oracle) {
+  const int n_old = size();
+  assert(0 <= i && i <= j && j <= n_old);
+  const Stop pickup{r.origin, r.id, StopKind::kPickup};
+  const Stop dropoff{r.destination, r.id, StopKind::kDropoff};
+  const VertexId li = VertexAt(i);
+  const VertexId li1 = i < n_old ? VertexAt(i + 1) : kInvalidVertex;
+  const VertexId lj = VertexAt(j);
+  const VertexId lj1 = j < n_old ? VertexAt(j + 1) : kInvalidVertex;
+
+  // Insert the drop-off first so index i remains valid; stops_ index k
+  // corresponds to route position k+1, so "after position j" = index j.
+  stops_.insert(stops_.begin() + j, dropoff);
+  stops_.insert(stops_.begin() + i, pickup);
+
+  // Splice the leg-cost cache with the paper's 2 (append both), 3 (i == j
+  // mid-route, or i < j == n) or 4 (general) shortest-distance queries
+  // (Sec. 5.3); everything else is reused.
+  if (i == j) {
+    if (i == n_old) {
+      // Fig. 2a: append o then d.
+      leg_costs_.push_back(oracle->Distance(li, r.origin));
+      leg_costs_.push_back(oracle->Distance(r.origin, r.destination));
+    } else {
+      // Fig. 2b: l_i -> o -> d -> l_{i+1}.
+      leg_costs_.erase(leg_costs_.begin() + i);
+      const double a = oracle->Distance(li, r.origin);
+      const double b = oracle->Distance(r.origin, r.destination);
+      const double c = oracle->Distance(r.destination, li1);
+      leg_costs_.insert(leg_costs_.begin() + i, {a, b, c});
+    }
+  } else {
+    // Fig. 2c: o between l_i and l_{i+1}, d between l_j and l_{j+1}.
+    leg_costs_.erase(leg_costs_.begin() + i);
+    const double a = oracle->Distance(li, r.origin);
+    const double b = oracle->Distance(r.origin, li1);
+    leg_costs_.insert(leg_costs_.begin() + i, {a, b});
+    if (j == n_old) {
+      leg_costs_.push_back(oracle->Distance(lj, r.destination));
+    } else {
+      // After the pickup splice, old leg j sits at index j + 1.
+      leg_costs_.erase(leg_costs_.begin() + j + 1);
+      const double c = oracle->Distance(lj, r.destination);
+      const double d = oracle->Distance(r.destination, lj1);
+      leg_costs_.insert(leg_costs_.begin() + j + 1, {c, d});
+    }
+  }
+  assert(static_cast<int>(leg_costs_.size()) == size());
+}
+
+void Route::SetStops(std::vector<Stop> stops, DistanceOracle* oracle) {
+  stops_ = std::move(stops);
+  const int n = size();
+  leg_costs_.assign(static_cast<std::size_t>(n), 0.0);
+  for (int k = 0; k < n; ++k) {
+    leg_costs_[static_cast<std::size_t>(k)] =
+        oracle->Distance(VertexAt(k), VertexAt(k + 1));
+  }
+}
+
+Stop Route::PopFront() {
+  assert(!stops_.empty());
+  const Stop front = stops_.front();
+  anchor_time_ += leg_costs_.front();
+  anchor_ = front.location;
+  stops_.erase(stops_.begin());
+  leg_costs_.erase(leg_costs_.begin());
+  return front;
+}
+
+std::vector<VertexId> Route::MaterializePath(DistanceOracle* oracle) const {
+  std::vector<VertexId> path = {anchor_};
+  for (int k = 0; k < size(); ++k) {
+    const std::vector<VertexId> leg =
+        oracle->Path(VertexAt(k), VertexAt(k + 1));
+    for (std::size_t i = 1; i < leg.size(); ++i) path.push_back(leg[i]);
+    if (leg.empty() && VertexAt(k + 1) != path.back()) {
+      path.push_back(VertexAt(k + 1));  // unreachable leg: keep the stop
+    }
+  }
+  return path;
+}
+
+int Route::OnboardAtAnchor(const std::vector<Request>& requests) const {
+  std::unordered_set<RequestId> picked_here;
+  for (const Stop& s : stops_) {
+    if (s.kind == StopKind::kPickup) picked_here.insert(s.request);
+  }
+  int onboard = 0;
+  for (const Stop& s : stops_) {
+    if (s.kind == StopKind::kDropoff && !picked_here.contains(s.request)) {
+      onboard += requests[static_cast<std::size_t>(s.request)].capacity;
+    }
+  }
+  return onboard;
+}
+
+}  // namespace urpsm

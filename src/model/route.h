@@ -1,0 +1,81 @@
+#ifndef URPSM_SRC_MODEL_ROUTE_H_
+#define URPSM_SRC_MODEL_ROUTE_H_
+
+#include <vector>
+
+#include "src/model/types.h"
+#include "src/shortest/oracle.h"
+
+namespace urpsm {
+
+/// A worker's planned route (Def. 4): the anchor vertex l_0 (the vertex the
+/// worker most recently reached, with the time it was/will be reached) plus
+/// the ordered pending stops l_1..l_n. The route caches the travel time of
+/// every leg so that schedules (arrival times) are recomputable with zero
+/// shortest-distance queries.
+///
+/// Model note: worker positions are resolved at vertex granularity, exactly
+/// as in the paper's simulation — between stops the worker's location is
+/// implied by the schedule, and re-planning always measures from the anchor.
+class Route {
+ public:
+  Route() = default;
+  Route(VertexId anchor, double anchor_time)
+      : anchor_(anchor), anchor_time_(anchor_time) {}
+
+  VertexId anchor() const { return anchor_; }
+  double anchor_time() const { return anchor_time_; }
+  void set_anchor_time(double t) { anchor_time_ = t; }
+
+  const std::vector<Stop>& stops() const { return stops_; }
+  /// Travel time of leg k (from vertex k to vertex k+1), k in [0, size).
+  const std::vector<double>& leg_costs() const { return leg_costs_; }
+
+  int size() const { return static_cast<int>(stops_.size()); }
+  bool empty() const { return stops_.empty(); }
+
+  /// Vertex at route position k: k = 0 is the anchor, k in [1, size] is
+  /// stops()[k-1].
+  VertexId VertexAt(int k) const {
+    return k == 0 ? anchor_ : stops_[static_cast<std::size_t>(k - 1)].location;
+  }
+
+  /// Arrival time at route position k (anchor_time + prefix of leg costs).
+  double ArrivalAt(int k) const;
+
+  /// Total planned travel time from the anchor through the last stop.
+  double RemainingCost() const;
+
+  /// Inserts the pickup of `r` after position i and the drop-off after
+  /// position j (i <= j, positions in [0, size]), looking up the new legs'
+  /// costs in `oracle`. Matches the paper's insertion semantics exactly.
+  void Insert(const Request& r, int i, int j, DistanceOracle* oracle);
+
+  /// Replaces all pending stops, recomputing every leg cost via `oracle`.
+  /// Used by planners that reorder routes wholesale (kinetic trees).
+  void SetStops(std::vector<Stop> stops, DistanceOracle* oracle);
+
+  /// Removes the front stop, making it the new anchor; its arrival time
+  /// becomes the anchor time. Returns the removed stop.
+  Stop PopFront();
+
+  /// Number of capacity units on board at the anchor: requests whose
+  /// drop-off is pending but whose pickup already happened.
+  int OnboardAtAnchor(const std::vector<Request>& requests) const;
+
+  /// Full vertex-level driving path from the anchor through every pending
+  /// stop, materialized with shortest-path queries (each stop-to-stop leg
+  /// expanded; consecutive duplicates collapsed). Used when exporting
+  /// planned routes for navigation/visualization.
+  std::vector<VertexId> MaterializePath(DistanceOracle* oracle) const;
+
+ private:
+  VertexId anchor_ = kInvalidVertex;
+  double anchor_time_ = 0.0;
+  std::vector<Stop> stops_;
+  std::vector<double> leg_costs_;  // leg_costs_[k] = cost(VertexAt(k), VertexAt(k+1))
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_MODEL_ROUTE_H_

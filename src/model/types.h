@@ -1,0 +1,59 @@
+#ifndef URPSM_SRC_MODEL_TYPES_H_
+#define URPSM_SRC_MODEL_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/graph/road_network.h"
+
+namespace urpsm {
+
+using RequestId = std::int32_t;
+using WorkerId = std::int32_t;
+inline constexpr RequestId kInvalidRequest = -1;
+inline constexpr WorkerId kInvalidWorker = -1;
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// A shared-mobility request (Def. 3): origin/destination vertices, release
+/// time t_r, delivery deadline e_r, rejection penalty p_r and capacity K_r
+/// (number of passengers or parcel units). Times are minutes from the start
+/// of the simulated day; a request is *served* iff one worker picks it up at
+/// the origin at/after t_r and drops it at the destination by e_r.
+struct Request {
+  RequestId id = kInvalidRequest;
+  VertexId origin = kInvalidVertex;
+  VertexId destination = kInvalidVertex;
+  double release_time = 0.0;  // t_r, minutes
+  double deadline = 0.0;      // e_r, minutes
+  double penalty = 0.0;       // p_r
+  int capacity = 1;           // K_r
+};
+
+/// A worker (Def. 2): a vehicle/courier with an initial vertex and a
+/// capacity K_w bounding how many units may be on board simultaneously.
+struct Worker {
+  WorkerId id = kInvalidWorker;
+  VertexId initial_location = kInvalidVertex;
+  int capacity = 4;  // K_w
+};
+
+/// Whether a route stop is the pickup (origin) or drop-off (destination)
+/// of its request.
+enum class StopKind : std::uint8_t { kPickup = 0, kDropoff = 1 };
+
+/// One waypoint of a worker's route.
+struct Stop {
+  VertexId location = kInvalidVertex;
+  RequestId request = kInvalidRequest;
+  StopKind kind = StopKind::kPickup;
+
+  friend bool operator==(const Stop& a, const Stop& b) {
+    return a.location == b.location && a.request == b.request &&
+           a.kind == b.kind;
+  }
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_MODEL_TYPES_H_

@@ -1,0 +1,110 @@
+#include "src/shortest/alt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <utility>
+
+#include "src/shortest/dijkstra.h"
+
+namespace urpsm {
+
+AltOracle AltOracle::Build(const RoadNetwork& graph, int num_landmarks) {
+  AltOracle alt;
+  alt.graph_ = &graph;
+  const VertexId n = graph.num_vertices();
+  num_landmarks = std::min(num_landmarks, static_cast<int>(n));
+
+  // Farthest selection: start from vertex 0's farthest vertex, then
+  // repeatedly take the vertex maximizing the min distance to the chosen
+  // landmarks. Unreachable vertices (infinite distance) are skipped so
+  // disconnected graphs still get usable landmarks.
+  std::vector<double> min_dist(static_cast<std::size_t>(n), kInfDistance);
+  VertexId next = 0;
+  for (int l = 0; l < num_landmarks; ++l) {
+    alt.landmarks_.push_back(next);
+    alt.dist_.push_back(DijkstraAll(graph, next));
+    const auto& d = alt.dist_.back();
+    VertexId best = kInvalidVertex;
+    double best_d = -1.0;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (d[vi] < min_dist[vi]) min_dist[vi] = d[vi];
+      if (min_dist[vi] < kInfDistance && min_dist[vi] > best_d) {
+        best_d = min_dist[vi];
+        best = v;
+      }
+    }
+    if (best == kInvalidVertex || best_d <= 0.0) break;  // graph exhausted
+    next = best;
+  }
+  return alt;
+}
+
+double AltOracle::Heuristic(VertexId v, VertexId target) const {
+  double h = 0.0;
+  for (std::size_t l = 0; l < landmarks_.size(); ++l) {
+    const double dv = dist_[l][static_cast<std::size_t>(v)];
+    const double dt = dist_[l][static_cast<std::size_t>(target)];
+    if (dv == kInfDistance || dt == kInfDistance) continue;
+    h = std::max(h, std::abs(dt - dv));
+  }
+  return h;
+}
+
+double AltOracle::AStar(VertexId s, VertexId t,
+                        std::vector<VertexId>* parent) const {
+  const auto n = static_cast<std::size_t>(graph_->num_vertices());
+  std::vector<double> g(n, kInfDistance);
+  if (parent != nullptr) parent->assign(n, kInvalidVertex);
+  using HeapEntry = std::pair<double, VertexId>;  // (f = g + h, vertex)
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  g[static_cast<std::size_t>(s)] = 0.0;
+  heap.push({Heuristic(s, t), s});
+  while (!heap.empty()) {
+    auto [f, u] = heap.top();
+    heap.pop();
+    const auto ui = static_cast<std::size_t>(u);
+    if (u == t) return g[ui];
+    if (f > g[ui] + Heuristic(u, t) + 1e-12) continue;  // stale entry
+    for (const auto& arc : graph_->Neighbors(u)) {
+      const auto vi = static_cast<std::size_t>(arc.to);
+      const double ng = g[ui] + arc.cost;
+      if (ng < g[vi]) {
+        g[vi] = ng;
+        if (parent != nullptr) (*parent)[vi] = u;
+        heap.push({ng + Heuristic(arc.to, t), arc.to});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+double AltOracle::Distance(VertexId u, VertexId v) {
+  ++query_count_;
+  if (u == v) return 0.0;
+  return AStar(u, v, nullptr);
+}
+
+std::vector<VertexId> AltOracle::Path(VertexId u, VertexId v) {
+  if (u == v) return {u};
+  std::vector<VertexId> parent;
+  if (AStar(u, v, &parent) == kInfDistance) return {};
+  std::vector<VertexId> path;
+  for (VertexId x = v; x != kInvalidVertex;
+       x = parent[static_cast<std::size_t>(x)]) {
+    path.push_back(x);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::int64_t AltOracle::MemoryBytes() const {
+  std::int64_t total = 0;
+  for (const auto& d : dist_) {
+    total += static_cast<std::int64_t>(d.capacity() * sizeof(double));
+  }
+  return total;
+}
+
+}  // namespace urpsm

@@ -1,0 +1,48 @@
+#ifndef URPSM_SRC_SHORTEST_ALT_H_
+#define URPSM_SRC_SHORTEST_ALT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/shortest/oracle.h"
+
+namespace urpsm {
+
+/// ALT oracle: A* with Landmarks and the Triangle inequality (Goldberg &
+/// Harrelson). Third shortest-path substrate besides hub labels and
+/// contraction hierarchies: cheap preprocessing (k single-source Dijkstras
+/// from farthest-selected landmarks), goal-directed exact queries via the
+/// admissible landmark heuristic
+///   h(v) = max_L |d(L, t) - d(L, v)|.
+class AltOracle : public DistanceOracle {
+ public:
+  /// Preprocesses `graph` with `num_landmarks` landmarks chosen by
+  /// farthest selection from vertex 0.
+  static AltOracle Build(const RoadNetwork& graph, int num_landmarks = 8);
+
+  double Distance(VertexId u, VertexId v) override;
+  std::vector<VertexId> Path(VertexId u, VertexId v) override;
+
+  int num_landmarks() const { return static_cast<int>(landmarks_.size()); }
+  const std::vector<VertexId>& landmarks() const { return landmarks_; }
+  std::int64_t MemoryBytes() const;
+
+  /// The admissible heuristic used by the A* search (exposed for tests:
+  /// must never exceed the true distance).
+  double Heuristic(VertexId v, VertexId target) const;
+
+ private:
+  AltOracle() = default;
+
+  double AStar(VertexId s, VertexId t, std::vector<VertexId>* parent) const;
+
+  const RoadNetwork* graph_ = nullptr;
+  std::vector<VertexId> landmarks_;
+  // dist_[l][v] = shortest distance from landmarks_[l] to v.
+  std::vector<std::vector<double>> dist_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_SHORTEST_ALT_H_

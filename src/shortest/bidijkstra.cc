@@ -1,0 +1,59 @@
+#include "src/shortest/bidijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "src/shortest/dijkstra.h"
+
+namespace urpsm {
+
+double BidirectionalDistance(const RoadNetwork& graph, VertexId source,
+                             VertexId target) {
+  if (source == target) return 0.0;
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  std::vector<double> dist_f(n, kInfDistance), dist_b(n, kInfDistance);
+  std::vector<bool> settled_f(n, false), settled_b(n, false);
+  using HeapEntry = std::pair<double, VertexId>;
+  using MinHeap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+  MinHeap heap_f, heap_b;
+  dist_f[static_cast<std::size_t>(source)] = 0.0;
+  dist_b[static_cast<std::size_t>(target)] = 0.0;
+  heap_f.push({0.0, source});
+  heap_b.push({0.0, target});
+
+  double best = kInfDistance;
+  while (!heap_f.empty() || !heap_b.empty()) {
+    const double top_f = heap_f.empty() ? kInfDistance : heap_f.top().first;
+    const double top_b = heap_b.empty() ? kInfDistance : heap_b.top().first;
+    if (top_f + top_b >= best) break;
+
+    const bool forward = top_f <= top_b;
+    auto& heap = forward ? heap_f : heap_b;
+    auto& dist = forward ? dist_f : dist_b;
+    auto& other_dist = forward ? dist_b : dist_f;
+    auto& settled = forward ? settled_f : settled_b;
+
+    auto [d, u] = heap.top();
+    heap.pop();
+    const auto ui = static_cast<std::size_t>(u);
+    if (settled[ui]) continue;
+    settled[ui] = true;
+    if (other_dist[ui] < kInfDistance) {
+      best = std::min(best, d + other_dist[ui]);
+    }
+    for (const auto& arc : graph.Neighbors(u)) {
+      const auto vi = static_cast<std::size_t>(arc.to);
+      const double nd = d + arc.cost;
+      if (nd < dist[vi]) {
+        dist[vi] = nd;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace urpsm

@@ -1,0 +1,17 @@
+#ifndef URPSM_SRC_SHORTEST_BIDIJKSTRA_H_
+#define URPSM_SRC_SHORTEST_BIDIJKSTRA_H_
+
+#include "src/graph/road_network.h"
+
+namespace urpsm {
+
+/// Point-to-point shortest travel time via bidirectional Dijkstra.
+/// Roughly halves the search space of plain Dijkstra on road networks;
+/// exact (the graph is undirected, so forward/backward searches are
+/// symmetric). Returns kInfDistance when unreachable.
+double BidirectionalDistance(const RoadNetwork& graph, VertexId source,
+                             VertexId target);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_SHORTEST_BIDIJKSTRA_H_

@@ -1,0 +1,100 @@
+#include "src/shortest/dijkstra.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+namespace urpsm {
+
+namespace {
+
+using HeapEntry = std::pair<double, VertexId>;  // (distance, vertex)
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+std::vector<double> DijkstraAll(const RoadNetwork& graph, VertexId source) {
+  std::vector<double> dist(static_cast<std::size_t>(graph.num_vertices()),
+                           kInfDistance);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  MinHeap heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& arc : graph.Neighbors(u)) {
+      const double nd = d + arc.cost;
+      if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+        dist[static_cast<std::size_t>(arc.to)] = nd;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  return dist;
+}
+
+double DijkstraDistance(const RoadNetwork& graph, VertexId source,
+                        VertexId target) {
+  if (source == target) return 0.0;
+  std::vector<double> dist(static_cast<std::size_t>(graph.num_vertices()),
+                           kInfDistance);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  MinHeap heap;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (u == target) return d;
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& arc : graph.Neighbors(u)) {
+      const double nd = d + arc.cost;
+      if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+        dist[static_cast<std::size_t>(arc.to)] = nd;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  return kInfDistance;
+}
+
+std::vector<VertexId> DijkstraPath(const RoadNetwork& graph, VertexId source,
+                                   VertexId target) {
+  if (source == target) return {source};
+  std::vector<double> dist(static_cast<std::size_t>(graph.num_vertices()),
+                           kInfDistance);
+  std::vector<VertexId> parent(static_cast<std::size_t>(graph.num_vertices()),
+                               kInvalidVertex);
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  MinHeap heap;
+  heap.push({0.0, source});
+  bool found = false;
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    if (u == target) {
+      found = true;
+      break;
+    }
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& arc : graph.Neighbors(u)) {
+      const double nd = d + arc.cost;
+      if (nd < dist[static_cast<std::size_t>(arc.to)]) {
+        dist[static_cast<std::size_t>(arc.to)] = nd;
+        parent[static_cast<std::size_t>(arc.to)] = u;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  if (!found) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != kInvalidVertex;
+       v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace urpsm

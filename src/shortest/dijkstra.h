@@ -1,0 +1,28 @@
+#ifndef URPSM_SRC_SHORTEST_DIJKSTRA_H_
+#define URPSM_SRC_SHORTEST_DIJKSTRA_H_
+
+#include <limits>
+#include <vector>
+
+#include "src/graph/road_network.h"
+
+namespace urpsm {
+
+inline constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// Single-source shortest travel times from `source` to every vertex.
+/// Unreachable vertices get kInfDistance.
+std::vector<double> DijkstraAll(const RoadNetwork& graph, VertexId source);
+
+/// Point-to-point Dijkstra with early termination at `target`.
+double DijkstraDistance(const RoadNetwork& graph, VertexId source,
+                        VertexId target);
+
+/// Point-to-point shortest path (vertex sequence including endpoints);
+/// empty when unreachable.
+std::vector<VertexId> DijkstraPath(const RoadNetwork& graph, VertexId source,
+                                   VertexId target);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_SHORTEST_DIJKSTRA_H_

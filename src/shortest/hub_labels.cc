@@ -1,0 +1,115 @@
+#include "src/shortest/hub_labels.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+#include "src/shortest/dijkstra.h"
+
+namespace urpsm {
+
+HubLabelOracle HubLabelOracle::Build(const RoadNetwork& graph) {
+  HubLabelOracle oracle(&graph);
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  oracle.labels_.resize(n);
+
+  // Order vertices by descending degree (cheap, effective proxy for
+  // betweenness on road networks).
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return graph.Neighbors(a).size() > graph.Neighbors(b).size();
+  });
+  // rank[v] = position of v in the build order; hubs are stored in rank
+  // space so that label lists are sorted by construction.
+  std::vector<VertexId> rank(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rank[static_cast<std::size_t>(order[i])] = static_cast<VertexId>(i);
+  }
+
+  std::vector<double> dist(n, kInfDistance);
+  std::vector<VertexId> touched;
+  using HeapEntry = std::pair<double, VertexId>;
+  using MinHeap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const VertexId root = order[i];
+    const VertexId root_rank = static_cast<VertexId>(i);
+    MinHeap heap;
+    dist[static_cast<std::size_t>(root)] = 0.0;
+    touched.clear();
+    touched.push_back(root);
+    heap.push({0.0, root});
+    while (!heap.empty()) {
+      auto [d, u] = heap.top();
+      heap.pop();
+      const auto ui = static_cast<std::size_t>(u);
+      if (d > dist[ui]) continue;
+      // Prune: if existing labels already certify a distance <= d between
+      // root and u, u (and everything behind it) need not store this hub.
+      if (oracle.QueryByLabels(root, u) <= d) continue;
+      oracle.labels_[ui].push_back({root_rank, d});
+      for (const auto& arc : graph.Neighbors(u)) {
+        const auto vi = static_cast<std::size_t>(arc.to);
+        const double nd = d + arc.cost;
+        if (nd < dist[vi]) {
+          if (dist[vi] == kInfDistance) touched.push_back(arc.to);
+          dist[vi] = nd;
+          heap.push({nd, arc.to});
+        }
+      }
+    }
+    for (VertexId v : touched) dist[static_cast<std::size_t>(v)] = kInfDistance;
+  }
+  return oracle;
+}
+
+double HubLabelOracle::QueryByLabels(VertexId u, VertexId v) const {
+  const auto& lu = labels_[static_cast<std::size_t>(u)];
+  const auto& lv = labels_[static_cast<std::size_t>(v)];
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t i = 0, j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    if (lu[i].hub == lv[j].hub) {
+      best = std::min(best, lu[i].dist + lv[j].dist);
+      ++i;
+      ++j;
+    } else if (lu[i].hub < lv[j].hub) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return best;
+}
+
+double HubLabelOracle::Distance(VertexId u, VertexId v) {
+  ++query_count_;
+  if (u == v) return 0.0;
+  return QueryByLabels(u, v);
+}
+
+std::vector<VertexId> HubLabelOracle::Path(VertexId u, VertexId v) {
+  return DijkstraPath(*graph_, u, v);
+}
+
+double HubLabelOracle::average_label_size() const {
+  if (labels_.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& l : labels_) total += l.size();
+  return static_cast<double>(total) / static_cast<double>(labels_.size());
+}
+
+std::int64_t HubLabelOracle::MemoryBytes() const {
+  std::int64_t total = 0;
+  for (const auto& l : labels_) {
+    total += static_cast<std::int64_t>(l.capacity() * sizeof(LabelEntry));
+  }
+  return total + static_cast<std::int64_t>(
+                     labels_.capacity() * sizeof(std::vector<LabelEntry>));
+}
+
+}  // namespace urpsm

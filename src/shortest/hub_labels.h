@@ -1,0 +1,56 @@
+#ifndef URPSM_SRC_SHORTEST_HUB_LABELS_H_
+#define URPSM_SRC_SHORTEST_HUB_LABELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/shortest/oracle.h"
+
+namespace urpsm {
+
+/// Two-hop hub labeling built with pruned landmark labeling (PLL).
+///
+/// Stand-in for the hub-based labeling algorithm of Abraham et al. [9] that
+/// the paper uses for on-the-fly shortest distance and path queries
+/// (Sec. 6.1). The label of a vertex v is a sorted list of (hub, distance)
+/// pairs; dis(u, v) = min over common hubs h of d(u,h) + d(h,v). Pruned
+/// Dijkstras are run from vertices in descending-degree order, which keeps
+/// labels small on road-like planar graphs.
+class HubLabelOracle : public DistanceOracle {
+ public:
+  /// Builds labels for `graph`. O(sum label sizes * log) preprocessing;
+  /// intended for graphs up to a few hundred thousand vertices.
+  static HubLabelOracle Build(const RoadNetwork& graph);
+
+  double Distance(VertexId u, VertexId v) override;
+
+  /// Path queries fall back to Dijkstra on the underlying graph (the paper
+  /// issues far fewer path queries than distance queries; the planner only
+  /// needs paths when materializing final routes).
+  std::vector<VertexId> Path(VertexId u, VertexId v) override;
+
+  /// Average number of (hub, distance) pairs per vertex label.
+  double average_label_size() const;
+
+  /// Total memory consumed by the labels, in bytes.
+  std::int64_t MemoryBytes() const;
+
+ private:
+  struct LabelEntry {
+    VertexId hub;   // rank-space hub id (position in build order)
+    double dist;
+  };
+
+  explicit HubLabelOracle(const RoadNetwork* graph) : graph_(graph) {}
+
+  double QueryByLabels(VertexId u, VertexId v) const;
+
+  const RoadNetwork* graph_;
+  // labels_[v] sorted by hub id ascending.
+  std::vector<std::vector<LabelEntry>> labels_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_SHORTEST_HUB_LABELS_H_

@@ -1,0 +1,33 @@
+#include "src/shortest/oracle.h"
+
+#include "src/shortest/bidijkstra.h"
+#include "src/shortest/dijkstra.h"
+
+namespace urpsm {
+
+double DijkstraOracle::Distance(VertexId u, VertexId v) {
+  ++query_count_;
+  return BidirectionalDistance(*graph_, u, v);
+}
+
+std::vector<VertexId> DijkstraOracle::Path(VertexId u, VertexId v) {
+  return DijkstraPath(*graph_, u, v);
+}
+
+double CachedOracle::Distance(VertexId u, VertexId v) {
+  ++query_count_;
+  if (u == v) return 0.0;
+  // The network is undirected: canonicalize the key.
+  const std::pair<VertexId, VertexId> key =
+      u < v ? std::make_pair(u, v) : std::make_pair(v, u);
+  if (auto hit = cache_.Get(key)) return *hit;
+  const double d = inner_->Distance(u, v);
+  cache_.Put(key, d);
+  return d;
+}
+
+std::vector<VertexId> CachedOracle::Path(VertexId u, VertexId v) {
+  return inner_->Path(u, v);
+}
+
+}  // namespace urpsm

@@ -1,0 +1,87 @@
+#ifndef URPSM_SRC_SHORTEST_ORACLE_H_
+#define URPSM_SRC_SHORTEST_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/util/lru_cache.h"
+
+namespace urpsm {
+
+/// Abstract shortest-distance / shortest-path oracle over a road network.
+///
+/// The paper assumes a shortest-distance query takes O(1) (or O(q)) time and
+/// answers them with a hub-based labeling plus a shared LRU cache
+/// (Sec. 6.1). All algorithms in this library talk to this interface, and
+/// the number of `Distance` calls is the "distance query" count reported by
+/// the pruning experiments (Figs. 3 and 6).
+class DistanceOracle {
+ public:
+  virtual ~DistanceOracle() = default;
+
+  /// Shortest travel time between two vertices, in minutes.
+  virtual double Distance(VertexId u, VertexId v) = 0;
+
+  /// Shortest path between two vertices as a vertex sequence including both
+  /// endpoints. Empty when unreachable.
+  virtual std::vector<VertexId> Path(VertexId u, VertexId v) = 0;
+
+  /// Number of `Distance` calls served so far.
+  std::int64_t query_count() const { return query_count_; }
+
+  void ResetQueryCount() { query_count_ = 0; }
+
+ protected:
+  std::int64_t query_count_ = 0;
+};
+
+/// Exact oracle running Dijkstra per query. Simple and always correct;
+/// used as ground truth in tests and as a fallback oracle.
+class DijkstraOracle : public DistanceOracle {
+ public:
+  explicit DijkstraOracle(const RoadNetwork* graph) : graph_(graph) {}
+
+  double Distance(VertexId u, VertexId v) override;
+  std::vector<VertexId> Path(VertexId u, VertexId v) override;
+
+ private:
+  const RoadNetwork* graph_;
+};
+
+/// Decorator adding the paper's shared LRU cache on top of any oracle.
+/// Cache hits do not count as queries of the inner oracle but do count as
+/// queries of this oracle (the paper's "saved queries" metric counts calls
+/// that never happen at all thanks to pruning, not cache hits).
+class CachedOracle : public DistanceOracle {
+ public:
+  /// `inner` is borrowed, not owned: oracles (hub labels in particular)
+  /// are built once and shared across many simulation runs.
+  CachedOracle(DistanceOracle* inner, std::size_t capacity)
+      : inner_(inner), cache_(capacity) {}
+
+  double Distance(VertexId u, VertexId v) override;
+  std::vector<VertexId> Path(VertexId u, VertexId v) override;
+
+  std::int64_t cache_hits() const { return cache_.hits(); }
+  std::int64_t cache_misses() const { return cache_.misses(); }
+  DistanceOracle* inner() { return inner_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::pair<VertexId, VertexId>& k) const {
+      return std::hash<std::int64_t>()(
+          (static_cast<std::int64_t>(k.first) << 32) |
+          static_cast<std::uint32_t>(k.second));
+    }
+  };
+
+  DistanceOracle* inner_;
+  LruCache<std::pair<VertexId, VertexId>, double, KeyHash> cache_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_SHORTEST_ORACLE_H_

@@ -1,0 +1,116 @@
+#include "src/sim/fleet.h"
+
+#include <cassert>
+
+namespace urpsm {
+
+Fleet::Fleet(std::vector<Worker> workers, const RoadNetwork* graph)
+    : workers_(std::move(workers)), graph_(graph) {
+  routes_.reserve(workers_.size());
+  versions_.assign(workers_.size(), 0);
+  commit_log_.resize(workers_.size());
+  for (const Worker& w : workers_) {
+    routes_.emplace_back(w.initial_location, 0.0);
+  }
+}
+
+void Fleet::AttachIndex(GridIndex* index) {
+  index_ = index;
+  for (const Worker& w : workers_) {
+    index_->Insert(w.id, anchor_point(w.id));
+  }
+}
+
+void Fleet::PushHeap(WorkerId w) {
+  const Route& rt = routes_[static_cast<std::size_t>(w)];
+  if (rt.empty()) return;
+  heap_.push({rt.anchor_time() + rt.leg_costs().front(), w,
+              versions_[static_cast<std::size_t>(w)]});
+}
+
+void Fleet::CommitFront(WorkerId w) {
+  Route& rt = routes_[static_cast<std::size_t>(w)];
+  assert(!rt.empty());
+  const Point from = anchor_point(w);
+  const double leg = rt.leg_costs().front();
+  const Stop stop = rt.PopFront();
+  committed_distance_ += leg;
+  if (stop.kind == StopKind::kPickup) {
+    pickup_time_[stop.request] = rt.anchor_time();
+  } else {
+    dropoff_time_[stop.request] = rt.anchor_time();
+  }
+  commit_log_[static_cast<std::size_t>(w)].push_back({stop, rt.anchor_time()});
+  if (index_ != nullptr) index_->Move(w, from, anchor_point(w));
+  ++versions_[static_cast<std::size_t>(w)];
+  PushHeap(w);
+}
+
+void Fleet::AdvanceTo(double t) {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.top();
+    const auto ws = static_cast<std::size_t>(top.worker);
+    if (top.version != versions_[ws]) {
+      heap_.pop();
+      continue;
+    }
+    if (top.arrival > t) break;
+    heap_.pop();
+    CommitFront(top.worker);
+  }
+}
+
+void Fleet::Touch(WorkerId w, double t) {
+  Route& rt = routes_[static_cast<std::size_t>(w)];
+  while (!rt.empty() && rt.anchor_time() + rt.leg_costs().front() <= t) {
+    CommitFront(w);
+  }
+  if (rt.empty() && rt.anchor_time() < t) rt.set_anchor_time(t);
+}
+
+void Fleet::ApplyInsertion(WorkerId w, const Request& r, int i, int j,
+                           DistanceOracle* oracle) {
+  Route& rt = routes_[static_cast<std::size_t>(w)];
+  rt.Insert(r, i, j, oracle);
+  assignment_[r.id] = w;
+  ++versions_[static_cast<std::size_t>(w)];
+  PushHeap(w);
+}
+
+void Fleet::ReplaceRoute(WorkerId w, const Request& r, std::vector<Stop> stops,
+                         DistanceOracle* oracle) {
+  Route& rt = routes_[static_cast<std::size_t>(w)];
+  rt.SetStops(std::move(stops), oracle);
+  assignment_[r.id] = w;
+  ++versions_[static_cast<std::size_t>(w)];
+  PushHeap(w);
+}
+
+void Fleet::FinishAll() {
+  for (WorkerId w = 0; w < size(); ++w) {
+    while (!routes_[static_cast<std::size_t>(w)].empty()) CommitFront(w);
+  }
+}
+
+WorkerId Fleet::AssignedWorker(RequestId r) const {
+  auto it = assignment_.find(r);
+  return it == assignment_.end() ? kInvalidWorker : it->second;
+}
+
+double Fleet::PickupTime(RequestId r) const {
+  auto it = pickup_time_.find(r);
+  return it == pickup_time_.end() ? kInf : it->second;
+}
+
+double Fleet::DropoffTime(RequestId r) const {
+  auto it = dropoff_time_.find(r);
+  return it == dropoff_time_.end() ? kInf : it->second;
+}
+
+double Fleet::TotalPlannedDistance() const {
+  double total = committed_distance_;
+  for (const Route& rt : routes_) total += rt.RemainingCost();
+  return total;
+}
+
+}  // namespace urpsm

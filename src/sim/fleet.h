@@ -1,0 +1,120 @@
+#ifndef URPSM_SRC_SIM_FLEET_H_
+#define URPSM_SRC_SIM_FLEET_H_
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/index/grid_index.h"
+#include "src/model/route.h"
+#include "src/model/types.h"
+#include "src/shortest/oracle.h"
+
+namespace urpsm {
+
+/// The moving fleet: every worker's committed route, its progress along it,
+/// and the spatial index of worker anchors.
+///
+/// Motion model (matching the paper's simulation): a worker follows its
+/// planned schedule; its position is resolved at stop granularity. When the
+/// simulated clock passes a stop's scheduled arrival, the stop is
+/// *committed* — it becomes the new route anchor, pickups/drop-offs are
+/// recorded, and the grid index is updated. Workers with empty routes idle
+/// in place; their anchor time is bumped to "now" before planning so no
+/// schedule can depart in the past.
+class Fleet {
+ public:
+  Fleet(std::vector<Worker> workers, const RoadNetwork* graph);
+
+  /// Registers the grid index that should track anchor movement (owned by
+  /// the caller); inserts all current anchors.
+  void AttachIndex(GridIndex* index);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+  const std::vector<Worker>& workers() const { return workers_; }
+  const Worker& worker(WorkerId w) const {
+    return workers_[static_cast<std::size_t>(w)];
+  }
+  const Route& route(WorkerId w) const {
+    return routes_[static_cast<std::size_t>(w)];
+  }
+  const Point& anchor_point(WorkerId w) const {
+    return graph_->coord(route(w).anchor());
+  }
+
+  /// Commits every stop scheduled at or before `t`, fleet-wide. Amortized
+  /// O(log |W|) per committed stop via the arrival heap.
+  void AdvanceTo(double t);
+
+  /// Ensures worker `w` can be planned at time `t`: commits its due stops
+  /// and, if idle, moves its clock forward to `t`.
+  void Touch(WorkerId w, double t);
+
+  /// Applies an insertion (pickup after position i, drop-off after j) to
+  /// worker `w`'s route and records the assignment.
+  void ApplyInsertion(WorkerId w, const Request& r, int i, int j,
+                      DistanceOracle* oracle);
+
+  /// Replaces worker `w`'s pending stops wholesale (kinetic-tree planners
+  /// may reorder existing stops) and records that `r` is now assigned to
+  /// `w`. Leg costs are recomputed through `oracle`.
+  void ReplaceRoute(WorkerId w, const Request& r, std::vector<Stop> stops,
+                    DistanceOracle* oracle);
+
+  /// Commits all remaining stops (end of simulation).
+  void FinishAll();
+
+  /// Worker assigned to a request, or kInvalidWorker.
+  WorkerId AssignedWorker(RequestId r) const;
+  /// Recorded pickup / drop-off times (kInf when the event never happened).
+  double PickupTime(RequestId r) const;
+  double DropoffTime(RequestId r) const;
+
+  /// One executed stop: what was committed, when, at which vertex.
+  struct CommittedStop {
+    Stop stop;
+    double time = 0.0;
+  };
+
+  /// Full execution log of worker `w`, in commit order. Used by the
+  /// invariant checker (capacity/ordering/deadline replay).
+  const std::vector<CommittedStop>& CommitLog(WorkerId w) const {
+    return commit_log_[static_cast<std::size_t>(w)];
+  }
+
+  /// Total distance (travel time) driven so far by all workers, committed
+  /// legs only.
+  double committed_distance() const { return committed_distance_; }
+  /// Committed plus still-planned distance: equals sum_w D(S_w) over the
+  /// full simulation once all requests are in.
+  double TotalPlannedDistance() const;
+
+ private:
+  void CommitFront(WorkerId w);
+  void PushHeap(WorkerId w);
+
+  struct HeapEntry {
+    double arrival;
+    WorkerId worker;
+    std::uint64_t version;
+    bool operator>(const HeapEntry& o) const { return arrival > o.arrival; }
+  };
+
+  std::vector<Worker> workers_;
+  const RoadNetwork* graph_;
+  GridIndex* index_ = nullptr;
+  std::vector<Route> routes_;
+  std::vector<std::uint64_t> versions_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+
+  std::unordered_map<RequestId, WorkerId> assignment_;
+  std::unordered_map<RequestId, double> pickup_time_;
+  std::unordered_map<RequestId, double> dropoff_time_;
+  std::vector<std::vector<CommittedStop>> commit_log_;
+  double committed_distance_ = 0.0;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_SIM_FLEET_H_

@@ -1,0 +1,107 @@
+#include "src/sim/metrics.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace urpsm {
+
+SimReport AverageReports(const std::vector<SimReport>& reports) {
+  assert(!reports.empty());
+  SimReport avg;
+  avg.algorithm = reports.front().algorithm;
+  avg.total_requests = reports.front().total_requests;
+  const double n = static_cast<double>(reports.size());
+  double served = 0.0, queries = 0.0, index_mem = 0.0;
+  for (const SimReport& r : reports) {
+    served += r.served_requests;
+    avg.served_rate += r.served_rate / n;
+    avg.unified_cost += r.unified_cost / n;
+    avg.total_distance += r.total_distance / n;
+    avg.penalty_sum += r.penalty_sum / n;
+    avg.avg_response_ms += r.avg_response_ms / n;
+    avg.p95_response_ms += r.p95_response_ms / n;
+    avg.max_response_ms = std::max(avg.max_response_ms, r.max_response_ms);
+    queries += static_cast<double>(r.distance_queries);
+    index_mem += static_cast<double>(r.index_memory_bytes);
+    avg.wall_seconds += r.wall_seconds / n;
+    avg.timed_out = avg.timed_out || r.timed_out;
+    avg.mean_pickup_wait_min += r.mean_pickup_wait_min / n;
+    avg.mean_detour_ratio += r.mean_detour_ratio / n;
+    avg.makespan_min = std::max(avg.makespan_min, r.makespan_min);
+  }
+  avg.served_requests = static_cast<int>(std::lround(served / n));
+  avg.distance_queries = static_cast<std::int64_t>(std::llround(queries / n));
+  avg.index_memory_bytes =
+      static_cast<std::int64_t>(std::llround(index_mem / n));
+  return avg;
+}
+
+namespace {
+
+constexpr double kTimeEps = 1e-6;  // float tolerance on schedule arithmetic
+
+InvariantReport Fail(const std::string& msg) { return {false, msg}; }
+
+}  // namespace
+
+InvariantReport VerifyInvariants(const Fleet& fleet,
+                                 const std::vector<Request>& requests) {
+  std::unordered_set<RequestId> seen_served;
+  for (WorkerId w = 0; w < fleet.size(); ++w) {
+    const Worker& worker = fleet.worker(w);
+    int load = 0;
+    double prev_time = 0.0;
+    std::unordered_set<RequestId> onboard;
+    for (const Fleet::CommittedStop& cs : fleet.CommitLog(w)) {
+      const Request& r = requests[static_cast<std::size_t>(cs.stop.request)];
+      std::ostringstream at;
+      at << "worker " << w << ", request " << r.id << ", t=" << cs.time;
+      if (cs.time + kTimeEps < prev_time) {
+        return Fail("time went backwards at " + at.str());
+      }
+      prev_time = cs.time;
+      if (cs.stop.kind == StopKind::kPickup) {
+        if (!onboard.insert(cs.stop.request).second) {
+          return Fail("double pickup at " + at.str());
+        }
+        load += r.capacity;
+        if (load > worker.capacity) {
+          return Fail("capacity exceeded at " + at.str());
+        }
+      } else {
+        if (!onboard.erase(cs.stop.request)) {
+          return Fail("drop-off before pickup at " + at.str());
+        }
+        load -= r.capacity;
+        if (cs.time > r.deadline + kTimeEps) {
+          return Fail("deadline violated at " + at.str());
+        }
+        if (!seen_served.insert(cs.stop.request).second) {
+          return Fail("request served twice at " + at.str());
+        }
+        if (fleet.AssignedWorker(cs.stop.request) != w) {
+          return Fail("served by unassigned worker at " + at.str());
+        }
+      }
+    }
+    if (!onboard.empty()) {
+      return Fail("worker " + std::to_string(w) +
+                  " finished with passengers on board");
+    }
+  }
+  // (4) served/rejected partition.
+  for (const Request& r : requests) {
+    const bool assigned = fleet.AssignedWorker(r.id) != kInvalidWorker;
+    const bool delivered = seen_served.contains(r.id);
+    if (assigned != delivered) {
+      return Fail("request " + std::to_string(r.id) +
+                  " assigned/delivered mismatch");
+    }
+  }
+  return {};
+}
+
+}  // namespace urpsm

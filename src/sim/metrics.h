@@ -1,0 +1,63 @@
+#ifndef URPSM_SRC_SIM_METRICS_H_
+#define URPSM_SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/model/types.h"
+#include "src/sim/fleet.h"
+
+namespace urpsm {
+
+/// One simulation run's results: the three headline metrics of the paper's
+/// evaluation (unified cost, served rate, response time; Sec. 6.1) plus
+/// the supporting counters it also reports (distance queries saved by the
+/// pruning strategy, grid-index memory).
+struct SimReport {
+  std::string algorithm;
+  int total_requests = 0;
+  int served_requests = 0;
+  double served_rate = 0.0;
+  double unified_cost = 0.0;
+  double total_distance = 0.0;    // sum_w D(S_w), travel-time minutes
+  double penalty_sum = 0.0;       // sum of p_r over rejected requests
+  double avg_response_ms = 0.0;   // mean per-request planning wall time
+  double p95_response_ms = 0.0;
+  double max_response_ms = 0.0;
+  std::int64_t distance_queries = 0;
+  std::int64_t index_memory_bytes = 0;
+  double wall_seconds = 0.0;
+  bool timed_out = false;
+
+  // Service-quality extras (not headline paper metrics, but standard in
+  // the ride-sharing literature the paper cites).
+  double mean_pickup_wait_min = 0.0;   // pickup time - release, served only
+  double mean_detour_ratio = 0.0;      // (dropoff-pickup) / dis(o,d), served
+  double makespan_min = 0.0;           // completion time of the last dropoff
+};
+
+/// Averages the numeric fields of several runs of the same algorithm
+/// (the paper repeats every setting and reports means, Sec. 6.1).
+/// `timed_out` is OR-ed; counters are rounded means.
+SimReport AverageReports(const std::vector<SimReport>& reports);
+
+/// Violation found by the invariant checker; empty string means clean.
+struct InvariantReport {
+  bool ok = true;
+  std::string violation;
+};
+
+/// Replays the fleet's commit log and verifies the model invariants that
+/// Def. 3 / Def. 4 promise:
+///   (1) every assigned request is picked up exactly once, then dropped
+///       off exactly once, by the same worker, in that order;
+///   (2) every drop-off happens by the request's deadline;
+///   (3) the onboard load never exceeds the worker's capacity;
+///   (4) every request is either served or rejected — never both.
+InvariantReport VerifyInvariants(const Fleet& fleet,
+                                 const std::vector<Request>& requests);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_SIM_METRICS_H_

@@ -1,0 +1,118 @@
+#include "src/sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+#include "src/util/stats.h"
+
+namespace urpsm {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+Simulation::Simulation(const RoadNetwork* graph, DistanceOracle* oracle,
+                       std::vector<Worker> workers,
+                       const std::vector<Request>* requests,
+                       SimOptions options)
+    : graph_(graph),
+      oracle_(oracle),
+      workers_(std::move(workers)),
+      requests_(requests),
+      options_(options) {
+  for (std::size_t i = 0; i + 1 < requests_->size(); ++i) {
+    assert((*requests_)[i].release_time <= (*requests_)[i + 1].release_time);
+  }
+}
+
+SimReport Simulation::Run(const PlannerFactory& factory) {
+  cached_ = std::make_unique<CachedOracle>(oracle_, options_.cache_capacity);
+  fleet_ = std::make_unique<Fleet>(workers_, graph_);
+  PlanningContext ctx(graph_, cached_.get(), requests_);
+  std::unique_ptr<RoutePlanner> planner = factory(&ctx, fleet_.get());
+
+  SimReport report;
+  report.algorithm = std::string(planner->name());
+  report.total_requests = static_cast<int>(requests_->size());
+
+  StatsAccumulator response_ms;
+  const auto t0 = std::chrono::steady_clock::now();
+  double planning_seconds = 0.0;
+
+  for (const Request& r : *requests_) {
+    if (planning_seconds > options_.wall_limit_seconds) {
+      report.timed_out = true;
+      break;  // remaining requests are rejected (DNF, as in the paper)
+    }
+    fleet_->AdvanceTo(r.release_time);
+    const auto req_t0 = std::chrono::steady_clock::now();
+    planner->OnRequest(r);
+    const double secs = SecondsSince(req_t0);
+    planning_seconds += secs;
+    response_ms.Add(secs * 1e3);
+  }
+  {
+    const auto fin_t0 = std::chrono::steady_clock::now();
+    planner->Finalize();
+    planning_seconds += SecondsSince(fin_t0);
+  }
+  fleet_->FinishAll();
+
+  served_.assign(requests_->size(), false);
+  double wait_sum = 0.0, detour_sum = 0.0;
+  for (const Request& r : *requests_) {
+    const bool ok = fleet_->DropoffTime(r.id) < kInf;
+    served_[static_cast<std::size_t>(r.id)] = ok;
+    if (ok) {
+      ++report.served_requests;
+      const double pickup = fleet_->PickupTime(r.id);
+      const double dropoff = fleet_->DropoffTime(r.id);
+      wait_sum += std::max(0.0, pickup - r.release_time);
+      const double direct = ctx.DirectDist(r.id);
+      if (direct > 1e-9) detour_sum += (dropoff - pickup) / direct;
+      report.makespan_min = std::max(report.makespan_min, dropoff);
+    } else {
+      report.penalty_sum += r.penalty;
+    }
+  }
+  if (report.served_requests > 0) {
+    report.mean_pickup_wait_min = wait_sum / report.served_requests;
+    report.mean_detour_ratio = detour_sum / report.served_requests;
+  }
+  report.served_rate =
+      report.total_requests == 0
+          ? 0.0
+          : static_cast<double>(report.served_requests) / report.total_requests;
+  report.total_distance = fleet_->committed_distance();
+  report.unified_cost =
+      options_.alpha * report.total_distance + report.penalty_sum;
+  report.avg_response_ms = response_ms.mean();
+  report.p95_response_ms = response_ms.Percentile(95);
+  report.max_response_ms = response_ms.max();
+  report.distance_queries = cached_->query_count();
+  report.index_memory_bytes = planner->index_memory_bytes();
+  report.wall_seconds = SecondsSince(t0);
+  return report;
+}
+
+PlannerFactory MakePruneGreedyDpFactory(PlannerConfig config) {
+  config.use_pruning = true;
+  return [config](PlanningContext* ctx, Fleet* fleet) {
+    return std::make_unique<GreedyDpPlanner>(ctx, fleet, config);
+  };
+}
+
+PlannerFactory MakeGreedyDpFactory(PlannerConfig config) {
+  config.use_pruning = false;
+  return [config](PlanningContext* ctx, Fleet* fleet) {
+    return std::make_unique<GreedyDpPlanner>(ctx, fleet, config);
+  };
+}
+
+}  // namespace urpsm

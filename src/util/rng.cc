@@ -1,0 +1,44 @@
+#include "src/util/rng.h"
+
+#include <cassert>
+
+namespace urpsm {
+
+int Rng::UniformInt(int lo, int hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+std::int64_t Rng::UniformInt64(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+double Rng::Exponential(double rate) {
+  std::exponential_distribution<double> dist(rate);
+  return dist(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+int Rng::Categorical(const std::vector<double>& weights) {
+  std::discrete_distribution<int> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+}  // namespace urpsm

@@ -1,0 +1,45 @@
+#ifndef URPSM_SRC_UTIL_RNG_H_
+#define URPSM_SRC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace urpsm {
+
+/// Deterministic random number generator used throughout the library so
+/// that workloads, tests and benchmarks are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int UniformInt(int lo, int hi);
+
+  /// Uniform 64-bit integer in [lo, hi] (inclusive).
+  std::int64_t UniformInt64(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Gaussian with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) proportionally to `weights`.
+  int Categorical(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_UTIL_RNG_H_

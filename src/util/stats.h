@@ -1,0 +1,33 @@
+#ifndef URPSM_SRC_UTIL_STATS_H_
+#define URPSM_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace urpsm {
+
+/// Online accumulator for scalar samples: count/mean/min/max plus exact
+/// percentiles (samples are retained). Used by the simulator to report
+/// response-time distributions the way the paper's Figures 3–7 do.
+class StatsAccumulator {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Exact p-th percentile, p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_UTIL_STATS_H_

@@ -1,0 +1,34 @@
+#ifndef URPSM_SRC_UTIL_TABLE_H_
+#define URPSM_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace urpsm {
+
+/// Minimal fixed-width text-table printer used by the benchmark harnesses
+/// to emit rows in the shape of the paper's figures and tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) as a string.
+  std::string ToString() const;
+
+  /// Renders the table as comma-separated values (for plotting scripts).
+  std::string ToCsv() const;
+
+  /// Formats a double with `digits` digits after the decimal point.
+  static std::string Num(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_UTIL_TABLE_H_

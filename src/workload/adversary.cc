@@ -1,0 +1,65 @@
+#include "src/workload/adversary.h"
+
+#include <cassert>
+
+#include "src/core/objective.h"
+#include "src/graph/builders.h"
+
+namespace urpsm {
+
+Instance MakeCycleAdversary(int num_vertices, AdversaryLemma lemma,
+                            double epsilon, Rng* rng) {
+  assert(num_vertices >= 4 && num_vertices % 2 == 0);
+  Instance inst;
+  inst.name = "cycle-adversary";
+  // Unit-cost edges: one edge takes exactly one minute of travel.
+  const double edge_km = SpeedKmPerMin(RoadClass::kResidential);
+  inst.graph = MakeCycleGraph(num_vertices, edge_km);
+
+  Worker w;
+  w.id = 0;
+  w.initial_location = 0;  // v_0
+  w.capacity = 2;
+  inst.workers.push_back(w);
+
+  Request r;
+  r.id = 0;
+  r.origin = static_cast<VertexId>(rng->UniformInt(0, num_vertices - 1));
+  if (lemma == AdversaryLemma::kMaxRevenue) {
+    // d_r at cycle distance |V|/2 from o_r (the antipodal vertex).
+    r.destination =
+        static_cast<VertexId>((r.origin + num_vertices / 2) % num_vertices);
+  } else {
+    // The proofs use d_r = o_r; the closest representable trip is to a
+    // neighbouring vertex, which preserves the argument (the worker still
+    // must be within epsilon of o_r at release time).
+    r.destination = static_cast<VertexId>((r.origin + 1) % num_vertices);
+  }
+  r.release_time = static_cast<double>(num_vertices);
+  r.deadline = r.release_time + epsilon +
+               (lemma == AdversaryLemma::kMaxRevenue
+                    ? static_cast<double>(num_vertices) / 2.0
+                    : 1.0);
+  r.capacity = 1;
+  switch (lemma) {
+    case AdversaryLemma::kMaxServed:
+      r.penalty = 1.0;
+      break;
+    case AdversaryLemma::kMaxRevenue:
+      // p_r = c_r * dis(o_r, d_r) with c_r = 2.5 c_w (c_w = 1): large
+      // enough that the optimal never rejects (cf. Lemma 2's c_r > 2 c_w).
+      r.penalty = 2.5 * (static_cast<double>(num_vertices) / 2.0);
+      break;
+    case AdversaryLemma::kMinDistance:
+      r.penalty = kServeAllPenalty;
+      break;
+  }
+  inst.requests.push_back(r);
+  return inst;
+}
+
+double AdversaryUnservedLowerBound(int num_vertices) {
+  return 1.0 - 2.0 / static_cast<double>(num_vertices);
+}
+
+}  // namespace urpsm

@@ -1,0 +1,37 @@
+#ifndef URPSM_SRC_WORKLOAD_ADVERSARY_H_
+#define URPSM_SRC_WORKLOAD_ADVERSARY_H_
+
+#include "src/core/urpsm.h"
+#include "src/util/rng.h"
+
+namespace urpsm {
+
+/// Which hardness construction of Sec. 3.3 to instantiate.
+enum class AdversaryLemma {
+  kMaxServed = 1,   // Lemma 1: alpha = 0, p_r = 1
+  kMaxRevenue = 2,  // Lemma 2: alpha = c_w, p_r = c_r * dis(o_r, d_r)
+  kMinDistance = 3, // Lemma 3: alpha = 1, p_r -> infinity
+};
+
+/// Builds one draw from the adversarial input distribution chi used in the
+/// proofs of Lemmas 1-3: an undirected cycle of `num_vertices` (even)
+/// unit-cost edges, a single worker of capacity 2 starting at v_0, and one
+/// request released at time |V| whose origin is uniform over V. For
+/// Lemma 1/3 the destination equals the origin's antipode-free choice
+/// (d_r = o_r, modeled as the nearest distinct vertex since self-loops are
+/// not representable); for Lemma 2 the destination is the antipodal vertex
+/// (distance |V|/2). The deadline is t_r + epsilon.
+///
+/// An omniscient (offline) algorithm always serves the request (it has |V|
+/// time units to pre-position the worker); any online algorithm serves it
+/// with probability <= 2/|V| + o(1) — the empirical competitive-ratio
+/// blow-up reproduced by bench_hardness.
+Instance MakeCycleAdversary(int num_vertices, AdversaryLemma lemma,
+                            double epsilon, Rng* rng);
+
+/// The online-unservable probability floor of the construction: 1 - 2/|V|.
+double AdversaryUnservedLowerBound(int num_vertices);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_WORKLOAD_ADVERSARY_H_

@@ -1,0 +1,122 @@
+#include "src/workload/city.h"
+
+#include <cmath>
+#include <vector>
+
+namespace urpsm {
+
+namespace {
+
+/// Union-find used to keep the generated city connected.
+class Dsu {
+ public:
+  explicit Dsu(int n) : parent_(static_cast<std::size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+  int Find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[static_cast<std::size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<int> parent_;
+};
+
+RoadClass StreetClass(int index, const CityParams& p) {
+  if (p.motorway_every > 0 && index % p.motorway_every == 0) {
+    return RoadClass::kMotorway;
+  }
+  if (p.arterial_every > 0 && index % p.arterial_every == 0) {
+    return RoadClass::kPrimary;
+  }
+  return RoadClass::kResidential;
+}
+
+}  // namespace
+
+RoadNetwork MakeCity(const CityParams& p) {
+  Rng rng(p.seed);
+  const int rows = p.rows;
+  const int cols = p.cols;
+
+  // Vertex coordinates: a jittered lattice. Jitter is bounded to 20% of a
+  // block so the lattice stays planar-ish and edge-length >= Euclidean
+  // holds after the length multiplier below.
+  std::vector<Point> coords;
+  coords.reserve(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      coords.push_back({c * p.block_km, r * p.block_km});
+    }
+  }
+
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::vector<EdgeSpec> edges;
+  std::vector<EdgeSpec> dropped;
+  edges.reserve(static_cast<std::size_t>(rows) * cols * 2);
+  Dsu dsu(rows * cols);
+  auto emit = [&](int u, int v, RoadClass cls, bool interior) {
+    const double len = p.block_km * (1.0 + rng.Uniform(0.0, p.length_jitter));
+    const EdgeSpec e{u, v, len, cls};
+    if (interior && rng.Bernoulli(p.dropout)) {
+      dropped.push_back(e);
+      return;
+    }
+    edges.push_back(e);
+    dsu.Union(u, v);
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      // Horizontal street r, vertical street c. A street keeps one road
+      // class along its whole length, like real arterials.
+      if (c + 1 < cols) {
+        emit(id(r, c), id(r, c + 1), StreetClass(r, p), r > 0 && r + 1 < rows);
+      }
+      if (r + 1 < rows) {
+        emit(id(r, c), id(r + 1, c), StreetClass(c, p), c > 0 && c + 1 < cols);
+      }
+    }
+  }
+  // Re-add just enough dropped edges to keep the city connected.
+  for (const EdgeSpec& e : dropped) {
+    if (dsu.Union(e.u, e.v)) edges.push_back(e);
+  }
+  return RoadNetwork::FromEdges(std::move(coords), edges);
+}
+
+RoadNetwork MakeNycLike(double scale, std::uint64_t seed) {
+  CityParams p;
+  const double side = std::sqrt(scale);
+  p.rows = std::max(8, static_cast<int>(100 * side));
+  p.cols = std::max(8, static_cast<int>(100 * side));
+  p.block_km = 0.25;
+  p.arterial_every = 8;
+  p.motorway_every = 25;
+  p.seed = seed;
+  return MakeCity(p);
+}
+
+RoadNetwork MakeChengduLike(double scale, std::uint64_t seed) {
+  CityParams p;
+  const double side = std::sqrt(scale);
+  p.rows = std::max(8, static_cast<int>(52 * side));
+  p.cols = std::max(8, static_cast<int>(52 * side));
+  p.block_km = 0.3;
+  p.arterial_every = 6;
+  p.motorway_every = 18;
+  p.seed = seed;
+  return MakeCity(p);
+}
+
+}  // namespace urpsm

@@ -1,0 +1,45 @@
+#ifndef URPSM_SRC_WORKLOAD_CITY_H_
+#define URPSM_SRC_WORKLOAD_CITY_H_
+
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace urpsm {
+
+/// Parameters of the synthetic city road-network generator.
+///
+/// The generator substitutes for the paper's real road networks (NYC from
+/// Geofabrik OSM, Chengdu extracted via Osmconvert) which are not
+/// available offline. It produces a planar street grid with the features
+/// the URPSM algorithms are sensitive to: heterogeneous road classes with
+/// different speeds (the paper drives at 80% of per-class speed limits),
+/// irregular block lengths, and a few missing segments so that shortest
+/// paths are non-trivial. Edge lengths are always >= the Euclidean
+/// distance between endpoints, keeping the decision phase's Euclidean
+/// lower bounds valid.
+struct CityParams {
+  int rows = 60;
+  int cols = 60;
+  double block_km = 0.25;       // nominal block edge length
+  int arterial_every = 8;       // every k-th street is primary-class
+  int motorway_every = 24;      // every k-th street is motorway-class
+  double length_jitter = 0.15;  // edge length multiplier in [1, 1+jitter]
+  double dropout = 0.04;        // fraction of interior edges removed
+  std::uint64_t seed = 1;
+};
+
+/// Builds a synthetic city from `params`.
+RoadNetwork MakeCity(const CityParams& params);
+
+/// NYC-like city at the given scale: scale 1.0 gives ~10k vertices (the
+/// real network has 808k; the scale knob trades fidelity for runtime, see
+/// DESIGN.md substitution #1).
+RoadNetwork MakeNycLike(double scale = 1.0, std::uint64_t seed = 1);
+
+/// Chengdu-like city: smaller and denser-demand than NYC, mirroring
+/// Table 4's relative sizes (~214k vs 808k vertices -> ~0.27x).
+RoadNetwork MakeChengduLike(double scale = 1.0, std::uint64_t seed = 2);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_WORKLOAD_CITY_H_

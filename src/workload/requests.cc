@@ -1,0 +1,151 @@
+#include "src/workload/requests.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urpsm {
+
+namespace {
+
+// NYC TLC passenger-count distribution (the paper generates Chengdu's Kr
+// from NYC's distribution; these are the yellow-cab proportions).
+constexpr double kCapacityWeights[] = {0.72, 0.14, 0.05, 0.05, 0.02, 0.02};
+
+/// Release-time sampler: two Gaussian rush peaks (8:30 and 18:00) over a
+/// uniform base load.
+double SampleReleaseTime(const RequestParams& p, Rng* rng) {
+  if (rng->Bernoulli(p.rush_fraction)) {
+    const bool morning = rng->Bernoulli(0.45);
+    const double peak = morning ? 8.5 * 60.0 : 18.0 * 60.0;
+    const double t = rng->Gaussian(peak, 45.0);
+    return std::clamp(t, 0.0, p.duration_min);
+  }
+  return rng->Uniform(0.0, p.duration_min);
+}
+
+}  // namespace
+
+VertexSampler::VertexSampler(const RoadNetwork& graph, double bucket_km)
+    : graph_(&graph), bucket_km_(bucket_km) {
+  Point hi;
+  graph.BoundingBox(&lo_, &hi);
+  bx_ = std::max(1, static_cast<int>(std::ceil((hi.x - lo_.x) / bucket_km_)));
+  by_ = std::max(1, static_cast<int>(std::ceil((hi.y - lo_.y) / bucket_km_)));
+  buckets_.resize(static_cast<std::size_t>(bx_) * by_);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const Point& p = graph.coord(v);
+    const int x = std::clamp(static_cast<int>((p.x - lo_.x) / bucket_km_), 0,
+                             bx_ - 1);
+    const int y = std::clamp(static_cast<int>((p.y - lo_.y) / bucket_km_), 0,
+                             by_ - 1);
+    buckets_[static_cast<std::size_t>(y) * bx_ + x].push_back(v);
+  }
+}
+
+VertexId VertexSampler::SampleNear(const Point& p, Rng* rng) const {
+  const int cx = std::clamp(static_cast<int>((p.x - lo_.x) / bucket_km_), 0,
+                            bx_ - 1);
+  const int cy = std::clamp(static_cast<int>((p.y - lo_.y) / bucket_km_), 0,
+                            by_ - 1);
+  for (int ring = 0; ring < std::max(bx_, by_); ++ring) {
+    // Collect candidates from the square ring at L-inf radius `ring`.
+    std::vector<VertexId> pool;
+    for (int y = std::max(0, cy - ring); y <= std::min(by_ - 1, cy + ring);
+         ++y) {
+      for (int x = std::max(0, cx - ring); x <= std::min(bx_ - 1, cx + ring);
+           ++x) {
+        if (std::max(std::abs(x - cx), std::abs(y - cy)) != ring) continue;
+        const auto& b = buckets_[static_cast<std::size_t>(y) * bx_ + x];
+        pool.insert(pool.end(), b.begin(), b.end());
+      }
+    }
+    if (!pool.empty()) {
+      return pool[static_cast<std::size_t>(
+          rng->UniformInt(0, static_cast<int>(pool.size()) - 1))];
+    }
+  }
+  return SampleUniform(rng);
+}
+
+VertexId VertexSampler::SampleUniform(Rng* rng) const {
+  return static_cast<VertexId>(
+      rng->UniformInt(0, graph_->num_vertices() - 1));
+}
+
+std::vector<Request> GenerateRequests(const RoadNetwork& graph,
+                                      const RequestParams& params,
+                                      DistanceOracle* oracle, Rng* rng) {
+  const VertexSampler sampler(graph);
+
+  // Hotspot centers: random vertices.
+  std::vector<Point> hotspots;
+  hotspots.reserve(static_cast<std::size_t>(params.hotspot_count));
+  for (int h = 0; h < params.hotspot_count; ++h) {
+    hotspots.push_back(graph.coord(sampler.SampleUniform(rng)));
+  }
+
+  const auto sample_endpoint = [&]() -> VertexId {
+    if (hotspots.empty() || rng->Bernoulli(params.uniform_fraction)) {
+      return sampler.SampleUniform(rng);
+    }
+    const Point& c = hotspots[static_cast<std::size_t>(
+        rng->UniformInt(0, static_cast<int>(hotspots.size()) - 1))];
+    const Point p{c.x + rng->Gaussian(0.0, params.hotspot_stddev_km),
+                  c.y + rng->Gaussian(0.0, params.hotspot_stddev_km)};
+    return sampler.SampleNear(p, rng);
+  };
+
+  std::vector<Request> requests;
+  requests.reserve(static_cast<std::size_t>(params.count));
+  for (int i = 0; i < params.count; ++i) {
+    Request r;
+    r.origin = sample_endpoint();
+    do {
+      r.destination = sample_endpoint();
+    } while (r.destination == r.origin);
+    r.release_time = SampleReleaseTime(params, rng);
+    r.deadline = r.release_time + params.deadline_offset_min;
+    const std::vector<double> weights(std::begin(kCapacityWeights),
+                                      std::end(kCapacityWeights));
+    r.capacity = 1 + rng->Categorical(weights);
+    requests.push_back(r);
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.release_time < b.release_time;
+            });
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = static_cast<RequestId>(i);
+  }
+  SetPenaltyFactors(&requests, params.penalty_factor, oracle);
+  return requests;
+}
+
+std::vector<Worker> GenerateWorkers(const RoadNetwork& graph, int count,
+                                    double capacity_mean, Rng* rng) {
+  std::vector<Worker> workers;
+  workers.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Worker w;
+    w.id = static_cast<WorkerId>(i);
+    w.initial_location =
+        static_cast<VertexId>(rng->UniformInt(0, graph.num_vertices() - 1));
+    w.capacity = std::max(
+        1, static_cast<int>(std::lround(rng->Gaussian(capacity_mean, 1.0))));
+    workers.push_back(w);
+  }
+  return workers;
+}
+
+void SetDeadlineOffsets(std::vector<Request>* requests, double offset_min) {
+  for (Request& r : *requests) r.deadline = r.release_time + offset_min;
+}
+
+void SetPenaltyFactors(std::vector<Request>* requests, double factor,
+                       DistanceOracle* oracle) {
+  for (Request& r : *requests) {
+    r.penalty = factor * oracle->Distance(r.origin, r.destination);
+  }
+}
+
+}  // namespace urpsm

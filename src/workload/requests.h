@@ -1,0 +1,78 @@
+#ifndef URPSM_SRC_WORKLOAD_REQUESTS_H_
+#define URPSM_SRC_WORKLOAD_REQUESTS_H_
+
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/model/types.h"
+#include "src/shortest/oracle.h"
+#include "src/util/rng.h"
+
+namespace urpsm {
+
+/// Parameters of the synthetic request generator.
+///
+/// Mirrors what the paper's taxi traces look like statistically: spatially
+/// clustered demand (trips concentrate around a handful of hotspots),
+/// rush-hour arrival peaks over a day, the NYC capacity distribution
+/// (Kr is 1 for ~70% of trips; Chengdu borrows NYC's distribution in the
+/// paper too), deadlines at release + er_offset minutes, and penalties
+/// proportional to the direct origin->destination distance (Table 5).
+struct RequestParams {
+  int count = 5000;
+  double duration_min = 1440.0;     // one day
+  int hotspot_count = 6;
+  double hotspot_stddev_km = 1.5;
+  double uniform_fraction = 0.25;   // trips not tied to any hotspot
+  double rush_fraction = 0.6;       // trips in the two rush-hour peaks
+  double deadline_offset_min = 10.0;  // er = tr + offset (Table 5 default)
+  double penalty_factor = 10.0;       // pr = factor * dis(or, dr)
+  std::uint64_t seed = 7;
+};
+
+/// Generates `params.count` requests over `graph`, sorted by release time,
+/// with dense ids 0..count-1. Penalties are factor * dis(o_r, d_r) using
+/// `oracle` (the same values every algorithm later caches as L_r). Trips
+/// whose origin equals their destination are re-drawn.
+std::vector<Request> GenerateRequests(const RoadNetwork& graph,
+                                      const RequestParams& params,
+                                      DistanceOracle* oracle, Rng* rng);
+
+/// Generates `count` workers at uniformly random vertices with capacities
+/// drawn from a Gaussian with the given mean (stddev 1, clamped to >= 1),
+/// exactly as in Sec. 6.1.
+std::vector<Worker> GenerateWorkers(const RoadNetwork& graph, int count,
+                                    double capacity_mean, Rng* rng);
+
+/// Rewrites deadlines to release + offset (paper's er sweep).
+void SetDeadlineOffsets(std::vector<Request>* requests, double offset_min);
+
+/// Rewrites penalties to factor * dis(o_r, d_r) (paper's pr sweep).
+void SetPenaltyFactors(std::vector<Request>* requests, double factor,
+                       DistanceOracle* oracle);
+
+/// Samples vertices near arbitrary points efficiently (bucketed by a
+/// coarse grid). Shared by the request generator and tests.
+class VertexSampler {
+ public:
+  VertexSampler(const RoadNetwork& graph, double bucket_km = 1.0);
+
+  /// A random vertex near `p`: a uniform choice within the nearest
+  /// non-empty bucket ring around p's bucket.
+  VertexId SampleNear(const Point& p, Rng* rng) const;
+
+  /// A uniformly random vertex.
+  VertexId SampleUniform(Rng* rng) const;
+
+ private:
+  const RoadNetwork* graph_;
+  double bucket_km_;
+  Point lo_;
+  int bx_ = 0;
+  int by_ = 0;
+  std::vector<std::vector<VertexId>> buckets_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_WORKLOAD_REQUESTS_H_

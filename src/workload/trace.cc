@@ -1,0 +1,128 @@
+#include "src/workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace urpsm {
+
+bool LoadTripCsv(const std::string& path, std::vector<TripRecord>* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;  // header
+  std::vector<TripRecord> trips;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    TripRecord t;
+    char comma;
+    if (!(ss >> t.release_min >> comma >> t.pickup.x >> comma >> t.pickup.y >>
+          comma >> t.dropoff.x >> comma >> t.dropoff.y >> comma >>
+          t.passengers)) {
+      return false;
+    }
+    trips.push_back(t);
+  }
+  *out = std::move(trips);
+  return true;
+}
+
+bool SaveTripCsv(const std::vector<TripRecord>& trips,
+                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(17);
+  out << "release_min,pickup_x,pickup_y,dropoff_x,dropoff_y,passengers\n";
+  for (const TripRecord& t : trips) {
+    out << t.release_min << ',' << t.pickup.x << ',' << t.pickup.y << ','
+        << t.dropoff.x << ',' << t.dropoff.y << ',' << t.passengers << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+NearestVertexIndex::NearestVertexIndex(const RoadNetwork& graph,
+                                       double bucket_km)
+    : graph_(&graph), bucket_km_(bucket_km) {
+  Point hi;
+  graph.BoundingBox(&lo_, &hi);
+  bx_ = std::max(1, static_cast<int>(std::ceil((hi.x - lo_.x) / bucket_km_)));
+  by_ = std::max(1, static_cast<int>(std::ceil((hi.y - lo_.y) / bucket_km_)));
+  buckets_.resize(static_cast<std::size_t>(bx_) * by_);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const Point& p = graph.coord(v);
+    const int x = std::clamp(static_cast<int>((p.x - lo_.x) / bucket_km_), 0,
+                             bx_ - 1);
+    const int y = std::clamp(static_cast<int>((p.y - lo_.y) / bucket_km_), 0,
+                             by_ - 1);
+    buckets_[static_cast<std::size_t>(y) * bx_ + x].push_back(v);
+  }
+}
+
+VertexId NearestVertexIndex::Nearest(const Point& p) const {
+  const int cx =
+      std::clamp(static_cast<int>((p.x - lo_.x) / bucket_km_), 0, bx_ - 1);
+  const int cy =
+      std::clamp(static_cast<int>((p.y - lo_.y) / bucket_km_), 0, by_ - 1);
+  VertexId best = kInvalidVertex;
+  double best_d = std::numeric_limits<double>::infinity();
+  const int max_ring = std::max(bx_, by_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    // Once a candidate exists, one extra ring suffices: anything farther
+    // out is at least (ring - 1) * bucket_km away.
+    if (best != kInvalidVertex &&
+        static_cast<double>(ring - 1) * bucket_km_ > best_d) {
+      break;
+    }
+    for (int y = std::max(0, cy - ring); y <= std::min(by_ - 1, cy + ring);
+         ++y) {
+      for (int x = std::max(0, cx - ring); x <= std::min(bx_ - 1, cx + ring);
+           ++x) {
+        if (std::max(std::abs(x - cx), std::abs(y - cy)) != ring) continue;
+        for (VertexId v : buckets_[static_cast<std::size_t>(y) * bx_ + x]) {
+          const double d = EuclideanDistance(graph_->coord(v), p);
+          if (d < best_d) {
+            best_d = d;
+            best = v;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<Request> RequestsFromTrips(const RoadNetwork& graph,
+                                       const std::vector<TripRecord>& trips,
+                                       double deadline_offset_min,
+                                       double penalty_factor,
+                                       DistanceOracle* oracle) {
+  const NearestVertexIndex index(graph);
+  std::vector<Request> requests;
+  requests.reserve(trips.size());
+  for (const TripRecord& t : trips) {
+    Request r;
+    r.origin = index.Nearest(t.pickup);
+    r.destination = index.Nearest(t.dropoff);
+    if (r.origin == r.destination) continue;  // degenerate after mapping
+    r.release_time = t.release_min;
+    r.deadline = t.release_min + deadline_offset_min;
+    r.capacity = std::max(1, t.passengers);
+    requests.push_back(r);
+  }
+  std::sort(requests.begin(), requests.end(),
+            [](const Request& a, const Request& b) {
+              return a.release_time < b.release_time;
+            });
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    requests[i].id = static_cast<RequestId>(i);
+    requests[i].penalty =
+        penalty_factor *
+        oracle->Distance(requests[i].origin, requests[i].destination);
+  }
+  return requests;
+}
+
+}  // namespace urpsm

@@ -1,0 +1,65 @@
+#ifndef URPSM_SRC_WORKLOAD_TRACE_H_
+#define URPSM_SRC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/road_network.h"
+#include "src/model/types.h"
+#include "src/shortest/oracle.h"
+
+namespace urpsm {
+
+/// One raw trip record, in the shape of the taxi traces the paper
+/// evaluates on (NYC TLC / Didi GAIA): pickup and drop-off coordinates,
+/// a release timestamp (minutes) and a passenger count.
+struct TripRecord {
+  double release_min = 0.0;
+  Point pickup;
+  Point dropoff;
+  int passengers = 1;
+};
+
+/// Loads trips from a CSV file with the header
+/// `release_min,pickup_x,pickup_y,dropoff_x,dropoff_y,passengers`.
+/// Returns false on I/O or parse failure.
+bool LoadTripCsv(const std::string& path, std::vector<TripRecord>* out);
+
+/// Writes trips in the same format.
+bool SaveTripCsv(const std::vector<TripRecord>& trips,
+                 const std::string& path);
+
+/// Converts raw trips into URPSM requests exactly the way the paper
+/// preprocesses its datasets (Sec. 6.1): pickup/drop-off coordinates are
+/// mapped to the closest road-network vertex; deadlines are release +
+/// `deadline_offset_min`; penalties are `penalty_factor * dis(o_r, d_r)`.
+/// Trips whose endpoints map to the same vertex are dropped. The result
+/// is sorted by release time with dense ids.
+std::vector<Request> RequestsFromTrips(const RoadNetwork& graph,
+                                       const std::vector<TripRecord>& trips,
+                                       double deadline_offset_min,
+                                       double penalty_factor,
+                                       DistanceOracle* oracle);
+
+/// Exact nearest-vertex lookup accelerated by a uniform bucket grid
+/// (NearestVertex on RoadNetwork is a linear scan; this is the indexed
+/// version used for trace mapping).
+class NearestVertexIndex {
+ public:
+  explicit NearestVertexIndex(const RoadNetwork& graph,
+                              double bucket_km = 0.5);
+
+  VertexId Nearest(const Point& p) const;
+
+ private:
+  const RoadNetwork* graph_;
+  double bucket_km_;
+  Point lo_;
+  int bx_ = 0;
+  int by_ = 0;
+  std::vector<std::vector<VertexId>> buckets_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_WORKLOAD_TRACE_H_

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "src/core/objective.h"
+#include "src/sim/simulator.h"
+#include "src/workload/adversary.h"
+
+namespace urpsm {
+namespace {
+
+TEST(AdversaryTest, InstanceShape) {
+  Rng rng(1);
+  const Instance inst =
+      MakeCycleAdversary(16, AdversaryLemma::kMaxServed, 0.5, &rng);
+  EXPECT_EQ(ValidateInstance(inst), "");
+  EXPECT_EQ(inst.graph.num_vertices(), 16);
+  ASSERT_EQ(inst.workers.size(), 1u);
+  EXPECT_EQ(inst.workers[0].capacity, 2);
+  ASSERT_EQ(inst.requests.size(), 1u);
+  EXPECT_DOUBLE_EQ(inst.requests[0].release_time, 16.0);
+  EXPECT_DOUBLE_EQ(inst.requests[0].penalty, 1.0);
+}
+
+TEST(AdversaryTest, LemmaVariantsDifferInPenalty) {
+  Rng rng(2);
+  const Instance served =
+      MakeCycleAdversary(16, AdversaryLemma::kMaxServed, 0.5, &rng);
+  Rng rng2(2);
+  const Instance dist =
+      MakeCycleAdversary(16, AdversaryLemma::kMinDistance, 0.5, &rng2);
+  Rng rng3(2);
+  const Instance rev =
+      MakeCycleAdversary(16, AdversaryLemma::kMaxRevenue, 0.5, &rng3);
+  EXPECT_DOUBLE_EQ(served.requests[0].penalty, 1.0);
+  EXPECT_DOUBLE_EQ(dist.requests[0].penalty, kServeAllPenalty);
+  EXPECT_DOUBLE_EQ(rev.requests[0].penalty, 2.5 * 8.0);
+  // Revenue variant: trip spans half the cycle.
+  EXPECT_EQ(rev.requests[0].destination,
+            (rev.requests[0].origin + 8) % 16);
+}
+
+TEST(AdversaryTest, OfflineOptimumAlwaysServes) {
+  // A worker pre-positioned at the (known-in-hindsight) origin serves the
+  // request: with release at |V| and the cycle traversable in |V| time,
+  // the offline optimum has unserved count 0 for every draw.
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    Instance inst =
+        MakeCycleAdversary(20, AdversaryLemma::kMaxServed, 0.5, &rng);
+    // Omniscient repositioning: start the worker at the future origin.
+    inst.workers[0].initial_location = inst.requests[0].origin;
+    DijkstraOracle oracle(&inst.graph);
+    SimOptions options;
+    options.alpha = 0.0;
+    Simulation sim(&inst.graph, &oracle, inst.workers, &inst.requests,
+                   options);
+    const SimReport rep = sim.Run(MakePruneGreedyDpFactory(
+        PlannerConfig{.alpha = 0.0}));
+    EXPECT_EQ(rep.served_requests, 1) << "seed " << seed;
+  }
+}
+
+TEST(AdversaryTest, OnlineAlgorithmServesRarely) {
+  // Any online algorithm leaves the worker at a fixed position while the
+  // adversary draws the origin uniformly: served probability <= ~2/|V|.
+  const int kVertices = 20;
+  int served = 0;
+  const int kTrials = 200;
+  for (std::uint64_t seed = 0; seed < kTrials; ++seed) {
+    Rng rng(seed);
+    const Instance inst =
+        MakeCycleAdversary(kVertices, AdversaryLemma::kMaxServed, 0.5, &rng);
+    DijkstraOracle oracle(&inst.graph);
+    SimOptions options;
+    options.alpha = 0.0;
+    Simulation sim(&inst.graph, &oracle, inst.workers, &inst.requests,
+                   options);
+    const SimReport rep = sim.Run(MakePruneGreedyDpFactory(
+        PlannerConfig{.alpha = 0.0}));
+    served += rep.served_requests;
+  }
+  const double serve_rate = static_cast<double>(served) / kTrials;
+  // Lemma 1: expected unserved >= 1 - 2/|V|; allow sampling slack.
+  EXPECT_LE(serve_rate, 2.0 / kVertices + 0.08);
+  EXPECT_GE(1.0 - serve_rate, AdversaryUnservedLowerBound(kVertices) - 0.08);
+}
+
+TEST(AdversaryTest, UnservedLowerBoundFormula) {
+  EXPECT_DOUBLE_EQ(AdversaryUnservedLowerBound(4), 0.5);
+  EXPECT_DOUBLE_EQ(AdversaryUnservedLowerBound(100), 0.98);
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/builders.h"
+#include "src/shortest/alt.h"
+#include "src/shortest/dijkstra.h"
+#include "src/util/rng.h"
+#include "src/workload/city.h"
+
+namespace urpsm {
+namespace {
+
+TEST(AltTest, PathGraphDistances) {
+  const RoadNetwork g = MakePathGraph(7, 1.0);
+  AltOracle alt = AltOracle::Build(g, 3);
+  const double e = 1.0 / SpeedKmPerMin(RoadClass::kResidential);
+  EXPECT_NEAR(alt.Distance(0, 6), 6 * e, 1e-12);
+  EXPECT_NEAR(alt.Distance(4, 1), 3 * e, 1e-12);
+  EXPECT_DOUBLE_EQ(alt.Distance(2, 2), 0.0);
+}
+
+TEST(AltTest, HeuristicIsAdmissible) {
+  Rng rng(3);
+  const RoadNetwork g = MakeRandomGeometricGraph(80, 8.0, 3, &rng);
+  AltOracle alt = AltOracle::Build(g, 6);
+  for (int trial = 0; trial < 100; ++trial) {
+    const VertexId v = rng.UniformInt(0, g.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, g.num_vertices() - 1);
+    EXPECT_LE(alt.Heuristic(v, t), DijkstraDistance(g, v, t) + 1e-9);
+  }
+}
+
+TEST(AltTest, MatchesDijkstraOnCity) {
+  CityParams p;
+  p.rows = 13;
+  p.cols = 13;
+  const RoadNetwork g = MakeCity(p);
+  AltOracle alt = AltOracle::Build(g, 8);
+  Rng rng(5);
+  for (int trial = 0; trial < 150; ++trial) {
+    const VertexId s = rng.UniformInt(0, g.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, g.num_vertices() - 1);
+    EXPECT_NEAR(alt.Distance(s, t), DijkstraDistance(g, s, t), 1e-9)
+        << s << "->" << t;
+  }
+}
+
+TEST(AltTest, PathValidAndTight) {
+  const RoadNetwork g = MakeGridGraph(8, 8, 0.9);
+  AltOracle alt = AltOracle::Build(g, 4);
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const VertexId s = rng.UniformInt(0, 63);
+    const VertexId t = rng.UniformInt(0, 63);
+    const auto path = alt.Path(s, t);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    double cost = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      double leg = kInfDistance;
+      for (const auto& arc : g.Neighbors(path[i])) {
+        if (arc.to == path[i + 1]) leg = std::min(leg, arc.cost);
+      }
+      ASSERT_LT(leg, kInfDistance);
+      cost += leg;
+    }
+    EXPECT_NEAR(cost, DijkstraDistance(g, s, t), 1e-9);
+  }
+}
+
+TEST(AltTest, DisconnectedIsInfinite) {
+  std::vector<Point> coords = {{0, 0}, {1, 0}, {5, 5}, {6, 5}};
+  std::vector<EdgeSpec> edges = {{0, 1, 1.0, RoadClass::kResidential},
+                                 {2, 3, 1.0, RoadClass::kResidential}};
+  const RoadNetwork g = RoadNetwork::FromEdges(coords, edges);
+  AltOracle alt = AltOracle::Build(g, 4);
+  EXPECT_EQ(alt.Distance(0, 3), kInfDistance);
+  EXPECT_TRUE(alt.Path(0, 3).empty());
+}
+
+TEST(AltTest, LandmarksAreDistinctAndCounted) {
+  const RoadNetwork g = MakeGridGraph(10, 10, 1.0);
+  AltOracle alt = AltOracle::Build(g, 6);
+  EXPECT_EQ(alt.num_landmarks(), 6);
+  for (std::size_t i = 0; i < alt.landmarks().size(); ++i) {
+    for (std::size_t j = i + 1; j < alt.landmarks().size(); ++j) {
+      EXPECT_NE(alt.landmarks()[i], alt.landmarks()[j]);
+    }
+  }
+  EXPECT_GT(alt.MemoryBytes(), 0);
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "src/algos/batch.h"
+#include "src/algos/kinetic.h"
+#include "src/algos/tshare.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+struct BaselineFixture {
+  explicit BaselineFixture(std::uint64_t seed, int n_workers = 12,
+                           int n_requests = 90)
+      : graph(MakeNycLike(0.02, seed)), oracle(&graph), rng(seed) {
+    workers = GenerateWorkers(graph, n_workers, 3.0, &rng);
+    RequestParams rp;
+    rp.count = n_requests;
+    rp.duration_min = 150.0;
+    rp.seed = seed + 1;
+    requests = GenerateRequests(graph, rp, &oracle, &rng);
+  }
+  SimReport Run(const PlannerFactory& factory, Simulation** out = nullptr) {
+    sim = std::make_unique<Simulation>(&graph, &oracle, workers, &requests,
+                                       SimOptions{});
+    if (out != nullptr) *out = sim.get();
+    return sim->Run(factory);
+  }
+  RoadNetwork graph;
+  DijkstraOracle oracle;
+  Rng rng;
+  std::vector<Worker> workers;
+  std::vector<Request> requests;
+  std::unique_ptr<Simulation> sim;
+};
+
+TEST(TShareTest, ServesAndRespectsInvariants) {
+  BaselineFixture f(41);
+  const SimReport rep = f.Run(MakeTShareFactory({}));
+  EXPECT_EQ(rep.algorithm, "tshare");
+  EXPECT_GT(rep.served_requests, 0);
+  const InvariantReport inv = VerifyInvariants(f.sim->fleet(), f.requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+TEST(TShareTest, IndexMemoryExceedsPlainPlanner) {
+  BaselineFixture f(42);
+  const SimReport tshare = f.Run(MakeTShareFactory({}));
+  const SimReport prune = f.Run(MakePruneGreedyDpFactory({}));
+  // Fig. 5: tshare's sorted-cell-list grid index dominates.
+  EXPECT_GT(tshare.index_memory_bytes, prune.index_memory_bytes);
+}
+
+TEST(KineticTest, ServesAndRespectsInvariants) {
+  BaselineFixture f(43);
+  const SimReport rep = f.Run(MakeKineticFactory({}));
+  EXPECT_EQ(rep.algorithm, "kinetic");
+  EXPECT_GT(rep.served_requests, 0);
+  const InvariantReport inv = VerifyInvariants(f.sim->fleet(), f.requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+TEST(KineticTest, ReorderingNeverWorsePerDecision) {
+  // Per decision from the same starting route, the kinetic full-ordering
+  // search explores a superset of the insertion placements, so its route
+  // after accommodating the new request can never be longer. (Across a
+  // *sequence* of greedy decisions the two can diverge either way, so the
+  // guarantee is per-step only.)
+  TestEnv env(MakeGridGraph(8, 8, 0.8));
+  std::vector<Worker> workers = {{0, 0, 4}};
+  Rng rng(4);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Identical starting routes built by the same insertion sequence.
+    Fleet fleet_kin(workers, &env.graph());
+    Fleet fleet_ins(workers, &env.graph());
+    for (int k = 0; k < trial; ++k) {
+      const VertexId o = rng.UniformInt(0, 63);
+      VertexId d = rng.UniformInt(0, 63);
+      if (d == o) d = (d + 1) % 64;
+      const Request r = env.AddRequest(o, d, 0.0, 240.0, 1e9);
+      const InsertionCandidate c = LinearDpInsertion(
+          workers[0], fleet_ins.route(0), r, env.ctx());
+      if (!c.feasible()) continue;
+      fleet_ins.ApplyInsertion(0, r, c.i, c.j, env.oracle());
+      fleet_kin.ApplyInsertion(0, r, c.i, c.j, env.oracle());
+    }
+    // One probe decided by each planner.
+    KineticPlanner kinetic(env.ctx(), &fleet_kin, PlannerConfig{});
+    const VertexId o = rng.UniformInt(0, 63);
+    VertexId d = rng.UniformInt(0, 63);
+    if (d == o) d = (d + 1) % 64;
+    const Request probe = env.AddRequest(o, d, 0.0, 240.0, 1e9);
+    const InsertionCandidate ins = LinearDpInsertion(
+        workers[0], fleet_ins.route(0), probe, env.ctx());
+    const WorkerId got = kinetic.OnRequest(probe);
+    if (ins.feasible()) {
+      ASSERT_EQ(got, 0) << "kinetic must serve whatever insertion can";
+      fleet_ins.ApplyInsertion(0, probe, ins.i, ins.j, env.oracle());
+      EXPECT_LE(fleet_kin.route(0).RemainingCost(),
+                fleet_ins.route(0).RemainingCost() + 1e-9)
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(KineticTest, BudgetExhaustionTracked) {
+  // A high-capacity worker with many pending stops forces tree blow-up.
+  TestEnv env(MakeGridGraph(10, 10, 0.6));
+  std::vector<Worker> workers = {{0, 0, 20}};
+  Fleet fleet(workers, &env.graph());
+  KineticPlanner kinetic(env.ctx(), &fleet, PlannerConfig{},
+                         /*max_expansions_per_request=*/500);
+  Rng rng(5);
+  for (int k = 0; k < 14; ++k) {
+    const VertexId o = rng.UniformInt(0, 99);
+    VertexId d = rng.UniformInt(0, 99);
+    if (d == o) d = (d + 1) % 100;
+    const Request r = env.AddRequest(o, d, 0.0, 500.0, 1e9);
+    kinetic.OnRequest(r);
+  }
+  EXPECT_GT(kinetic.budget_exhausted_count(), 0);
+}
+
+TEST(BatchTest, ServesAndRespectsInvariants) {
+  BaselineFixture f(44);
+  const SimReport rep = f.Run(MakeBatchFactory({}));
+  EXPECT_EQ(rep.algorithm, "batch");
+  EXPECT_GT(rep.served_requests, 0);
+  const InvariantReport inv = VerifyInvariants(f.sim->fleet(), f.requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+TEST(BatchTest, FinalizeFlushesLastBatch) {
+  TestEnv env(MakeGridGraph(8, 8, 0.8));
+  std::vector<Worker> workers = {{0, 27, 4}};
+  Fleet fleet(workers, &env.graph());
+  BatchPlanner batch(env.ctx(), &fleet, PlannerConfig{},
+                     /*batch_interval_min=*/0.1);
+  const Request r = env.AddRequest(28, 30, 0.0, 1e9);
+  EXPECT_EQ(batch.OnRequest(r), kInvalidWorker);  // deferred
+  EXPECT_EQ(fleet.AssignedWorker(r.id), kInvalidWorker);
+  batch.Finalize();
+  EXPECT_EQ(fleet.AssignedWorker(r.id), 0);
+}
+
+TEST(BatchTest, BatchBoundaryTriggersFlush) {
+  TestEnv env(MakeGridGraph(8, 8, 0.8));
+  std::vector<Worker> workers = {{0, 27, 4}};
+  Fleet fleet(workers, &env.graph());
+  BatchPlanner batch(env.ctx(), &fleet, PlannerConfig{}, 0.1);
+  const Request r1 = env.AddRequest(28, 30, 0.0, 1e9);
+  batch.OnRequest(r1);
+  // Second request lands past the 6-second boundary: r1 must be flushed.
+  const Request r2 = env.AddRequest(29, 31, 0.5, 1e9);
+  batch.OnRequest(r2);
+  EXPECT_EQ(fleet.AssignedWorker(r1.id), 0);
+  EXPECT_EQ(fleet.AssignedWorker(r2.id), kInvalidWorker);  // still buffered
+}
+
+TEST(BaselineComparisonTest, PaperOrderingOnSharedWorkload) {
+  // The headline comparison (Sec. 6.2 summary) under worker scarcity —
+  // where assignment quality matters: pruneGreedyDP achieves the lowest
+  // unified cost and the highest served rate. Averaged over seeds to damp
+  // single-instance noise.
+  double uc_prune = 0.0, uc_tshare = 0.0, uc_batch = 0.0;
+  double sr_prune = 0.0, sr_tshare = 0.0, sr_batch = 0.0;
+  for (std::uint64_t seed : {45u, 46u, 47u}) {
+    BaselineFixture f(seed, /*n_workers=*/6, /*n_requests=*/200);
+    SetDeadlineOffsets(&f.requests, 8.0);  // tight deadlines -> scarcity
+    SetPenaltyFactors(&f.requests, 10.0, &f.oracle);
+    const SimReport prune = f.Run(MakePruneGreedyDpFactory({}));
+    const SimReport tshare = f.Run(MakeTShareFactory({}));
+    const SimReport batch = f.Run(MakeBatchFactory({}));
+    uc_prune += prune.unified_cost;
+    uc_tshare += tshare.unified_cost;
+    uc_batch += batch.unified_cost;
+    sr_prune += prune.served_rate;
+    sr_tshare += tshare.served_rate;
+    sr_batch += batch.served_rate;
+  }
+  EXPECT_LE(uc_prune, uc_tshare);
+  EXPECT_LE(uc_prune, uc_batch);
+  EXPECT_GE(sr_prune, sr_tshare);
+  EXPECT_GE(sr_prune, sr_batch);
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/graph/builders.h"
+#include "src/shortest/contraction.h"
+#include "src/shortest/dijkstra.h"
+#include "src/util/rng.h"
+#include "src/workload/city.h"
+
+namespace urpsm {
+namespace {
+
+TEST(ContractionTest, PathGraphDistances) {
+  const RoadNetwork g = MakePathGraph(6, 1.0);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  const double e = 1.0 / SpeedKmPerMin(RoadClass::kResidential);
+  EXPECT_NEAR(ch.Distance(0, 5), 5 * e, 1e-12);
+  EXPECT_NEAR(ch.Distance(2, 4), 2 * e, 1e-12);
+  EXPECT_DOUBLE_EQ(ch.Distance(3, 3), 0.0);
+}
+
+TEST(ContractionTest, DisconnectedIsInfinite) {
+  std::vector<Point> coords = {{0, 0}, {1, 0}, {5, 5}, {6, 5}};
+  std::vector<EdgeSpec> edges = {{0, 1, 1.0, RoadClass::kResidential},
+                                 {2, 3, 1.0, RoadClass::kResidential}};
+  const RoadNetwork g = RoadNetwork::FromEdges(coords, edges);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  EXPECT_EQ(ch.Distance(0, 2), kInfDistance);
+  EXPECT_TRUE(ch.Path(0, 2).empty());
+}
+
+TEST(ContractionTest, QueryCounterAndMemory) {
+  const RoadNetwork g = MakeGridGraph(5, 5, 1.0);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  ch.Distance(0, 24);
+  ch.Distance(3, 7);
+  EXPECT_EQ(ch.query_count(), 2);
+  EXPECT_GT(ch.MemoryBytes(), 0);
+}
+
+/// Parameterized equivalence sweep: CH distances must equal Dijkstra on
+/// every graph family and seed, and unpacked paths must be real paths of
+/// matching cost.
+class ContractionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  RoadNetwork MakeGraph(int kind, Rng* rng) {
+    switch (kind) {
+      case 0:
+        return MakeGridGraph(9, 9, 0.7);
+      case 1:
+        return MakeCycleGraph(30, 1.0);
+      case 2:
+        return MakeRandomGeometricGraph(120, 9.0, 3, rng);
+      default: {
+        CityParams p;
+        p.rows = 14;
+        p.cols = 14;
+        p.seed = 5;
+        return MakeCity(p);
+      }
+    }
+  }
+};
+
+TEST_P(ContractionPropertyTest, DistancesMatchDijkstra) {
+  const auto [kind, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 39119 + 1);
+  const RoadNetwork g = MakeGraph(kind, &rng);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  for (int trial = 0; trial < 60; ++trial) {
+    const VertexId s = rng.UniformInt(0, g.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, g.num_vertices() - 1);
+    EXPECT_NEAR(ch.Distance(s, t), DijkstraDistance(g, s, t), 1e-9)
+        << "s=" << s << " t=" << t << " kind=" << kind;
+  }
+}
+
+TEST_P(ContractionPropertyTest, PathsAreValidAndTight) {
+  const auto [kind, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 48271 + 3);
+  const RoadNetwork g = MakeGraph(kind, &rng);
+  ContractionHierarchy ch = ContractionHierarchy::Build(g);
+  for (int trial = 0; trial < 20; ++trial) {
+    const VertexId s = rng.UniformInt(0, g.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, g.num_vertices() - 1);
+    const auto path = ch.Path(s, t);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), s);
+    EXPECT_EQ(path.back(), t);
+    double cost = 0.0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      double leg = kInfDistance;
+      for (const auto& arc : g.Neighbors(path[i])) {
+        if (arc.to == path[i + 1]) leg = std::min(leg, arc.cost);
+      }
+      ASSERT_LT(leg, kInfDistance)
+          << "unpacked path uses non-edge " << path[i] << "->" << path[i + 1];
+      cost += leg;
+    }
+    EXPECT_NEAR(cost, DijkstraDistance(g, s, t), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ContractionPropertyTest,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/core/decision.h"
+#include "src/insertion/insertion.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+class DecisionTest : public ::testing::Test {
+ protected:
+  DecisionTest() : env_(MakeGridGraph(8, 8, 1.0)) {}
+  TestEnv env_;
+  Worker worker_{0, 0, 4};
+};
+
+TEST_F(DecisionTest, EmptyRouteBoundIsEuclideanPlusL) {
+  const Request r = env_.AddRequest(18, 45, 0.0, 1e9);  // (2,2) -> (5,5)
+  Route rt(0, 0.0);
+  const RouteState st = BuildRouteState(rt, env_.ctx());
+  const double L = env_.ctx()->DirectDist(r.id);
+  const double lb =
+      DecisionLowerBound(worker_, rt, st, r, L, env_.graph());
+  // Only the i=j=n=0 case exists: euc(anchor, o)/v_max + L.
+  EXPECT_NEAR(lb, env_.graph().EuclideanLowerBoundMin(0, 18) + L, 1e-12);
+}
+
+TEST_F(DecisionTest, BoundRequiresZeroExtraQueries) {
+  const Request r1 = env_.AddRequest(9, 54, 0.0, 1e9);
+  Route rt(0, 0.0);
+  rt.Insert(r1, 0, 0, env_.oracle());
+  const Request r2 = env_.AddRequest(18, 45, 0.0, 1e9);
+  const double L = env_.ctx()->DirectDist(r2.id);
+  const RouteState st = BuildRouteState(rt, env_.ctx());
+  const std::int64_t before = env_.oracle()->query_count();
+  DecisionLowerBound(worker_, rt, st, r2, L, env_.graph());
+  EXPECT_EQ(env_.oracle()->query_count(), before);  // Lemma 7: 1 query total
+}
+
+TEST_F(DecisionTest, CapacityInfeasibleGivesInfiniteBound) {
+  const Request r = env_.AddRequest(18, 45, 0.0, 1e9, 10.0, 9);  // K_r > K_w
+  Route rt(0, 0.0);
+  const RouteState st = BuildRouteState(rt, env_.ctx());
+  EXPECT_EQ(DecisionLowerBound(worker_, rt, st, r,
+                               env_.ctx()->DirectDist(r.id), env_.graph()),
+            kInf);
+}
+
+TEST_F(DecisionTest, HopelessDeadlineGivesInfiniteBound) {
+  // Worker at corner (0,0); request at far corner with a deadline shorter
+  // than even the straight-line travel time.
+  const Request r = env_.AddRequest(63, 62, 0.0, 0.5);  // (7,7)
+  Route rt(0, 0.0);
+  const RouteState st = BuildRouteState(rt, env_.ctx());
+  EXPECT_EQ(DecisionLowerBound(worker_, rt, st, r,
+                               env_.ctx()->DirectDist(r.id), env_.graph()),
+            kInf);
+}
+
+TEST_F(DecisionTest, BoundIsNonNegative) {
+  Rng rng(3);
+  Route rt(0, 0.0);
+  BuildRandomRoute(&env_, worker_, &rt, 6, 0.0, 60.0, &rng);
+  for (int probe = 0; probe < 50; ++probe) {
+    const VertexId o = rng.UniformInt(0, 63);
+    VertexId d = rng.UniformInt(0, 63);
+    if (d == o) d = (d + 1) % 64;
+    const Request r = env_.AddRequest(o, d, 0.0, rng.Uniform(5.0, 80.0));
+    const RouteState st = BuildRouteState(rt, env_.ctx());
+    const double lb = DecisionLowerBound(worker_, rt, st, r,
+                                         env_.ctx()->DirectDist(r.id),
+                                         env_.graph());
+    if (lb < kInf) EXPECT_GE(lb, 0.0);
+  }
+}
+
+TEST_F(DecisionTest, TighterForCloserWorkers) {
+  // The bound should order an adjacent worker ahead of a distant one for
+  // an empty-route pickup (this ordering drives Lemma 8 pruning).
+  const Request r = env_.AddRequest(9, 18, 0.0, 1e9);  // (1,1) -> (2,2)
+  Route near_rt(1, 0.0);   // vertex (1,0)
+  Route far_rt(63, 0.0);   // vertex (7,7)
+  const RouteState near_st = BuildRouteState(near_rt, env_.ctx());
+  const RouteState far_st = BuildRouteState(far_rt, env_.ctx());
+  const double L = env_.ctx()->DirectDist(r.id);
+  EXPECT_LT(DecisionLowerBound(worker_, near_rt, near_st, r, L, env_.graph()),
+            DecisionLowerBound(worker_, far_rt, far_st, r, L, env_.graph()));
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "src/core/planner.h"
+#include "src/insertion/insertion.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+TEST(EdgeCaseTest, ZeroWorkersRejectsEverything) {
+  const RoadNetwork g = MakeGridGraph(5, 5, 1.0);
+  DijkstraOracle oracle(&g);
+  std::vector<Request> requests = {{0, 1, 5, 0.0, 100.0, 7.5, 1}};
+  Simulation sim(&g, &oracle, {}, &requests, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_EQ(rep.served_requests, 0);
+  EXPECT_DOUBLE_EQ(rep.penalty_sum, 7.5);
+  EXPECT_DOUBLE_EQ(rep.unified_cost, 7.5);
+}
+
+TEST(EdgeCaseTest, ZeroRequestsCostsNothing) {
+  const RoadNetwork g = MakeGridGraph(5, 5, 1.0);
+  DijkstraOracle oracle(&g);
+  std::vector<Request> requests;
+  std::vector<Worker> workers = {{0, 0, 4}};
+  Simulation sim(&g, &oracle, workers, &requests, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_EQ(rep.total_requests, 0);
+  EXPECT_DOUBLE_EQ(rep.unified_cost, 0.0);
+  EXPECT_DOUBLE_EQ(rep.total_distance, 0.0);
+}
+
+TEST(EdgeCaseTest, RequestAtWorkerLocation) {
+  // Origin == worker anchor: pickup costs zero distance.
+  TestEnv env(MakePathGraph(6, 1.0));
+  const Request r = env.AddRequest(2, 4, 0.0, 1e9);
+  Route rt(2, 0.0);
+  const Worker w{0, 2, 4};
+  const InsertionCandidate c = LinearDpInsertion(w, rt, r, env.ctx());
+  ASSERT_TRUE(c.feasible());
+  const double e = 1.0 / SpeedKmPerMin(RoadClass::kResidential);
+  EXPECT_NEAR(c.delta, 2 * e, 1e-12);  // only the o->d leg
+}
+
+TEST(EdgeCaseTest, SimultaneousReleases) {
+  // Many requests at the exact same release time must all be processed,
+  // in id order, without fleet-time regressions.
+  const RoadNetwork g = MakeGridGraph(8, 8, 0.7);
+  DijkstraOracle oracle(&g);
+  Rng rng(3);
+  std::vector<Request> requests;
+  for (int i = 0; i < 20; ++i) {
+    Request r;
+    r.id = i;
+    r.origin = rng.UniformInt(0, 63);
+    r.destination = (r.origin + 7) % 64;
+    r.release_time = 60.0;  // all at once
+    r.deadline = 90.0;
+    r.penalty = 10.0;
+    r.capacity = 1;
+    requests.push_back(r);
+  }
+  std::vector<Worker> workers = {{0, 0, 4}, {1, 63, 4}};
+  Simulation sim(&g, &oracle, workers, &requests, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_GT(rep.served_requests, 0);
+  const InvariantReport inv = VerifyInvariants(sim.fleet(), requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+TEST(EdgeCaseTest, DeadlineExactlyTight) {
+  // Deadline equals the exact earliest possible arrival: still feasible
+  // (the paper's constraint is <=).
+  TestEnv env(MakePathGraph(8, 1.0));
+  const double e = 1.0 / SpeedKmPerMin(RoadClass::kResidential);
+  const Request r = env.AddRequest(2, 6, 0.0, 6.0 * e);
+  Route rt(0, 0.0);
+  const Worker w{0, 0, 4};
+  const InsertionCandidate c = BasicInsertion(w, rt, r, env.ctx());
+  ASSERT_TRUE(c.feasible());
+  const InsertionCandidate lin = LinearDpInsertion(w, rt, r, env.ctx());
+  ASSERT_TRUE(lin.feasible());
+  EXPECT_NEAR(lin.delta, c.delta, 1e-9);
+}
+
+TEST(EdgeCaseTest, ZeroCapacityRequestRounding) {
+  // Capacity-1 request into a capacity-1 worker already carrying someone:
+  // strictly sequential, never overlapping.
+  TestEnv env(MakePathGraph(10, 1.0));
+  const Request r1 = env.AddRequest(1, 8, 0.0, 1e9);
+  Route rt(0, 0.0);
+  rt.Insert(r1, 0, 0, env.oracle());
+  const Worker w{0, 0, 1};
+  const Request r2 = env.AddRequest(3, 5, 0.0, 1e9);
+  const InsertionCandidate c = LinearDpInsertion(w, rt, r2, env.ctx());
+  ASSERT_TRUE(c.feasible());
+  // Pickup of r2 cannot be between r1's pickup and dropoff.
+  EXPECT_GE(c.i, 2);
+}
+
+TEST(EdgeCaseTest, VeryLargeRouteStillLinear) {
+  // 400-stop route: the linear DP must stay exact (spot-check vs naive)
+  // and fast. Guards against accidental quadratic regressions.
+  TestEnv env(MakeGridGraph(20, 20, 0.5));
+  const Worker w{0, 0, 1 << 20};
+  Route rt(0, 0.0);
+  Rng rng(11);
+  while (rt.size() < 400) {
+    const VertexId o = rng.UniformInt(0, 399);
+    VertexId d = rng.UniformInt(0, 399);
+    if (d == o) d = (d + 1) % 400;
+    const Request r = env.AddRequest(o, d, 0.0, 1e9);
+    rt.Insert(r, rt.size(), rt.size(), env.oracle());
+  }
+  const Request probe = env.AddRequest(5, 395, 0.0, 1e9);
+  const InsertionCandidate lin = LinearDpInsertion(w, rt, probe, env.ctx());
+  const InsertionCandidate naive = NaiveDpInsertion(w, rt, probe, env.ctx());
+  ASSERT_EQ(lin.feasible(), naive.feasible());
+  if (lin.feasible()) EXPECT_NEAR(lin.delta, naive.delta, 1e-9);
+}
+
+TEST(EdgeCaseTest, RejectIsFinalInvariant) {
+  // Once rejected, a request never reappears (Def. 5's invariable
+  // constraint): the fleet must have no record of it.
+  const RoadNetwork g = MakeGridGraph(6, 6, 1.0);
+  DijkstraOracle oracle(&g);
+  std::vector<Request> requests = {{0, 0, 35, 0.0, 0.01, 5.0, 1}};  // hopeless
+  std::vector<Worker> workers = {{0, 18, 4}};
+  Simulation sim(&g, &oracle, workers, &requests, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_EQ(rep.served_requests, 0);
+  EXPECT_EQ(sim.fleet().AssignedWorker(0), kInvalidWorker);
+  EXPECT_EQ(sim.fleet().PickupTime(0), kInf);
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "src/model/feasibility.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+class FeasibilityTest : public ::testing::Test {
+ protected:
+  FeasibilityTest() : env_(MakePathGraph(10, 1.0)) {}
+  double EdgeMin() const {
+    return 1.0 / SpeedKmPerMin(RoadClass::kResidential);
+  }
+  TestEnv env_;
+};
+
+TEST_F(FeasibilityTest, EmptyRouteState) {
+  Route rt(4, 7.0);
+  const RouteState st = BuildRouteState(rt, env_.ctx());
+  EXPECT_EQ(st.n, 0);
+  EXPECT_DOUBLE_EQ(st.arr[0], 7.0);
+  EXPECT_EQ(st.ddl[0], kInf);
+  EXPECT_EQ(st.slack[0], kInf);
+  EXPECT_EQ(st.picked[0], 0);
+}
+
+TEST_F(FeasibilityTest, ArraysMatchPaperDefinitions) {
+  // Route: anchor 0 at t=0, pickup at 2, dropoff at 6. L = 4 edges.
+  const double e = EdgeMin();
+  const Request r = env_.AddRequest(2, 6, 0.0, 20.0 * e, 10.0, 2);
+  Route rt(0, 0.0);
+  rt.Insert(r, 0, 0, env_.oracle());
+  const RouteState st = BuildRouteState(rt, env_.ctx());
+  ASSERT_EQ(st.n, 2);
+  // arr (Eq. 7): 0, 2e, 6e.
+  EXPECT_NEAR(st.arr[1], 2 * e, 1e-12);
+  EXPECT_NEAR(st.arr[2], 6 * e, 1e-12);
+  // ddl (Eq. 6): pickup e_r - L = 20e - 4e = 16e; dropoff e_r = 20e.
+  EXPECT_NEAR(st.ddl[1], 16 * e, 1e-12);
+  EXPECT_NEAR(st.ddl[2], 20 * e, 1e-12);
+  // slack (Eq. 8): slack[2] = inf; slack[1] = ddl[2]-arr[2] = 14e;
+  // slack[0] = min(14e, ddl[1]-arr[1] = 14e) = 14e.
+  EXPECT_EQ(st.slack[2], kInf);
+  EXPECT_NEAR(st.slack[1], 14 * e, 1e-9);
+  EXPECT_NEAR(st.slack[0], 14 * e, 1e-9);
+  // picked (Eq. 9): 0, +2, back to 0.
+  EXPECT_EQ(st.picked[0], 0);
+  EXPECT_EQ(st.picked[1], 2);
+  EXPECT_EQ(st.picked[2], 0);
+}
+
+TEST_F(FeasibilityTest, OnboardLoadSeedsPickedArray) {
+  const Request r = env_.AddRequest(2, 6, 0.0, 100.0, 10.0, 3);
+  Route rt(0, 0.0);
+  rt.Insert(r, 0, 0, env_.oracle());
+  rt.PopFront();  // rider on board at anchor
+  const RouteState st = BuildRouteState(rt, env_.ctx());
+  ASSERT_EQ(st.n, 1);
+  EXPECT_EQ(st.picked[0], 3);
+  EXPECT_EQ(st.picked[1], 0);
+}
+
+TEST_F(FeasibilityTest, SlackIsSuffixMinimum) {
+  const double e = EdgeMin();
+  // Two requests with different tightness so slacks differ along the route.
+  const Request r1 = env_.AddRequest(1, 8, 0.0, 30.0 * e);
+  const Request r2 = env_.AddRequest(2, 4, 0.0, 9.0 * e);
+  Route rt(0, 0.0);
+  rt.Insert(r1, 0, 0, env_.oracle());   // 0 ->1 ->8
+  rt.Insert(r2, 1, 2, env_.oracle());   // 0 ->1 ->2 ->4 ->8
+  const RouteState st = BuildRouteState(rt, env_.ctx());
+  ASSERT_EQ(st.n, 4);
+  for (int k = 0; k + 1 <= st.n; ++k) {
+    EXPECT_LE(st.slack[static_cast<std::size_t>(k)],
+              st.slack[static_cast<std::size_t>(k + 1)] + 1e-12);
+  }
+}
+
+TEST_F(FeasibilityTest, ValidateStopsAcceptsFeasible) {
+  const Request r = env_.AddRequest(2, 6, 0.0, 100.0);
+  std::vector<Stop> stops = {{2, r.id, StopKind::kPickup},
+                             {6, r.id, StopKind::kDropoff}};
+  double cost = 0.0;
+  EXPECT_TRUE(ValidateStops(0, 0.0, stops, 4, 0, env_.ctx(), &cost));
+  EXPECT_NEAR(cost, 6 * EdgeMin(), 1e-12);
+}
+
+TEST_F(FeasibilityTest, ValidateStopsRejectsDeadline) {
+  const double e = EdgeMin();
+  const Request r = env_.AddRequest(2, 6, 0.0, 5.0 * e);  // needs 6e
+  std::vector<Stop> stops = {{2, r.id, StopKind::kPickup},
+                             {6, r.id, StopKind::kDropoff}};
+  EXPECT_FALSE(ValidateStops(0, 0.0, stops, 4, 0, env_.ctx()));
+}
+
+TEST_F(FeasibilityTest, ValidateStopsRejectsCapacity) {
+  const Request r1 = env_.AddRequest(1, 6, 0.0, 1000.0, 10.0, 2);
+  const Request r2 = env_.AddRequest(2, 5, 0.0, 1000.0, 10.0, 2);
+  std::vector<Stop> stops = {{1, r1.id, StopKind::kPickup},
+                             {2, r2.id, StopKind::kPickup},
+                             {5, r2.id, StopKind::kDropoff},
+                             {6, r1.id, StopKind::kDropoff}};
+  EXPECT_TRUE(ValidateStops(0, 0.0, stops, 4, 0, env_.ctx()));
+  EXPECT_FALSE(ValidateStops(0, 0.0, stops, 3, 0, env_.ctx()));
+}
+
+TEST_F(FeasibilityTest, ValidateStopsRejectsDropoffBeforePickup) {
+  const Request r = env_.AddRequest(2, 6, 0.0, 1000.0);
+  std::vector<Stop> stops = {{6, r.id, StopKind::kDropoff},
+                             {2, r.id, StopKind::kPickup}};
+  EXPECT_FALSE(ValidateStops(0, 0.0, stops, 4, 0, env_.ctx()));
+}
+
+TEST_F(FeasibilityTest, ValidateStopsRejectsDuplicatePickup) {
+  const Request r = env_.AddRequest(2, 6, 0.0, 1000.0);
+  std::vector<Stop> stops = {{2, r.id, StopKind::kPickup},
+                             {2, r.id, StopKind::kPickup},
+                             {6, r.id, StopKind::kDropoff}};
+  EXPECT_FALSE(ValidateStops(0, 0.0, stops, 4, 0, env_.ctx()));
+}
+
+TEST_F(FeasibilityTest, DirectDistCachedSingleQuery) {
+  const Request r = env_.AddRequest(2, 6, 0.0, 1000.0);
+  const std::int64_t before = env_.oracle()->query_count();
+  const double l1 = env_.ctx()->DirectDist(r.id);
+  const double l2 = env_.ctx()->DirectDist(r.id);
+  EXPECT_DOUBLE_EQ(l1, l2);
+  EXPECT_EQ(env_.oracle()->query_count(), before + 1);
+}
+
+}  // namespace
+}  // namespace urpsm

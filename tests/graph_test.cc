@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/builders.h"
+#include "src/graph/road_network.h"
+#include "src/util/rng.h"
+
+namespace urpsm {
+namespace {
+
+TEST(RoadNetworkTest, FromEdgesBuildsCsr) {
+  std::vector<Point> coords = {{0, 0}, {1, 0}, {1, 1}};
+  std::vector<EdgeSpec> edges = {{0, 1, 1.0, RoadClass::kResidential},
+                                 {1, 2, 1.0, RoadClass::kResidential}};
+  const RoadNetwork g = RoadNetwork::FromEdges(coords, edges);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_undirected_edges(), 2);
+  EXPECT_EQ(g.Neighbors(0).size(), 1u);
+  EXPECT_EQ(g.Neighbors(1).size(), 2u);
+  EXPECT_EQ(g.Neighbors(2).size(), 1u);
+  EXPECT_EQ(g.Neighbors(0)[0].to, 1);
+}
+
+TEST(RoadNetworkTest, SelfLoopsDropped) {
+  std::vector<Point> coords = {{0, 0}, {1, 0}};
+  std::vector<EdgeSpec> edges = {{0, 0, 1.0, RoadClass::kResidential},
+                                 {0, 1, 1.0, RoadClass::kResidential}};
+  const RoadNetwork g = RoadNetwork::FromEdges(coords, edges);
+  EXPECT_EQ(g.num_undirected_edges(), 1);
+  EXPECT_EQ(g.edges().size(), 1u);
+}
+
+TEST(RoadNetworkTest, EdgeCostIsTravelTime) {
+  std::vector<Point> coords = {{0, 0}, {8, 0}};
+  std::vector<EdgeSpec> edges = {{0, 1, 8.0, RoadClass::kMotorway}};
+  const RoadNetwork g = RoadNetwork::FromEdges(coords, edges);
+  // 8 km at motorway speed (80 km/h * 0.8... stored as km/min).
+  const double expected = 8.0 / SpeedKmPerMin(RoadClass::kMotorway);
+  EXPECT_DOUBLE_EQ(g.Neighbors(0)[0].cost, expected);
+}
+
+TEST(RoadNetworkTest, SpeedsOrderedByClass) {
+  EXPECT_GT(SpeedKmPerMin(RoadClass::kMotorway),
+            SpeedKmPerMin(RoadClass::kPrimary));
+  EXPECT_GT(SpeedKmPerMin(RoadClass::kPrimary),
+            SpeedKmPerMin(RoadClass::kSecondary));
+  EXPECT_GT(SpeedKmPerMin(RoadClass::kSecondary),
+            SpeedKmPerMin(RoadClass::kResidential));
+  EXPECT_DOUBLE_EQ(MaxSpeedKmPerMin(), SpeedKmPerMin(RoadClass::kMotorway));
+}
+
+TEST(RoadNetworkTest, EuclideanLowerBoundBelowEdgeCost) {
+  // Any single edge's cost must be >= the Euclidean lower bound between
+  // its endpoints (edge length >= straight line, speed <= max).
+  Rng rng(5);
+  const RoadNetwork g = MakeRandomGeometricGraph(50, 10.0, 3, &rng);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (const auto& arc : g.Neighbors(v)) {
+      EXPECT_LE(g.EuclideanLowerBoundMin(v, arc.to), arc.cost + 1e-12);
+    }
+  }
+}
+
+TEST(RoadNetworkTest, NearestVertexFindsExactMatch) {
+  const RoadNetwork g = MakeGridGraph(5, 5, 1.0);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.NearestVertex(g.coord(v)), v);
+  }
+}
+
+TEST(RoadNetworkTest, BoundingBoxCoversAll) {
+  const RoadNetwork g = MakeGridGraph(3, 4, 2.0);
+  Point lo, hi;
+  g.BoundingBox(&lo, &hi);
+  EXPECT_DOUBLE_EQ(lo.x, 0.0);
+  EXPECT_DOUBLE_EQ(lo.y, 0.0);
+  EXPECT_DOUBLE_EQ(hi.x, 6.0);  // 4 cols * 2 km spacing
+  EXPECT_DOUBLE_EQ(hi.y, 4.0);
+}
+
+TEST(BuildersTest, CycleGraphStructure) {
+  const RoadNetwork g = MakeCycleGraph(6, 1.0);
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_undirected_edges(), 6);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.Neighbors(v).size(), 2u);
+}
+
+TEST(BuildersTest, CycleGraphChordShorterThanEdge) {
+  // Euclidean lower bounds stay valid: chord <= arc length.
+  const RoadNetwork g = MakeCycleGraph(8, 2.0);
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_LE(g.EuclideanKm(v, (v + 1) % 8), 2.0 + 1e-12);
+  }
+}
+
+TEST(BuildersTest, GridGraphStructure) {
+  const RoadNetwork g = MakeGridGraph(3, 4, 1.0);
+  EXPECT_EQ(g.num_vertices(), 12);
+  // 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8.
+  EXPECT_EQ(g.num_undirected_edges(), 17);
+}
+
+TEST(BuildersTest, PathGraphStructure) {
+  const RoadNetwork g = MakePathGraph(5, 2.0);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_undirected_edges(), 4);
+  EXPECT_EQ(g.Neighbors(0).size(), 1u);
+  EXPECT_EQ(g.Neighbors(2).size(), 2u);
+}
+
+TEST(BuildersTest, RandomGeometricGraphConnectedEnough) {
+  Rng rng(7);
+  const RoadNetwork g = MakeRandomGeometricGraph(100, 10.0, 3, &rng);
+  EXPECT_EQ(g.num_vertices(), 100);
+  // Chain augmentation guarantees >= n-1 edges.
+  EXPECT_GE(g.num_undirected_edges(), 99);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.Neighbors(v).size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace urpsm

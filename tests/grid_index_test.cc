@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/index/grid_index.h"
+
+namespace urpsm {
+namespace {
+
+TEST(GridIndexTest, DimensionsFromBoundingBox) {
+  GridIndex idx({0, 0}, {10, 6}, 2.0);
+  EXPECT_EQ(idx.cells_x(), 5);
+  EXPECT_EQ(idx.cells_y(), 3);
+}
+
+TEST(GridIndexTest, InsertAndFind) {
+  GridIndex idx({0, 0}, {10, 10}, 1.0);
+  idx.Insert(1, {2.5, 2.5});
+  idx.Insert(2, {8.5, 8.5});
+  const auto near = idx.WithinRadius({2.0, 2.0}, 1.5);
+  EXPECT_NE(std::find(near.begin(), near.end(), 1), near.end());
+  EXPECT_EQ(std::find(near.begin(), near.end(), 2), near.end());
+}
+
+TEST(GridIndexTest, WithinRadiusIsSuperset) {
+  // Every worker within the exact disk must be returned (cells only
+  // over-approximate).
+  GridIndex idx({0, 0}, {10, 10}, 2.0);
+  idx.Insert(1, {5.0, 5.0});
+  idx.Insert(2, {6.9, 5.0});
+  idx.Insert(3, {9.9, 9.9});
+  const auto near = idx.WithinRadius({5.0, 5.0}, 2.0);
+  EXPECT_NE(std::find(near.begin(), near.end(), 1), near.end());
+  EXPECT_NE(std::find(near.begin(), near.end(), 2), near.end());
+}
+
+TEST(GridIndexTest, NegativeRadiusEmpty) {
+  GridIndex idx({0, 0}, {10, 10}, 1.0);
+  idx.Insert(1, {5, 5});
+  EXPECT_TRUE(idx.WithinRadius({5, 5}, -1.0).empty());
+}
+
+TEST(GridIndexTest, RemoveAndMove) {
+  GridIndex idx({0, 0}, {10, 10}, 1.0);
+  idx.Insert(7, {1.5, 1.5});
+  idx.Move(7, {1.5, 1.5}, {8.5, 8.5});
+  EXPECT_TRUE(idx.WithinRadius({1.5, 1.5}, 0.5).empty());
+  const auto near = idx.WithinRadius({8.5, 8.5}, 0.5);
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0], 7);
+  idx.Remove(7, {8.5, 8.5});
+  EXPECT_TRUE(idx.All().empty());
+}
+
+TEST(GridIndexTest, MoveWithinSameCellNoop) {
+  GridIndex idx({0, 0}, {10, 10}, 2.0);
+  idx.Insert(1, {1.0, 1.0});
+  idx.Move(1, {1.0, 1.0}, {1.5, 1.5});  // same cell
+  EXPECT_EQ(idx.All().size(), 1u);
+}
+
+TEST(GridIndexTest, PointsOutsideBoxClampToEdgeCells) {
+  GridIndex idx({0, 0}, {10, 10}, 1.0);
+  idx.Insert(1, {-5.0, 20.0});  // clamped to corner cell
+  EXPECT_EQ(idx.All().size(), 1u);
+  EXPECT_FALSE(idx.WithinRadius({0.0, 10.0}, 1.5).empty());
+}
+
+TEST(GridIndexTest, MemoryGrowsWithFinerCells) {
+  GridIndex coarse({0, 0}, {20, 20}, 5.0);
+  GridIndex fine({0, 0}, {20, 20}, 1.0);
+  EXPECT_GT(fine.MemoryBytes(), coarse.MemoryBytes());
+}
+
+TEST(TShareGridIndexTest, CellsSortedByDistance) {
+  TShareGridIndex idx({0, 0}, {10, 10}, 2.0);
+  const Point q{1.0, 1.0};
+  const auto& order = idx.CellsByDistance(q);
+  ASSERT_EQ(order.size(),
+            static_cast<std::size_t>(idx.cells_x() * idx.cells_y()));
+  double prev = -1.0;
+  for (int cell : order) {
+    const double d = idx.CellCenterDistanceKm(q, cell);
+    EXPECT_GE(d, prev - 1e-12);
+    prev = d;
+  }
+  // Nearest cell is the query's own cell (distance 0).
+  EXPECT_DOUBLE_EQ(idx.CellCenterDistanceKm(q, order.front()), 0.0);
+}
+
+TEST(TShareGridIndexTest, MemoryDwarfsPlainIndex) {
+  GridIndex plain({0, 0}, {30, 30}, 1.0);
+  TShareGridIndex tshare({0, 0}, {30, 30}, 1.0);
+  // The per-cell sorted lists are quadratic in cell count: Fig. 5's
+  // memory gap between tshare and the others.
+  EXPECT_GT(tshare.MemoryBytes(), 100 * plain.MemoryBytes());
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/core/decision.h"
+#include "src/insertion/insertion.h"
+#include "src/workload/city.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+/// Property sweep: on random graphs with random routes, the three
+/// insertion operators must agree exactly on feasibility and minimal
+/// increased distance (Sec. 4 claims the DP variants are exact
+/// accelerations, not approximations), and the decision-phase lower bound
+/// must never exceed the exact optimum (Lemma 7).
+///
+/// Parameters: (seed, graph_kind, worker_capacity, route_attempts).
+class InsertionPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {
+ protected:
+  RoadNetwork MakeGraph(int kind, Rng* rng) {
+    switch (kind) {
+      case 0:
+        return MakeGridGraph(6, 6, 0.8);
+      case 1:
+        return MakeCycleGraph(24, 1.1);
+      case 2:
+        return MakeRandomGeometricGraph(60, 6.0, 3, rng);
+      default: {
+        CityParams p;
+        p.rows = 10;
+        p.cols = 10;
+        p.seed = 99;
+        return MakeCity(p);
+      }
+    }
+  }
+};
+
+TEST_P(InsertionPropertyTest, DpVariantsMatchGroundTruth) {
+  const auto [seed, kind, capacity, attempts] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  TestEnv env(MakeGraph(kind, &rng));
+  const Worker worker{0, static_cast<VertexId>(rng.UniformInt(
+                             0, env.graph().num_vertices() - 1)),
+                      capacity};
+
+  const double now = rng.Uniform(0.0, 30.0);
+  Route route(worker.initial_location, now);
+  const double span = rng.Uniform(10.0, 40.0);
+  BuildRandomRoute(&env, worker, &route, attempts, now, span, &rng);
+
+  // Probe many random new requests against this route.
+  for (int probe = 0; probe < 25; ++probe) {
+    const VertexId n = env.graph().num_vertices();
+    const VertexId o = rng.UniformInt(0, n - 1);
+    VertexId d = rng.UniformInt(0, n - 1);
+    if (d == o) d = (d + 1) % n;
+    const double deadline = now + rng.Uniform(0.2, 1.2) * span;
+    const Request& r =
+        env.AddRequest(o, d, now, deadline, 10.0, rng.UniformInt(1, 2));
+
+    const InsertionCandidate basic =
+        BasicInsertion(worker, route, r, env.ctx());
+    const InsertionCandidate naive =
+        NaiveDpInsertion(worker, route, r, env.ctx());
+    const InsertionCandidate linear =
+        LinearDpInsertion(worker, route, r, env.ctx());
+
+    ASSERT_EQ(basic.feasible(), naive.feasible())
+        << "naive feasibility mismatch, probe " << probe;
+    ASSERT_EQ(basic.feasible(), linear.feasible())
+        << "linear feasibility mismatch, probe " << probe;
+    if (!basic.feasible()) continue;
+
+    EXPECT_NEAR(naive.delta, basic.delta, 1e-9)
+        << "naive delta mismatch, probe " << probe;
+    EXPECT_NEAR(linear.delta, basic.delta, 1e-9)
+        << "linear delta mismatch, probe " << probe;
+
+    // The returned placements must be genuinely feasible and match the
+    // reported delta when applied.
+    for (const InsertionCandidate& c : {naive, linear}) {
+      Route applied = route;
+      applied.Insert(r, c.i, c.j, env.ctx()->oracle());
+      std::vector<Stop> stops(applied.stops().begin(), applied.stops().end());
+      double cost = 0.0;
+      EXPECT_TRUE(ValidateStops(applied.anchor(), applied.anchor_time(),
+                                stops, worker.capacity,
+                                route.OnboardAtAnchor(env.requests()),
+                                env.ctx(), &cost));
+      EXPECT_NEAR(cost - route.RemainingCost(), c.delta, 1e-9);
+    }
+
+    // Lemma 7: the Euclidean decision bound never exceeds the optimum.
+    const RouteState st = BuildRouteState(route, env.ctx());
+    const double lb = DecisionLowerBound(worker, route, st, r,
+                                         env.ctx()->DirectDist(r.id),
+                                         env.graph());
+    EXPECT_LE(lb, basic.delta + 1e-9) << "LB above Delta*, probe " << probe;
+  }
+}
+
+TEST_P(InsertionPropertyTest, InfeasibilityImpliesLowerBoundInfeasible) {
+  // Contrapositive of the LB's soundness: if the relaxed Euclidean check
+  // says kInf, the exact insertion must be infeasible as well.
+  const auto [seed, kind, capacity, attempts] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 7);
+  TestEnv env(MakeGraph(kind, &rng));
+  const Worker worker{0, static_cast<VertexId>(rng.UniformInt(
+                             0, env.graph().num_vertices() - 1)),
+                      capacity};
+  const double now = 0.0;
+  Route route(worker.initial_location, now);
+  BuildRandomRoute(&env, worker, &route, attempts, now, 20.0, &rng);
+  for (int probe = 0; probe < 25; ++probe) {
+    const VertexId n = env.graph().num_vertices();
+    const VertexId o = rng.UniformInt(0, n - 1);
+    VertexId d = rng.UniformInt(0, n - 1);
+    if (d == o) d = (d + 1) % n;
+    // Mostly-tight deadlines to exercise the infeasible side.
+    const Request r = env.AddRequest(o, d, now, now + rng.Uniform(0.0, 6.0));
+    const RouteState st = BuildRouteState(route, env.ctx());
+    const double lb = DecisionLowerBound(worker, route, st, r,
+                                         env.ctx()->DirectDist(r.id),
+                                         env.graph());
+    if (lb == kInf) {
+      EXPECT_FALSE(BasicInsertion(worker, route, r, env.ctx()).feasible())
+          << "probe " << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, InsertionPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),  // seeds
+                       ::testing::Values(0, 1, 2, 3),     // graph kinds
+                       ::testing::Values(1, 3, 6),        // capacities
+                       ::testing::Values(4, 10)));        // route attempts
+
+}  // namespace
+}  // namespace urpsm

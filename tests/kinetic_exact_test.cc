@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/algos/kinetic.h"
+#include "src/insertion/insertion.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+/// Brute-force minimal route cost over ALL permutations of the given
+/// stops (precedence/capacity/deadline respected), used as ground truth
+/// for the kinetic planner's branch-and-bound ordering search.
+double BruteForceBestCost(TestEnv* env, const Worker& worker, VertexId anchor,
+                          double anchor_time, std::vector<Stop> stops) {
+  std::vector<std::size_t> order(stops.size());
+  std::iota(order.begin(), order.end(), 0);
+  double best = kInf;
+  std::sort(order.begin(), order.end());
+  do {
+    std::vector<Stop> seq;
+    for (std::size_t k : order) seq.push_back(stops[k]);
+    double cost = 0.0;
+    if (ValidateStops(anchor, anchor_time, seq, worker.capacity, 0,
+                      env->ctx(), &cost)) {
+      best = std::min(best, cost);
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+class KineticExactTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KineticExactTest, MatchesBruteForceOnTinyRoutes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 4409 + 19);
+  TestEnv env(MakeGridGraph(6, 6, 0.8));
+  const Worker worker{0, static_cast<VertexId>(rng.UniformInt(0, 35)), 6};
+  std::vector<Worker> workers = {worker};
+  Fleet fleet(workers, &env.graph());
+  KineticPlanner kinetic(env.ctx(), &fleet, PlannerConfig{});
+
+  // Feed 3 requests through the kinetic planner; after each accepted
+  // request, the planner's route cost must equal the brute-force optimum
+  // over all orderings of exactly the served stops.
+  std::vector<Stop> expected_stops;
+  for (int k = 0; k < 3; ++k) {
+    const VertexId o = rng.UniformInt(0, 35);
+    VertexId d = rng.UniformInt(0, 35);
+    if (d == o) d = (d + 1) % 36;
+    const Request r =
+        env.AddRequest(o, d, 0.0, rng.Uniform(25.0, 60.0), 1e9);
+    const WorkerId got = kinetic.OnRequest(r);
+    if (got == kInvalidWorker) continue;
+    expected_stops.push_back({r.origin, r.id, StopKind::kPickup});
+    expected_stops.push_back({r.destination, r.id, StopKind::kDropoff});
+    const double brute = BruteForceBestCost(
+        &env, worker, fleet.route(0).anchor(), fleet.route(0).anchor_time(),
+        expected_stops);
+    ASSERT_LT(brute, kInf);
+    EXPECT_NEAR(fleet.route(0).RemainingCost(), brute, 1e-9)
+        << "after request " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KineticExactTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+TEST(AverageReportsTest, SingleReportIsIdentityOnMeans) {
+  SimReport r;
+  r.algorithm = "x";
+  r.total_requests = 10;
+  r.served_requests = 7;
+  r.served_rate = 0.7;
+  r.unified_cost = 123.0;
+  r.distance_queries = 42;
+  const SimReport avg = AverageReports({r});
+  EXPECT_EQ(avg.algorithm, "x");
+  EXPECT_EQ(avg.served_requests, 7);
+  EXPECT_DOUBLE_EQ(avg.unified_cost, 123.0);
+  EXPECT_EQ(avg.distance_queries, 42);
+}
+
+TEST(AverageReportsTest, MeansAndMaxes) {
+  SimReport a, b;
+  a.algorithm = b.algorithm = "x";
+  a.total_requests = b.total_requests = 100;
+  a.served_requests = 60;
+  b.served_requests = 80;
+  a.unified_cost = 100.0;
+  b.unified_cost = 200.0;
+  a.max_response_ms = 5.0;
+  b.max_response_ms = 9.0;
+  a.timed_out = false;
+  b.timed_out = true;
+  a.makespan_min = 100.0;
+  b.makespan_min = 90.0;
+  const SimReport avg = AverageReports({a, b});
+  EXPECT_EQ(avg.served_requests, 70);
+  EXPECT_DOUBLE_EQ(avg.unified_cost, 150.0);
+  EXPECT_DOUBLE_EQ(avg.max_response_ms, 9.0);  // max, not mean
+  EXPECT_TRUE(avg.timed_out);                  // OR
+  EXPECT_DOUBLE_EQ(avg.makespan_min, 100.0);   // max
+}
+
+TEST(ServiceMetricsTest, PopulatedAndSane) {
+  const RoadNetwork g = MakeChengduLike(0.03, 8);
+  DijkstraOracle oracle(&g);
+  Rng rng(4);
+  std::vector<Worker> workers = GenerateWorkers(g, 10, 3.0, &rng);
+  RequestParams rp;
+  rp.count = 120;
+  rp.duration_min = 200.0;
+  std::vector<Request> requests = GenerateRequests(g, rp, &oracle, &rng);
+  Simulation sim(&g, &oracle, workers, &requests, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  ASSERT_GT(rep.served_requests, 0);
+  EXPECT_GE(rep.mean_pickup_wait_min, 0.0);
+  // A pickup can never wait past the deadline window.
+  EXPECT_LE(rep.mean_pickup_wait_min, rp.deadline_offset_min);
+  // Detour ratio >= 1: the on-board path is at least the direct distance.
+  EXPECT_GE(rep.mean_detour_ratio, 1.0 - 1e-9);
+  // Makespan is after the last served request's release.
+  double last_served_release = 0.0;
+  for (const Request& r : requests) {
+    if (sim.served()[static_cast<std::size_t>(r.id)]) {
+      last_served_release = std::max(last_served_release, r.release_time);
+    }
+  }
+  EXPECT_GE(rep.makespan_min, last_served_release);
+}
+
+TEST(MaterializePathTest, ExpandsLegsIntoRealEdges) {
+  TestEnv env(MakeGridGraph(6, 6, 1.0));
+  const Request r1 = env.AddRequest(7, 28, 0.0, 1e9);
+  Route rt(0, 0.0);
+  rt.Insert(r1, 0, 0, env.oracle());
+  const std::vector<VertexId> path = rt.MaterializePath(env.oracle());
+  ASSERT_GE(path.size(), 3u);
+  EXPECT_EQ(path.front(), 0);
+  EXPECT_EQ(path.back(), 28);
+  // Consecutive vertices must be joined by actual edges, and the total
+  // cost must equal the route's planned cost.
+  double cost = 0.0;
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    double leg = kInf;
+    for (const auto& arc : env.graph().Neighbors(path[i])) {
+      if (arc.to == path[i + 1]) leg = std::min(leg, arc.cost);
+    }
+    ASSERT_LT(leg, kInf) << "non-edge " << path[i] << "->" << path[i + 1];
+    cost += leg;
+  }
+  EXPECT_NEAR(cost, rt.RemainingCost(), 1e-9);
+}
+
+TEST(MaterializePathTest, EmptyRouteIsJustTheAnchor) {
+  TestEnv env(MakeGridGraph(3, 3, 1.0));
+  Route rt(4, 0.0);
+  const auto path = rt.MaterializePath(env.oracle());
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 4);
+}
+
+}  // namespace
+}  // namespace urpsm

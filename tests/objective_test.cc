@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "src/core/objective.h"
+#include "src/core/urpsm.h"
+#include "src/graph/builders.h"
+#include "src/shortest/oracle.h"
+
+namespace urpsm {
+namespace {
+
+std::vector<Request> ThreeRequests() {
+  std::vector<Request> rs(3);
+  for (int i = 0; i < 3; ++i) {
+    rs[static_cast<std::size_t>(i)].id = i;
+    rs[static_cast<std::size_t>(i)].origin = i;
+    rs[static_cast<std::size_t>(i)].destination = i + 2;
+    rs[static_cast<std::size_t>(i)].penalty = 5.0;
+  }
+  return rs;
+}
+
+TEST(ObjectiveTest, UnifiedCostFormula) {
+  EXPECT_DOUBLE_EQ(UnifiedCost(1.0, 100.0, 20.0), 120.0);
+  EXPECT_DOUBLE_EQ(UnifiedCost(0.0, 100.0, 20.0), 20.0);
+  EXPECT_DOUBLE_EQ(UnifiedCost(2.5, 10.0, 0.0), 25.0);
+}
+
+TEST(ObjectiveTest, PresetAlphas) {
+  EXPECT_DOUBLE_EQ(Objective::MinTotalDistance().alpha, 1.0);
+  EXPECT_DOUBLE_EQ(Objective::MaxServedCount().alpha, 0.0);
+  EXPECT_DOUBLE_EQ(Objective::MaxRevenue(0.3).alpha, 0.3);
+}
+
+TEST(ObjectiveTest, PenaltyRewrites) {
+  auto rs = ThreeRequests();
+  SetServeAllPenalties(&rs);
+  for (const Request& r : rs) EXPECT_DOUBLE_EQ(r.penalty, kServeAllPenalty);
+  SetUnitPenalties(&rs);
+  for (const Request& r : rs) EXPECT_DOUBLE_EQ(r.penalty, 1.0);
+  ScalePenalties(&rs, 4.0);
+  for (const Request& r : rs) EXPECT_DOUBLE_EQ(r.penalty, 4.0);
+}
+
+TEST(ObjectiveTest, RevenuePenaltiesUseShortestDistance) {
+  const RoadNetwork g = MakePathGraph(8, 1.0);
+  DijkstraOracle oracle(&g);
+  auto rs = ThreeRequests();
+  SetRevenuePenalties(&rs, 2.0, &oracle);
+  for (const Request& r : rs) {
+    EXPECT_DOUBLE_EQ(r.penalty,
+                     2.0 * oracle.Distance(r.origin, r.destination));
+  }
+}
+
+TEST(ObjectiveTest, RevenueIdentityEquation4) {
+  // Eq. (4): revenue = c_r * sum_R dis(o,d) - UC when alpha = c_w and
+  // p_r = c_r * dis(o_r, d_r).
+  const RoadNetwork g = MakePathGraph(10, 1.0);
+  DijkstraOracle oracle(&g);
+  const double cr = 2.0, cw = 0.5;
+  auto rs = ThreeRequests();
+  SetRevenuePenalties(&rs, cr, &oracle);
+
+  // Suppose requests 0 and 2 are served with some total distance D.
+  std::vector<bool> served = {true, false, true};
+  const double total_distance = 7.25;
+
+  double penalty_sum = 0.0;
+  double all_fares = 0.0;
+  for (const Request& r : rs) {
+    all_fares += cr * oracle.Distance(r.origin, r.destination);
+    if (!served[static_cast<std::size_t>(r.id)]) penalty_sum += r.penalty;
+  }
+  const double uc = UnifiedCost(cw, total_distance, penalty_sum);
+  const double revenue =
+      Revenue(rs, served, total_distance, cr, cw, &oracle);
+  EXPECT_NEAR(revenue, all_fares - uc, 1e-9);
+}
+
+TEST(ObjectiveTest, InstanceValidation) {
+  Instance inst;
+  EXPECT_EQ(ValidateInstance(inst), "empty road network");
+  inst.graph = MakePathGraph(5, 1.0);
+  EXPECT_EQ(ValidateInstance(inst), "");  // no workers/requests is fine
+
+  inst.workers.push_back({0, 2, 4});
+  EXPECT_EQ(ValidateInstance(inst), "");
+  inst.workers.push_back({5, 2, 4});  // id not dense
+  EXPECT_NE(ValidateInstance(inst), "");
+  inst.workers.pop_back();
+
+  Request r;
+  r.id = 0;
+  r.origin = 1;
+  r.destination = 3;
+  r.release_time = 5.0;
+  r.deadline = 15.0;
+  r.penalty = 1.0;
+  inst.requests.push_back(r);
+  EXPECT_EQ(ValidateInstance(inst), "");
+
+  inst.requests[0].deadline = 2.0;  // before release
+  EXPECT_NE(ValidateInstance(inst), "");
+  inst.requests[0].deadline = 15.0;
+  inst.requests[0].origin = 99;  // out of range
+  EXPECT_NE(ValidateInstance(inst), "");
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "src/core/offline.h"
+#include "src/core/planner.h"
+#include "src/sim/simulator.h"
+#include "src/workload/adversary.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+class OfflineTest : public ::testing::Test {
+ protected:
+  OfflineTest() : env_(MakePathGraph(10, 1.0)) {}
+  double EdgeMin() const {
+    return 1.0 / SpeedKmPerMin(RoadClass::kResidential);
+  }
+  TestEnv env_;
+};
+
+TEST_F(OfflineTest, EmptyInstanceCostsNothing) {
+  std::vector<Worker> workers = {{0, 0, 4}};
+  const OfflineSolution sol =
+      SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
+  EXPECT_DOUBLE_EQ(sol.unified_cost, 0.0);
+  EXPECT_EQ(sol.served, 0);
+}
+
+TEST_F(OfflineTest, SingleRequestServedWhenCheap) {
+  const double e = EdgeMin();
+  const Request r = env_.AddRequest(2, 5, 0.0, 100.0, /*penalty=*/100.0);
+  std::vector<Worker> workers = {{0, 0, 4}};
+  const OfflineSolution sol =
+      SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
+  EXPECT_EQ(sol.served, 1);
+  EXPECT_NEAR(sol.unified_cost, 5 * e, 1e-9);  // drive 0->2->5
+  EXPECT_EQ(sol.assignment[0], 0);
+}
+
+TEST_F(OfflineTest, SingleRequestRejectedWhenPenaltyCheap) {
+  const Request r = env_.AddRequest(2, 5, 0.0, 100.0, /*penalty=*/1e-3);
+  std::vector<Worker> workers = {{0, 9, 4}};  // far away
+  const OfflineSolution sol =
+      SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
+  EXPECT_EQ(sol.served, 0);
+  EXPECT_NEAR(sol.unified_cost, 1e-3, 1e-12);
+}
+
+TEST_F(OfflineTest, WaitingForReleaseIsFree) {
+  // Request releases late; worker sits at its origin. Cost must be the
+  // pure trip, not the wait.
+  const double e = EdgeMin();
+  const Request r = env_.AddRequest(0, 3, /*release=*/50.0,
+                                    /*deadline=*/50.0 + 4 * e, 100.0);
+  std::vector<Worker> workers = {{0, 0, 4}};
+  const OfflineSolution sol =
+      SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
+  EXPECT_EQ(sol.served, 1);
+  EXPECT_NEAR(sol.total_distance, 3 * e, 1e-9);
+}
+
+TEST_F(OfflineTest, PoolsWhenBeneficial) {
+  // Two overlapping trips along the path: one vehicle can carry both.
+  const Request r1 = env_.AddRequest(1, 6, 0.0, 1e9, 1e6);
+  const Request r2 = env_.AddRequest(2, 5, 0.0, 1e9, 1e6);
+  std::vector<Worker> workers = {{0, 0, 4}};
+  const OfflineSolution sol =
+      SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
+  EXPECT_EQ(sol.served, 2);
+  // Optimal: 0->1->2->5->6 = 6 edges.
+  EXPECT_NEAR(sol.total_distance, 6 * EdgeMin(), 1e-9);
+}
+
+TEST_F(OfflineTest, CapacityForbidsPooling) {
+  const Request r1 = env_.AddRequest(1, 6, 0.0, 1e9, 1e6);
+  const Request r2 = env_.AddRequest(2, 5, 0.0, 1e9, 1e6);
+  std::vector<Worker> workers = {{0, 0, 1}};  // one passenger at a time
+  const OfflineSolution sol =
+      SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
+  EXPECT_EQ(sol.served, 2);
+  // Must serve sequentially: 0->1->6 then back 6->2... optimal order is
+  // 0->2->5->... wait release times are 0; best: 0->1? Let the solver
+  // decide — just assert it is strictly worse than the pooled 6 edges.
+  EXPECT_GT(sol.total_distance, 6 * EdgeMin() + 1e-9);
+}
+
+TEST_F(OfflineTest, BestRouteCostInfeasibleOnImpossibleDeadline) {
+  const double e = EdgeMin();
+  const Request r = env_.AddRequest(2, 9, 0.0, 3 * e, 10.0);  // needs 9e
+  std::vector<RequestId> set = {r.id};
+  EXPECT_EQ(BestRouteCost({0, 0, 4}, set, env_.ctx()), kInf);
+}
+
+TEST_F(OfflineTest, TwoWorkersSplitLoad) {
+  const double e = EdgeMin();
+  // Opposite-direction trips: each worker should take one.
+  const Request r1 = env_.AddRequest(1, 3, 0.0, 4 * e, 1e6);
+  const Request r2 = env_.AddRequest(8, 6, 0.0, 4 * e, 1e6);
+  std::vector<Worker> workers = {{0, 0, 4}, {1, 9, 4}};
+  const OfflineSolution sol =
+      SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
+  EXPECT_EQ(sol.served, 2);
+  EXPECT_EQ(sol.assignment[0], 0);
+  EXPECT_EQ(sol.assignment[1], 1);
+  EXPECT_NEAR(sol.total_distance, (3 + 3) * e, 1e-9);
+}
+
+/// The clairvoyant optimum lower-bounds every online planner.
+TEST(OfflineBoundTest, OfflineNeverWorseThanOnlineGreedy) {
+  for (std::uint64_t seed : {3u, 7u, 13u, 19u}) {
+    const RoadNetwork g = MakeChengduLike(0.02, seed);
+    DijkstraOracle oracle(&g);
+    Rng rng(seed);
+    std::vector<Worker> workers = GenerateWorkers(g, 2, 3.0, &rng);
+    RequestParams rp;
+    rp.count = 6;
+    rp.duration_min = 30.0;
+    rp.deadline_offset_min = 15.0;
+    rp.seed = seed;
+    std::vector<Request> requests = GenerateRequests(g, rp, &oracle, &rng);
+
+    PlanningContext ctx(&g, &oracle, &requests);
+    const OfflineSolution opt = SolveOffline(workers, requests, 1.0, &ctx);
+
+    Simulation sim(&g, &oracle, workers, &requests, SimOptions{});
+    const SimReport online = sim.Run(MakePruneGreedyDpFactory({}));
+    EXPECT_LE(opt.unified_cost, online.unified_cost + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(OfflineBoundTest, OfflineServesAdversaryRequestAlways) {
+  // Lemma 1's key fact: E[OPT unserved] = 0 — the clairvoyant solver
+  // always serves the cycle-adversary request.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    Instance inst =
+        MakeCycleAdversary(12, AdversaryLemma::kMaxServed, 0.5, &rng);
+    // Offline knows the request: it can pre-position during [0, |V|].
+    // Our solver models free waiting *at* the pickup vertex, which is the
+    // same power here.
+    DijkstraOracle oracle(&inst.graph);
+    PlanningContext ctx(&inst.graph, &oracle, &inst.requests);
+    const OfflineSolution sol =
+        SolveOffline(inst.workers, inst.requests, 0.0, &ctx);
+    EXPECT_EQ(sol.served, 1) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace urpsm

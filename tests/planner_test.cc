@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "src/core/planner.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  PlannerTest() : env_(MakeGridGraph(10, 10, 0.8)) {}
+  TestEnv env_;
+};
+
+TEST_F(PlannerTest, ServesTrivialRequest) {
+  std::vector<Worker> workers = {{0, 0, 4}};
+  Fleet fleet(workers, &env_.graph());
+  PlannerConfig cfg;
+  GreedyDpPlanner planner(env_.ctx(), &fleet, cfg);
+  const Request r = env_.AddRequest(11, 22, 0.0, 1e9);
+  EXPECT_EQ(planner.OnRequest(r), 0);
+  EXPECT_EQ(fleet.AssignedWorker(r.id), 0);
+  EXPECT_EQ(fleet.route(0).size(), 2);
+}
+
+TEST_F(PlannerTest, RejectsWhenPenaltyBelowLowerBound) {
+  // alpha = 1 and a tiny penalty: serving costs more than rejecting.
+  std::vector<Worker> workers = {{0, 99, 4}};  // far corner
+  Fleet fleet(workers, &env_.graph());
+  PlannerConfig cfg;
+  cfg.alpha = 1.0;
+  GreedyDpPlanner planner(env_.ctx(), &fleet, cfg);
+  const Request r = env_.AddRequest(0, 1, 0.0, 1e9, /*penalty=*/1e-6);
+  EXPECT_EQ(planner.OnRequest(r), kInvalidWorker);
+}
+
+TEST_F(PlannerTest, AlphaZeroNeverRejectsByPenalty) {
+  // Maximize served count: alpha = 0 disables the penalty rejection.
+  std::vector<Worker> workers = {{0, 99, 4}};
+  Fleet fleet(workers, &env_.graph());
+  PlannerConfig cfg;
+  cfg.alpha = 0.0;
+  GreedyDpPlanner planner(env_.ctx(), &fleet, cfg);
+  const Request r = env_.AddRequest(0, 1, 0.0, 1e9, /*penalty=*/1e-6);
+  EXPECT_EQ(planner.OnRequest(r), 0);
+}
+
+TEST_F(PlannerTest, RejectsUnservableDeadline) {
+  std::vector<Worker> workers = {{0, 0, 4}};
+  Fleet fleet(workers, &env_.graph());
+  GreedyDpPlanner planner(env_.ctx(), &fleet, PlannerConfig{});
+  const Request r = env_.AddRequest(98, 99, 0.0, 0.001);  // hopeless
+  EXPECT_EQ(planner.OnRequest(r), kInvalidWorker);
+}
+
+TEST_F(PlannerTest, PicksTheCheaperWorker) {
+  std::vector<Worker> workers = {{0, 0, 4}, {1, 23, 4}};
+  Fleet fleet(workers, &env_.graph());
+  GreedyDpPlanner planner(env_.ctx(), &fleet, PlannerConfig{});
+  // Request right next to worker 1's anchor (vertex 23 = (3,2)).
+  const Request r = env_.AddRequest(24, 27, 0.0, 1e9);
+  EXPECT_EQ(planner.OnRequest(r), 1);
+}
+
+TEST_F(PlannerTest, ExactRejectCheckAblation) {
+  // With the ablation on, a penalty between LB and Delta* flips to reject.
+  std::vector<Worker> workers = {{0, 90, 4}};  // (0,9): euclid 7.2km but
+                                               // road distance longer
+  const Request probe = env_.AddRequest(9, 8, 0.0, 1e9);  // (9,0)->(8,0)
+  {
+    Fleet fleet(workers, &env_.graph());
+    PlannerConfig cfg;
+    cfg.exact_reject_check = false;
+    GreedyDpPlanner planner(env_.ctx(), &fleet, cfg);
+    Request r = probe;
+    // Penalty below the exact cost but above the Euclidean lower bound:
+    // straight-line (9,9 apart... vertices (0,9) to (9,0)) at motorway
+    // speed is far less than grid travel at residential speed.
+    r.penalty = env_.graph().EuclideanLowerBoundMin(90, 9) * 1.5;
+    EXPECT_EQ(planner.OnRequest(r), 0);  // paper-faithful: serves
+  }
+  {
+    Fleet fleet(workers, &env_.graph());
+    PlannerConfig cfg;
+    cfg.exact_reject_check = true;
+    GreedyDpPlanner planner(env_.ctx(), &fleet, cfg);
+    Request r = probe;
+    r.penalty = env_.graph().EuclideanLowerBoundMin(90, 9) * 1.5;
+    EXPECT_EQ(planner.OnRequest(r), kInvalidWorker);  // ablation: rejects
+  }
+}
+
+TEST_F(PlannerTest, CandidateRadiusNegativeWhenHopeless) {
+  Request r;
+  r.release_time = 10.0;
+  r.deadline = 12.0;
+  EXPECT_LT(CandidateRadiusKm(r, /*L=*/5.0, /*now=*/10.0), 0.0);
+  EXPECT_GT(CandidateRadiusKm(r, /*L=*/1.0, /*now=*/10.0), 0.0);
+}
+
+/// Lemma 8 is lossless: pruneGreedyDP and GreedyDP must produce identical
+/// assignments and unified costs on a full simulated day, while the pruned
+/// variant issues no more distance queries.
+TEST(PlannerEquivalenceTest, PruningIsLossless) {
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    const RoadNetwork g = MakeNycLike(0.02, seed);
+    DijkstraOracle oracle(&g);
+    Rng rng(seed);
+    std::vector<Worker> workers = GenerateWorkers(g, 15, 3.0, &rng);
+    RequestParams rp;
+    rp.count = 120;
+    rp.duration_min = 120.0;
+    rp.seed = seed;
+    std::vector<Request> requests = GenerateRequests(g, rp, &oracle, &rng);
+
+    SimOptions options;
+    Simulation sim_pruned(&g, &oracle, workers, &requests, options);
+    const SimReport pruned = sim_pruned.Run(MakePruneGreedyDpFactory({}));
+    std::vector<bool> served_pruned = sim_pruned.served();
+
+    Simulation sim_plain(&g, &oracle, workers, &requests, options);
+    const SimReport plain = sim_plain.Run(MakeGreedyDpFactory({}));
+
+    EXPECT_EQ(pruned.served_requests, plain.served_requests) << seed;
+    EXPECT_NEAR(pruned.unified_cost, plain.unified_cost,
+                1e-6 * std::max(1.0, plain.unified_cost))
+        << seed;
+    EXPECT_EQ(served_pruned, sim_plain.served()) << seed;
+    EXPECT_LE(pruned.distance_queries, plain.distance_queries) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/builders.h"
+#include "src/model/route.h"
+#include "src/shortest/oracle.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+class RouteTest : public ::testing::Test {
+ protected:
+  RouteTest() : env_(MakePathGraph(8, 1.0)) {}
+  double EdgeMin() const { return 1.0 / SpeedKmPerMin(RoadClass::kResidential); }
+  TestEnv env_;
+};
+
+TEST_F(RouteTest, EmptyRoute) {
+  Route rt(3, 5.0);
+  EXPECT_EQ(rt.anchor(), 3);
+  EXPECT_DOUBLE_EQ(rt.anchor_time(), 5.0);
+  EXPECT_TRUE(rt.empty());
+  EXPECT_DOUBLE_EQ(rt.RemainingCost(), 0.0);
+  EXPECT_EQ(rt.VertexAt(0), 3);
+  EXPECT_DOUBLE_EQ(rt.ArrivalAt(0), 5.0);
+}
+
+TEST_F(RouteTest, AppendInsertion) {
+  const Request r = env_.AddRequest(2, 5, 0.0, 100.0);
+  Route rt(0, 0.0);
+  rt.Insert(r, 0, 0, env_.oracle());  // i = j = n = 0: Fig. 2a
+  ASSERT_EQ(rt.size(), 2);
+  EXPECT_EQ(rt.VertexAt(1), 2);
+  EXPECT_EQ(rt.VertexAt(2), 5);
+  EXPECT_EQ(rt.stops()[0].kind, StopKind::kPickup);
+  EXPECT_EQ(rt.stops()[1].kind, StopKind::kDropoff);
+  EXPECT_NEAR(rt.RemainingCost(), 5 * EdgeMin(), 1e-12);  // 0->2 + 2->5
+  EXPECT_NEAR(rt.ArrivalAt(2), 5 * EdgeMin(), 1e-12);
+}
+
+TEST_F(RouteTest, MidRouteInsertionFig2b) {
+  const Request r1 = env_.AddRequest(4, 7, 0.0, 100.0);
+  const Request r2 = env_.AddRequest(1, 2, 0.0, 100.0);
+  Route rt(0, 0.0);
+  rt.Insert(r1, 0, 0, env_.oracle());   // 0 -> 4 -> 7
+  rt.Insert(r2, 0, 0, env_.oracle());   // 0 -> 1 -> 2 -> 4 -> 7
+  ASSERT_EQ(rt.size(), 4);
+  EXPECT_EQ(rt.VertexAt(1), 1);
+  EXPECT_EQ(rt.VertexAt(2), 2);
+  EXPECT_EQ(rt.VertexAt(3), 4);
+  EXPECT_EQ(rt.VertexAt(4), 7);
+  EXPECT_NEAR(rt.RemainingCost(), 7 * EdgeMin(), 1e-12);
+}
+
+TEST_F(RouteTest, GeneralInsertionFig2c) {
+  const Request r1 = env_.AddRequest(2, 6, 0.0, 100.0);
+  const Request r2 = env_.AddRequest(3, 7, 0.0, 100.0);
+  Route rt(0, 0.0);
+  rt.Insert(r1, 0, 0, env_.oracle());   // 0 -> 2 -> 6
+  rt.Insert(r2, 1, 2, env_.oracle());   // 0 -> 2 -> 3 -> 6 -> 7
+  ASSERT_EQ(rt.size(), 4);
+  EXPECT_EQ(rt.VertexAt(2), 3);
+  EXPECT_EQ(rt.VertexAt(4), 7);
+  // Legs: 0->2 (2), 2->3 (1), 3->6 (3), 6->7 (1) = 7 edges total.
+  EXPECT_NEAR(rt.RemainingCost(), 7 * EdgeMin(), 1e-12);
+}
+
+TEST_F(RouteTest, LegCostsMatchOracleAfterInsertions) {
+  const Request r1 = env_.AddRequest(3, 5, 0.0, 100.0);
+  const Request r2 = env_.AddRequest(1, 6, 0.0, 100.0);
+  Route rt(2, 0.0);
+  rt.Insert(r1, 0, 0, env_.oracle());
+  rt.Insert(r2, 0, 2, env_.oracle());  // pickup before r1's, dropoff after
+  for (int k = 0; k < rt.size(); ++k) {
+    EXPECT_NEAR(rt.leg_costs()[static_cast<std::size_t>(k)],
+                env_.oracle()->Distance(rt.VertexAt(k), rt.VertexAt(k + 1)),
+                1e-12)
+        << "leg " << k;
+  }
+}
+
+TEST_F(RouteTest, PopFrontCommitsStop) {
+  const Request r = env_.AddRequest(2, 5, 0.0, 100.0);
+  Route rt(0, 0.0);
+  rt.Insert(r, 0, 0, env_.oracle());
+  const Stop s = rt.PopFront();
+  EXPECT_EQ(s.location, 2);
+  EXPECT_EQ(s.kind, StopKind::kPickup);
+  EXPECT_EQ(rt.anchor(), 2);
+  EXPECT_NEAR(rt.anchor_time(), 2 * EdgeMin(), 1e-12);
+  EXPECT_EQ(rt.size(), 1);
+}
+
+TEST_F(RouteTest, OnboardAtAnchorCountsCommittedPickups) {
+  const Request r = env_.AddRequest(2, 5, 0.0, 100.0, 10.0, 3);
+  Route rt(0, 0.0);
+  rt.Insert(r, 0, 0, env_.oracle());
+  EXPECT_EQ(rt.OnboardAtAnchor(env_.requests()), 0);
+  rt.PopFront();  // pickup committed; rider (capacity 3) on board
+  EXPECT_EQ(rt.OnboardAtAnchor(env_.requests()), 3);
+  rt.PopFront();  // dropoff committed
+  EXPECT_EQ(rt.OnboardAtAnchor(env_.requests()), 0);
+}
+
+TEST_F(RouteTest, SetStopsRecomputesLegs) {
+  const Request r1 = env_.AddRequest(1, 4, 0.0, 100.0);
+  Route rt(0, 0.0);
+  std::vector<Stop> stops = {{4, r1.id, StopKind::kPickup},
+                             {1, r1.id, StopKind::kDropoff}};
+  rt.SetStops(stops, env_.oracle());
+  ASSERT_EQ(rt.size(), 2);
+  EXPECT_NEAR(rt.RemainingCost(), (4 + 3) * EdgeMin(), 1e-12);
+}
+
+TEST_F(RouteTest, ArrivalTimesArePrefixSums) {
+  const Request r1 = env_.AddRequest(2, 6, 10.0, 200.0);
+  Route rt(0, 10.0);
+  rt.Insert(r1, 0, 0, env_.oracle());
+  EXPECT_NEAR(rt.ArrivalAt(0), 10.0, 1e-12);
+  EXPECT_NEAR(rt.ArrivalAt(1), 10.0 + 2 * EdgeMin(), 1e-12);
+  EXPECT_NEAR(rt.ArrivalAt(2), 10.0 + 6 * EdgeMin(), 1e-12);
+}
+
+}  // namespace
+}  // namespace urpsm

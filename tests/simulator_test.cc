@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+
+namespace urpsm {
+namespace {
+
+struct SimFixture {
+  SimFixture(std::uint64_t seed, int n_workers, int n_requests)
+      : graph(MakeNycLike(0.02, seed)), oracle(&graph), rng(seed) {
+    workers = GenerateWorkers(graph, n_workers, 3.0, &rng);
+    RequestParams rp;
+    rp.count = n_requests;
+    rp.duration_min = 180.0;
+    rp.seed = seed + 1;
+    requests = GenerateRequests(graph, rp, &oracle, &rng);
+  }
+  RoadNetwork graph;
+  DijkstraOracle oracle;
+  Rng rng;
+  std::vector<Worker> workers;
+  std::vector<Request> requests;
+};
+
+TEST(SimulatorTest, ReportAggregatesAreConsistent) {
+  SimFixture f(5, 10, 80);
+  SimOptions options;
+  options.alpha = 1.0;
+  Simulation sim(&f.graph, &f.oracle, f.workers, &f.requests, options);
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+
+  EXPECT_EQ(rep.total_requests, 80);
+  EXPECT_GE(rep.served_requests, 0);
+  EXPECT_LE(rep.served_requests, 80);
+  EXPECT_NEAR(rep.served_rate, rep.served_requests / 80.0, 1e-12);
+  EXPECT_NEAR(rep.unified_cost,
+              options.alpha * rep.total_distance + rep.penalty_sum, 1e-9);
+  EXPECT_GT(rep.distance_queries, 0);
+  EXPECT_FALSE(rep.timed_out);
+  // Penalty sum equals the sum over rejected requests.
+  double expect_penalty = 0.0;
+  for (const Request& r : f.requests) {
+    if (!sim.served()[static_cast<std::size_t>(r.id)]) {
+      expect_penalty += r.penalty;
+    }
+  }
+  EXPECT_NEAR(rep.penalty_sum, expect_penalty, 1e-9);
+}
+
+TEST(SimulatorTest, InvariantsHoldAfterRun) {
+  SimFixture f(6, 12, 100);
+  Simulation sim(&f.graph, &f.oracle, f.workers, &f.requests, SimOptions{});
+  sim.Run(MakePruneGreedyDpFactory({}));
+  const InvariantReport rep = VerifyInvariants(sim.fleet(), f.requests);
+  EXPECT_TRUE(rep.ok) << rep.violation;
+}
+
+TEST(SimulatorTest, ServedImpliesDeliveredByDeadline) {
+  SimFixture f(7, 12, 100);
+  Simulation sim(&f.graph, &f.oracle, f.workers, &f.requests, SimOptions{});
+  sim.Run(MakePruneGreedyDpFactory({}));
+  for (const Request& r : f.requests) {
+    if (sim.served()[static_cast<std::size_t>(r.id)]) {
+      EXPECT_LE(sim.fleet().DropoffTime(r.id), r.deadline + 1e-6)
+          << "request " << r.id;
+      EXPECT_LE(sim.fleet().PickupTime(r.id), sim.fleet().DropoffTime(r.id));
+    } else {
+      EXPECT_EQ(sim.fleet().AssignedWorker(r.id), kInvalidWorker);
+    }
+  }
+}
+
+TEST(SimulatorTest, TotalDistanceMatchesCommittedLegs) {
+  SimFixture f(8, 10, 60);
+  Simulation sim(&f.graph, &f.oracle, f.workers, &f.requests, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_NEAR(rep.total_distance, sim.fleet().committed_distance(), 1e-9);
+  // After FinishAll, planned == committed.
+  EXPECT_NEAR(sim.fleet().TotalPlannedDistance(),
+              sim.fleet().committed_distance(), 1e-9);
+}
+
+TEST(SimulatorTest, WallLimitTriggersTimeout) {
+  SimFixture f(9, 10, 200);
+  SimOptions options;
+  options.wall_limit_seconds = 0.0;  // instant kill after first request
+  Simulation sim(&f.graph, &f.oracle, f.workers, &f.requests, options);
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_TRUE(rep.timed_out);
+  EXPECT_LE(rep.served_requests, rep.total_requests);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  SimFixture f(10, 10, 80);
+  Simulation a(&f.graph, &f.oracle, f.workers, &f.requests, SimOptions{});
+  const SimReport ra = a.Run(MakePruneGreedyDpFactory({}));
+  Simulation b(&f.graph, &f.oracle, f.workers, &f.requests, SimOptions{});
+  const SimReport rb = b.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_EQ(ra.served_requests, rb.served_requests);
+  EXPECT_NEAR(ra.unified_cost, rb.unified_cost, 1e-9);
+  EXPECT_NEAR(ra.total_distance, rb.total_distance, 1e-9);
+}
+
+TEST(SimulatorTest, MoreWorkersNeverHurtMuch) {
+  // The paper's Fig. 3 trend: unified cost decreases (served rate rises)
+  // with fleet size. Greedy online planning is not strictly monotone, but
+  // the trend must hold between a tiny and a larger fleet.
+  SimFixture small(11, 3, 150);
+  Simulation sim_small(&small.graph, &small.oracle, small.workers,
+                       &small.requests, SimOptions{});
+  const SimReport rep_small = sim_small.Run(MakePruneGreedyDpFactory({}));
+
+  SimFixture big(11, 30, 150);  // same seed => same graph & requests
+  Simulation sim_big(&big.graph, &big.oracle, big.workers, &big.requests,
+                     SimOptions{});
+  const SimReport rep_big = sim_big.Run(MakePruneGreedyDpFactory({}));
+
+  EXPECT_GT(rep_big.served_rate, rep_small.served_rate);
+  EXPECT_LT(rep_big.unified_cost, rep_small.unified_cost);
+}
+
+}  // namespace
+}  // namespace urpsm

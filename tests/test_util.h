@@ -1,0 +1,83 @@
+#ifndef URPSM_TESTS_TEST_UTIL_H_
+#define URPSM_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/graph/builders.h"
+#include "src/graph/road_network.h"
+#include "src/insertion/insertion.h"
+#include "src/model/feasibility.h"
+#include "src/model/route.h"
+#include "src/model/types.h"
+#include "src/shortest/oracle.h"
+#include "src/util/rng.h"
+
+namespace urpsm {
+
+/// Everything an insertion/planning unit test needs wired together.
+class TestEnv {
+ public:
+  explicit TestEnv(RoadNetwork graph) : graph_(std::move(graph)) {
+    oracle_ = std::make_unique<DijkstraOracle>(&graph_);
+    ctx_ = std::make_unique<PlanningContext>(&graph_, oracle_.get(),
+                                             &requests_);
+  }
+
+  const RoadNetwork& graph() const { return graph_; }
+  PlanningContext* ctx() { return ctx_.get(); }
+  DistanceOracle* oracle() { return oracle_.get(); }
+  std::vector<Request>& requests() { return requests_; }
+
+  /// Registers a request with the next dense id and returns a copy (the
+  /// backing vector may reallocate on later additions).
+  Request AddRequest(VertexId o, VertexId d, double release, double deadline,
+                     double penalty = 10.0, int capacity = 1) {
+    Request r;
+    r.id = static_cast<RequestId>(requests_.size());
+    r.origin = o;
+    r.destination = d;
+    r.release_time = release;
+    r.deadline = deadline;
+    r.penalty = penalty;
+    r.capacity = capacity;
+    requests_.push_back(r);
+    return requests_.back();
+  }
+
+ private:
+  RoadNetwork graph_;
+  std::unique_ptr<DijkstraOracle> oracle_;
+  std::vector<Request> requests_;
+  std::unique_ptr<PlanningContext> ctx_;
+};
+
+/// Builds a random feasible route for `worker` by repeatedly generating
+/// random requests and applying the ground-truth best insertion. Returns
+/// the number of requests actually inserted.
+inline int BuildRandomRoute(TestEnv* env, const Worker& worker, Route* route,
+                            int attempts, double now, double deadline_span,
+                            Rng* rng) {
+  int inserted = 0;
+  const VertexId n = env->graph().num_vertices();
+  for (int k = 0; k < attempts; ++k) {
+    const VertexId o = rng->UniformInt(0, n - 1);
+    VertexId d = rng->UniformInt(0, n - 1);
+    if (d == o) d = (d + 1) % n;
+    const double deadline = now + rng->Uniform(0.3, 1.0) * deadline_span;
+    const Request& r =
+        env->AddRequest(o, d, now, deadline, 10.0, rng->UniformInt(1, 2));
+    const InsertionCandidate cand =
+        BasicInsertion(worker, *route, r, env->ctx());
+    if (cand.feasible()) {
+      route->Insert(r, cand.i, cand.j, env->ctx()->oracle());
+      ++inserted;
+    }
+  }
+  return inserted;
+}
+
+}  // namespace urpsm
+
+#endif  // URPSM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/util/lru_cache.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/util/table.h"
+
+namespace urpsm {
+namespace {
+
+TEST(LruCacheTest, MissOnEmpty) {
+  LruCache<int, int> cache(4);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.hits(), 0);
+}
+
+TEST(LruCacheTest, PutThenGet) {
+  LruCache<int, std::string> cache(4);
+  cache.Put(1, "a");
+  auto hit = cache.Get(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "a");
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_TRUE(cache.Get(1).has_value());  // 1 becomes MRU
+  cache.Put(3, 30);                       // evicts 2
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+}
+
+TEST(LruCacheTest, PutRefreshesExistingKey) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);  // refresh: 1 becomes MRU, size stays 2
+  cache.Put(3, 30);  // evicts 2
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_FALSE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, ZeroCapacityDisablesCaching) {
+  LruCache<int, int> cache(0);
+  cache.Put(1, 10);
+  EXPECT_FALSE(cache.Get(1).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCacheTest, ClearKeepsCounters) {
+  LruCache<int, int> cache(4);
+  cache.Put(1, 10);
+  cache.Get(1);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int x = rng.UniformInt(3, 7);
+    EXPECT_GE(x, 3);
+    EXPECT_LE(x, 7);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformRealInRange) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Uniform(-1.0, 1.0);
+    EXPECT_GE(x, -1.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(3);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) ++counts[rng.Categorical({0.7, 0.2, 0.1})];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_NEAR(counts[0] / 30000.0, 0.7, 0.03);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(StatsTest, EmptyAccumulator) {
+  StatsAccumulator s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+}
+
+TEST(StatsTest, BasicMoments) {
+  StatsAccumulator s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+}
+
+TEST(StatsTest, PercentilesInterpolate) {
+  StatsAccumulator s;
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(95), 95.05, 1e-9);
+}
+
+TEST(StatsTest, PercentileAfterMoreSamples) {
+  StatsAccumulator s;
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 10.0);
+  s.Add(20.0);  // accumulator must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 20.0);
+}
+
+TEST(TableTest, AlignedRendering) {
+  TablePrinter t({"algo", "cost"});
+  t.AddRow({"tshare", "12.5"});
+  t.AddRow({"pruneGreedyDP", "3.25"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("| algo"), std::string::npos);
+  EXPECT_NE(s.find("pruneGreedyDP"), std::string::npos);
+  EXPECT_NE(s.find("|-"), std::string::npos);
+}
+
+TEST(TableTest, CsvRendering) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TableTest, NumFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(1000.0, 0), "1000");
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/shortest/dijkstra.h"
+#include "src/shortest/oracle.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+
+namespace urpsm {
+namespace {
+
+TEST(CityTest, DimensionsAndConnectivity) {
+  CityParams p;
+  p.rows = 20;
+  p.cols = 25;
+  p.dropout = 0.08;
+  const RoadNetwork g = MakeCity(p);
+  EXPECT_EQ(g.num_vertices(), 500);
+  // Connectivity: every vertex reachable from vertex 0.
+  const auto dist = DijkstraAll(g, 0);
+  for (double d : dist) EXPECT_LT(d, kInfDistance);
+}
+
+TEST(CityTest, HasAllRoadClasses) {
+  CityParams p;
+  p.rows = 30;
+  p.cols = 30;
+  const RoadNetwork g = MakeCity(p);
+  std::set<RoadClass> classes;
+  for (const EdgeSpec& e : g.edges()) classes.insert(e.cls);
+  EXPECT_TRUE(classes.contains(RoadClass::kMotorway));
+  EXPECT_TRUE(classes.contains(RoadClass::kPrimary));
+  EXPECT_TRUE(classes.contains(RoadClass::kResidential));
+}
+
+TEST(CityTest, EdgeLengthsRespectEuclideanLowerBound) {
+  CityParams p;
+  p.rows = 15;
+  p.cols = 15;
+  const RoadNetwork g = MakeCity(p);
+  for (const EdgeSpec& e : g.edges()) {
+    EXPECT_GE(e.length_km, g.EuclideanKm(e.u, e.v) - 1e-12);
+  }
+}
+
+TEST(CityTest, DeterministicForSeed) {
+  CityParams p;
+  p.rows = 12;
+  p.cols = 12;
+  p.seed = 77;
+  const RoadNetwork a = MakeCity(p);
+  const RoadNetwork b = MakeCity(p);
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (std::size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].u, b.edges()[i].u);
+    EXPECT_DOUBLE_EQ(a.edges()[i].length_km, b.edges()[i].length_km);
+  }
+}
+
+TEST(CityTest, NycLargerThanChengdu) {
+  // Table 4's relative scale must be preserved by the substitution.
+  const RoadNetwork nyc = MakeNycLike(0.05);
+  const RoadNetwork chengdu = MakeChengduLike(0.05);
+  EXPECT_GT(nyc.num_vertices(), chengdu.num_vertices());
+  EXPECT_GT(nyc.num_undirected_edges(), chengdu.num_undirected_edges());
+}
+
+class RequestGenTest : public ::testing::Test {
+ protected:
+  RequestGenTest()
+      : graph_(MakeNycLike(0.02, 3)), oracle_(&graph_), rng_(123) {}
+  RoadNetwork graph_;
+  DijkstraOracle oracle_;
+  Rng rng_;
+};
+
+TEST_F(RequestGenTest, BasicInvariants) {
+  RequestParams p;
+  p.count = 500;
+  auto rs = GenerateRequests(graph_, p, &oracle_, &rng_);
+  ASSERT_EQ(rs.size(), 500u);
+  double prev = -1.0;
+  for (const Request& r : rs) {
+    EXPECT_EQ(r.id, &r - rs.data());  // dense ids in sorted order
+    EXPECT_GE(r.release_time, prev);
+    prev = r.release_time;
+    EXPECT_NE(r.origin, r.destination);
+    EXPECT_GE(r.origin, 0);
+    EXPECT_LT(r.origin, graph_.num_vertices());
+    EXPECT_NEAR(r.deadline - r.release_time, p.deadline_offset_min, 1e-9);
+    EXPECT_GE(r.capacity, 1);
+    EXPECT_LE(r.capacity, 6);
+    EXPECT_NEAR(r.penalty,
+                p.penalty_factor * oracle_.Distance(r.origin, r.destination),
+                1e-9);
+  }
+}
+
+TEST_F(RequestGenTest, CapacityDistributionMostlySingles) {
+  RequestParams p;
+  p.count = 2000;
+  auto rs = GenerateRequests(graph_, p, &oracle_, &rng_);
+  int singles = 0;
+  for (const Request& r : rs) singles += (r.capacity == 1);
+  // NYC TLC: ~72% single-passenger trips.
+  EXPECT_NEAR(singles / 2000.0, 0.72, 0.05);
+}
+
+TEST_F(RequestGenTest, RushHourConcentration) {
+  RequestParams p;
+  p.count = 4000;
+  p.rush_fraction = 0.8;
+  auto rs = GenerateRequests(graph_, p, &oracle_, &rng_);
+  int in_peaks = 0;
+  for (const Request& r : rs) {
+    const double t = r.release_time;
+    if ((t > 7.0 * 60 && t < 10.0 * 60) || (t > 16.5 * 60 && t < 19.5 * 60)) {
+      ++in_peaks;
+    }
+  }
+  // Peak windows are ~25% of the day but must hold well over half the
+  // trips at rush_fraction 0.8.
+  EXPECT_GT(in_peaks / 4000.0, 0.55);
+}
+
+TEST_F(RequestGenTest, HotspotsConcentrateDemand) {
+  RequestParams p;
+  p.count = 3000;
+  p.uniform_fraction = 0.0;
+  p.hotspot_count = 2;
+  p.hotspot_stddev_km = 0.8;
+  auto rs = GenerateRequests(graph_, p, &oracle_, &rng_);
+  // With 2 tight hotspots and no uniform component, distinct origin count
+  // must be far below the request count.
+  std::set<VertexId> origins;
+  for (const Request& r : rs) origins.insert(r.origin);
+  EXPECT_LT(origins.size(), 900u);
+}
+
+TEST_F(RequestGenTest, SweepHelpers) {
+  RequestParams p;
+  p.count = 50;
+  auto rs = GenerateRequests(graph_, p, &oracle_, &rng_);
+  SetDeadlineOffsets(&rs, 25.0);
+  for (const Request& r : rs) {
+    EXPECT_NEAR(r.deadline - r.release_time, 25.0, 1e-12);
+  }
+  SetPenaltyFactors(&rs, 30.0, &oracle_);
+  for (const Request& r : rs) {
+    EXPECT_NEAR(r.penalty, 30.0 * oracle_.Distance(r.origin, r.destination),
+                1e-9);
+  }
+}
+
+TEST_F(RequestGenTest, WorkersWithinGraphAndCapacityMean) {
+  auto ws = GenerateWorkers(graph_, 300, 4.0, &rng_);
+  ASSERT_EQ(ws.size(), 300u);
+  double mean = 0.0;
+  for (const Worker& w : ws) {
+    EXPECT_GE(w.initial_location, 0);
+    EXPECT_LT(w.initial_location, graph_.num_vertices());
+    EXPECT_GE(w.capacity, 1);
+    mean += w.capacity;
+  }
+  EXPECT_NEAR(mean / 300.0, 4.0, 0.3);
+}
+
+TEST(VertexSamplerTest, SampleNearReturnsCloseVertex) {
+  const RoadNetwork g = MakeNycLike(0.02, 9);
+  VertexSampler sampler(g);
+  Rng rng(5);
+  const Point target = g.coord(g.num_vertices() / 2);
+  for (int i = 0; i < 50; ++i) {
+    const VertexId v = sampler.SampleNear(target, &rng);
+    EXPECT_LT(EuclideanDistance(g.coord(v), target), 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -14,7 +14,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const City city = LoadCity(/*nyc=*/false);
   Rng rng(3);
   const Defaults d;

@@ -10,7 +10,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   TablePrinter t({"Dataset", "#(Requests)", "#(Vertices)", "#(Edges)"});
   for (bool nyc : {true, false}) {
     const City city = LoadCity(nyc);

@@ -12,7 +12,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const City city = LoadCity(/*nyc=*/false);
   Rng rng(5);
   const std::vector<Worker> workers =

@@ -11,7 +11,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   for (bool nyc : {false, true}) {
     const City city = LoadCity(nyc);
     std::printf("=== Fig. 3 (%s): %d vertices, %zu requests ===\n\n",

@@ -10,7 +10,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const std::vector<double> kw_sweep = {3, 4, 6, 10, 20};
   for (bool nyc : {false, true}) {
     const City city = LoadCity(nyc);
@@ -21,7 +22,7 @@ int main() {
     const FigureResults r = RunSweep(
         city, AllAlgorithms(PlannerConfig{.alpha = d.alpha}), kw_sweep,
         [&](double v, int rep, std::vector<Worker>* workers,
-            std::vector<Request>* requests, SimOptions* options) {
+            std::vector<Request>* requests, SimOptions* /*options*/) {
           Rng rng(static_cast<std::uint64_t>(v) * 17 + 3 +
                   static_cast<std::uint64_t>(rep) * 7717);
           *workers = GenerateWorkers(city.graph, city.default_workers,

@@ -9,7 +9,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const std::vector<double> g_sweep = {1, 2, 3, 4, 5};
   for (bool nyc : {false, true}) {
     const City city = LoadCity(nyc);
@@ -27,7 +28,7 @@ int main() {
       const FigureResults r = RunSweep(
           city, factories, {g},
           [&](double, int rep, std::vector<Worker>* workers,
-              std::vector<Request>* requests, SimOptions* options) {
+              std::vector<Request>* requests, SimOptions* /*options*/) {
             Rng rng(77 + static_cast<std::uint64_t>(rep) * 7717);
             *workers = GenerateWorkers(city.graph, city.default_workers,
                                        d.capacity_mean, &rng);

@@ -11,7 +11,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   const std::vector<double> er_sweep = {5, 10, 15, 20, 25};
   for (bool nyc : {false, true}) {
     const City city = LoadCity(nyc);
@@ -22,7 +23,7 @@ int main() {
     const FigureResults r = RunSweep(
         city, AllAlgorithms(PlannerConfig{.alpha = d.alpha}), er_sweep,
         [&](double v, int rep, std::vector<Worker>* workers,
-            std::vector<Request>* requests, SimOptions* options) {
+            std::vector<Request>* requests, SimOptions* /*options*/) {
           Rng rng(13 + static_cast<std::uint64_t>(rep) * 7717);
           *workers = GenerateWorkers(city.graph, city.default_workers,
                                      d.capacity_mean, &rng);

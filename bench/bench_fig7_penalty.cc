@@ -11,7 +11,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   for (bool nyc : {false, true}) {
     const City city = LoadCity(nyc);
     std::printf("=== Fig. 7 (%s): %d vertices, %zu requests ===\n\n",
@@ -22,7 +23,7 @@ int main() {
         city, AllAlgorithms(PlannerConfig{.alpha = d.alpha}),
         city.penalty_sweep,
         [&](double v, int rep, std::vector<Worker>* workers,
-            std::vector<Request>* requests, SimOptions* options) {
+            std::vector<Request>* requests, SimOptions* /*options*/) {
           Rng rng(29 + static_cast<std::uint64_t>(rep) * 7717);
           *workers = GenerateWorkers(city.graph, city.default_workers,
                                      d.capacity_mean, &rng);

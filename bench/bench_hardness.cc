@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "src/core/objective.h"
 #include "src/sim/simulator.h"
 #include "src/util/table.h"
@@ -37,15 +38,18 @@ double OnlineUnservedRate(int num_vertices, AdversaryLemma lemma,
 
 }  // namespace
 
-int main() {
-  const int kTrials = 400;
+int main(int argc, char** argv) {
+  const bool smoke = urpsm::bench::InitBench(argc, argv);
+  const int kTrials = smoke ? 8 : 400;
   std::printf("Cycle-graph adversary (Lemma 1 distribution), %d draws per "
               "|V|.\nOPT always serves (E[OPT unserved] = 0); the ratio "
               "E[ALG]/E[OPT] is unbounded.\n\n",
               kTrials);
   TablePrinter t({"|V|", "E[ALG unserved]", "1 - 2/|V| (Lemma 1 bound)",
                   "E[OPT unserved]"});
-  for (int n : {8, 16, 32, 64, 128}) {
+  const std::vector<int> sweep =
+      smoke ? std::vector<int>{8, 16} : std::vector<int>{8, 16, 32, 64, 128};
+  for (int n : sweep) {
     const double alg = OnlineUnservedRate(n, AdversaryLemma::kMaxServed,
                                           kTrials);
     t.AddRow({std::to_string(n), TablePrinter::Num(alg, 3),
@@ -57,9 +61,11 @@ int main() {
               "online algorithm vs OPT's <= |V| bound.\n\n");
   TablePrinter t3({"|V|", "E[ALG unified cost]", "OPT bound (<= |V|)",
                    "ratio (grows with p_r)"});
-  for (int n : {8, 16, 32}) {
+  const std::vector<int> sweep3 =
+      smoke ? std::vector<int>{8} : std::vector<int>{8, 16, 32};
+  for (int n : sweep3) {
     double alg_cost = 0.0;
-    const int trials = 100;
+    const int trials = smoke ? 4 : 100;
     for (int k = 0; k < trials; ++k) {
       Rng rng(static_cast<std::uint64_t>(k) * 733 + 5);
       const Instance inst =

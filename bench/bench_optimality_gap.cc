@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "src/core/offline.h"
 #include "src/sim/simulator.h"
 #include "src/util/stats.h"
@@ -17,14 +18,20 @@
 
 using namespace urpsm;
 
-int main() {
-  
+int main(int argc, char** argv) {
+  const bool smoke = urpsm::bench::InitBench(argc, argv);
   TablePrinter t({"requests", "mean UC ratio", "p95 UC ratio", "max",
                   "online served", "OPT served"});
-  for (int nreq : {4, 6, 8}) {
+  const std::vector<int> nreq_sweep =
+      smoke ? std::vector<int>{4} : std::vector<int>{4, 6, 8};
+  std::string instances_label;
+  for (int nreq : nreq_sweep) {
     // The clairvoyant solver is exponential; shrink the sample as the
     // instance grows to keep the bench under ~2 minutes.
-    const int kInstances = nreq <= 4 ? 30 : (nreq <= 6 ? 20 : 8);
+    const int kInstances =
+        smoke ? 2 : (nreq <= 4 ? 30 : (nreq <= 6 ? 20 : 8));
+    if (!instances_label.empty()) instances_label += "/";
+    instances_label += std::to_string(kInstances);
     StatsAccumulator ratio;
     int online_served = 0, opt_served = 0;
     for (int k = 0; k < kInstances; ++k) {
@@ -56,7 +63,7 @@ int main() {
               std::to_string(online_served), std::to_string(opt_served)});
   }
   std::printf("pruneGreedyDP vs clairvoyant optimum (2 workers, "
-              "Chengdu-like; 30/20/8 instances per row)\n\n%s",
-              t.ToString().c_str());
+              "Chengdu-like; %s instances per row)\n\n%s",
+              instances_label.c_str(), t.ToString().c_str());
   return 0;
 }

@@ -10,7 +10,8 @@
 using namespace urpsm;
 using namespace urpsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
   for (bool nyc : {false, true}) {
     const City city = LoadCity(nyc);
     std::printf("=== Pruning ablation (%s) ===\n\n", city.name.c_str());

@@ -1,0 +1,33 @@
+// main() for the google-benchmark binaries (bench_insertion, bench_oracle)
+// that understands the repo-wide `--smoke` flag: strip it and cap the
+// measuring time per benchmark so the CTest smoke entries finish in
+// seconds while still exercising every registered benchmark end-to-end.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <vector>
+
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool smoke = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--smoke") == 0) {
+      smoke = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time);
+
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

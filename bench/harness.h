@@ -16,6 +16,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/algos/batch.h"
@@ -28,6 +29,28 @@
 #include "src/workload/requests.h"
 
 namespace urpsm::bench {
+
+/// True when `--smoke` is on the command line. Smoke mode is the CTest
+/// entry point for the bench binaries: it shrinks the instances to a few
+/// seconds of work so every bench links AND runs on every commit.
+inline bool SmokeRequested(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
+
+/// Call first thing in main(). In smoke mode, dials the environment knobs
+/// down to tiny values (explicit URPSM_BENCH_* settings still win).
+/// Returns true when smoke mode is active so benches with their own
+/// hard-coded sweeps can shrink them too.
+inline bool InitBench(int argc, char** argv) {
+  if (!SmokeRequested(argc, argv)) return false;
+  setenv("URPSM_BENCH_SCALE", "0.1", /*overwrite=*/0);
+  setenv("URPSM_BENCH_REPEATS", "1", /*overwrite=*/0);
+  setenv("URPSM_BENCH_WALL_LIMIT", "10", /*overwrite=*/0);
+  return true;
+}
 
 inline double EnvScale() {
   const char* s = std::getenv("URPSM_BENCH_SCALE");

@@ -41,7 +41,8 @@ void BatchPlanner::Finalize() {
 }
 
 BatchPlanner::GroupFit BatchPlanner::EvaluateGroup(
-    WorkerId w, const std::vector<RequestId>& group, double now, bool commit) {
+    WorkerId w, const std::vector<RequestId>& group, double /*now*/,
+    bool commit) {
   GroupFit fit;
   const Worker& worker = fleet_->worker(w);
   Route scratch;  // virtual copy for evaluation

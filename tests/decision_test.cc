@@ -70,7 +70,9 @@ TEST_F(DecisionTest, BoundIsNonNegative) {
     const double lb = DecisionLowerBound(worker_, rt, st, r,
                                          env_.ctx()->DirectDist(r.id),
                                          env_.graph());
-    if (lb < kInf) EXPECT_GE(lb, 0.0);
+    if (lb < kInf) {
+      EXPECT_GE(lb, 0.0);
+    }
   }
 }
 

@@ -120,7 +120,9 @@ TEST(EdgeCaseTest, VeryLargeRouteStillLinear) {
   const InsertionCandidate lin = LinearDpInsertion(w, rt, probe, env.ctx());
   const InsertionCandidate naive = NaiveDpInsertion(w, rt, probe, env.ctx());
   ASSERT_EQ(lin.feasible(), naive.feasible());
-  if (lin.feasible()) EXPECT_NEAR(lin.delta, naive.delta, 1e-9);
+  if (lin.feasible()) {
+    EXPECT_NEAR(lin.delta, naive.delta, 1e-9);
+  }
 }
 
 TEST(EdgeCaseTest, RejectIsFinalInvariant) {

@@ -70,7 +70,6 @@ TEST_F(InsertionTest, CapacityForcesSequentialService) {
   // second request must be inserted after the first's dropoff (or around
   // it), increasing distance accordingly.
   Worker small{0, 0, 1};
-  const double e = EdgeMin();
   const Request r1 = env_.AddRequest(2, 4, 0.0, 1e9);
   Route rt(0, 0.0);
   rt.Insert(r1, 0, 0, env_.oracle());

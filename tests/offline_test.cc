@@ -30,7 +30,7 @@ TEST_F(OfflineTest, EmptyInstanceCostsNothing) {
 
 TEST_F(OfflineTest, SingleRequestServedWhenCheap) {
   const double e = EdgeMin();
-  const Request r = env_.AddRequest(2, 5, 0.0, 100.0, /*penalty=*/100.0);
+  env_.AddRequest(2, 5, 0.0, 100.0, /*penalty=*/100.0);
   std::vector<Worker> workers = {{0, 0, 4}};
   const OfflineSolution sol =
       SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
@@ -40,7 +40,7 @@ TEST_F(OfflineTest, SingleRequestServedWhenCheap) {
 }
 
 TEST_F(OfflineTest, SingleRequestRejectedWhenPenaltyCheap) {
-  const Request r = env_.AddRequest(2, 5, 0.0, 100.0, /*penalty=*/1e-3);
+  env_.AddRequest(2, 5, 0.0, 100.0, /*penalty=*/1e-3);
   std::vector<Worker> workers = {{0, 9, 4}};  // far away
   const OfflineSolution sol =
       SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
@@ -52,8 +52,7 @@ TEST_F(OfflineTest, WaitingForReleaseIsFree) {
   // Request releases late; worker sits at its origin. Cost must be the
   // pure trip, not the wait.
   const double e = EdgeMin();
-  const Request r = env_.AddRequest(0, 3, /*release=*/50.0,
-                                    /*deadline=*/50.0 + 4 * e, 100.0);
+  env_.AddRequest(0, 3, /*release=*/50.0, /*deadline=*/50.0 + 4 * e, 100.0);
   std::vector<Worker> workers = {{0, 0, 4}};
   const OfflineSolution sol =
       SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
@@ -63,8 +62,8 @@ TEST_F(OfflineTest, WaitingForReleaseIsFree) {
 
 TEST_F(OfflineTest, PoolsWhenBeneficial) {
   // Two overlapping trips along the path: one vehicle can carry both.
-  const Request r1 = env_.AddRequest(1, 6, 0.0, 1e9, 1e6);
-  const Request r2 = env_.AddRequest(2, 5, 0.0, 1e9, 1e6);
+  env_.AddRequest(1, 6, 0.0, 1e9, 1e6);
+  env_.AddRequest(2, 5, 0.0, 1e9, 1e6);
   std::vector<Worker> workers = {{0, 0, 4}};
   const OfflineSolution sol =
       SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
@@ -74,8 +73,8 @@ TEST_F(OfflineTest, PoolsWhenBeneficial) {
 }
 
 TEST_F(OfflineTest, CapacityForbidsPooling) {
-  const Request r1 = env_.AddRequest(1, 6, 0.0, 1e9, 1e6);
-  const Request r2 = env_.AddRequest(2, 5, 0.0, 1e9, 1e6);
+  env_.AddRequest(1, 6, 0.0, 1e9, 1e6);
+  env_.AddRequest(2, 5, 0.0, 1e9, 1e6);
   std::vector<Worker> workers = {{0, 0, 1}};  // one passenger at a time
   const OfflineSolution sol =
       SolveOffline(workers, env_.requests(), 1.0, env_.ctx());
@@ -96,8 +95,8 @@ TEST_F(OfflineTest, BestRouteCostInfeasibleOnImpossibleDeadline) {
 TEST_F(OfflineTest, TwoWorkersSplitLoad) {
   const double e = EdgeMin();
   // Opposite-direction trips: each worker should take one.
-  const Request r1 = env_.AddRequest(1, 3, 0.0, 4 * e, 1e6);
-  const Request r2 = env_.AddRequest(8, 6, 0.0, 4 * e, 1e6);
+  env_.AddRequest(1, 3, 0.0, 4 * e, 1e6);
+  env_.AddRequest(8, 6, 0.0, 4 * e, 1e6);
   std::vector<Worker> workers = {{0, 0, 4}, {1, 9, 4}};
   const OfflineSolution sol =
       SolveOffline(workers, env_.requests(), 1.0, env_.ctx());

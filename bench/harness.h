@@ -134,6 +134,39 @@ inline std::vector<std::pair<std::string, PlannerFactory>> AllAlgorithms(
   };
 }
 
+/// Machine-readable result line for CI trajectory capture: one JSON
+/// object per line, marked with a fixed `BENCH_JSON ` prefix so a CI step
+/// can `grep '^BENCH_JSON ' | cut -c12- > BENCH_<name>.json` without
+/// parsing the human-readable tables. Keys/values are plain ASCII; param
+/// values are emitted as strings to keep the schema uniform.
+inline void EmitJsonLine(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    double wall_ms, double throughput) {
+  std::string line = "BENCH_JSON {\"name\":\"" + name + "\",\"params\":{";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) line += ",";
+    line += "\"" + params[i].first + "\":\"" + params[i].second + "\"";
+  }
+  char tail[96];
+  std::snprintf(tail, sizeof(tail), "},\"wall_ms\":%.6g,\"throughput\":%.6g}",
+                wall_ms, throughput);
+  line += tail;
+  std::printf("%s\n", line.c_str());
+}
+
+/// EmitJsonLine for one simulation run: wall time in ms, throughput in
+/// requests planned per second of total wall time.
+inline void EmitReportJson(
+    const std::string& name, const SimReport& rep,
+    std::vector<std::pair<std::string, std::string>> params) {
+  params.emplace_back("algorithm", rep.algorithm);
+  if (rep.timed_out) params.emplace_back("timed_out", "1");
+  const double throughput =
+      rep.wall_seconds > 0.0 ? rep.total_requests / rep.wall_seconds : 0.0;
+  EmitJsonLine(name, params, rep.wall_seconds * 1e3, throughput);
+}
+
 /// Grid of results: one SimReport per (algorithm, sweep value).
 struct FigureResults {
   std::vector<std::string> algorithms;
@@ -210,6 +243,14 @@ inline void PrintFigure(const std::string& figure_title,
   metric_table("Avg response time (ms)", [](const SimReport& rep) {
     return TablePrinter::Num(rep.avg_response_ms, 3);
   });
+  // One machine-readable line per (algorithm, sweep value) so CI can
+  // capture BENCH_*.json trajectories alongside the tables.
+  for (std::size_t a = 0; a < r.algorithms.size(); ++a) {
+    for (std::size_t v = 0; v < r.value_labels.size(); ++v) {
+      EmitReportJson(figure_title, r.reports[a][v],
+                     {{"city", city.name}, {param_name, r.value_labels[v]}});
+    }
+  }
 }
 
 }  // namespace urpsm::bench

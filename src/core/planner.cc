@@ -20,6 +20,19 @@ double CandidateRadiusKm(const Request& r, double L, double now) {
   return (slack_min + lag_allowance) * MaxSpeedKmPerMin();
 }
 
+std::vector<std::size_t> AscendingLowerBoundOrder(
+    const std::vector<WorkerBound>& bounds) {
+  // Deterministic for a given bounds array: std::sort's introsort is a
+  // pure function of the comparator decisions and element positions, and
+  // every caller funnels through this one instantiation.
+  std::vector<std::size_t> order(bounds.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bounds[a].lower_bound < bounds[b].lower_bound;
+  });
+  return order;
+}
+
 GreedyDpPlanner::GreedyDpPlanner(PlanningContext* ctx, Fleet* fleet,
                                  PlannerConfig config)
     : ctx_(ctx), fleet_(fleet), config_(config) {
@@ -66,22 +79,14 @@ WorkerId GreedyDpPlanner::OnRequest(const Request& r) {
   if (r.penalty < config_.alpha * min_lb) return kInvalidWorker;
 
   // Phase 2 — planning: scan in ascending LB order with exact insertion.
-  std::vector<std::size_t> order(bounds.size());
-  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return bounds[a].lower_bound < bounds[b].lower_bound;
-  });
+  const std::vector<std::size_t> order = AscendingLowerBoundOrder(bounds);
 
   WorkerId best_worker = kInvalidWorker;
   InsertionCandidate best;
   for (std::size_t k : order) {
     // Lemma 8: every remaining worker's exact cost is at least its LB.
-    // The epsilon guards the cutoff against float noise: on straight-line
-    // trips the Euclidean bound equals the exact network distance, and
-    // rounding can put Delta* an epsilon *below* its own LB; a strict
-    // comparison there would (very rarely) diverge from GreedyDP.
     if (config_.use_pruning && best.feasible() &&
-        best.delta < bounds[k].lower_bound - 1e-9 * (1.0 + best.delta)) {
+        LemmaEightCutoff(best.delta, bounds[k].lower_bound)) {
       break;
     }
     const WorkerId w = bounds[k].worker;
@@ -89,6 +94,13 @@ WorkerId GreedyDpPlanner::OnRequest(const Request& r) {
     const InsertionCandidate cand =
         LinearDpInsertion(fleet_->worker(w), fleet_->route(w),
                           states[state_index[k]], r, ctx_);
+    // Strict improvement only: ties on the exact cost go to the earliest
+    // worker in the scan order. Together with the epsilon-guarded cutoff
+    // above (which never prunes a potential tie, only strictly worse
+    // workers), the chosen insertion is the same for any scan that
+    // follows this order and evaluates a superset — in particular
+    // ParallelGreedyDpPlanner's block-parallel scan is bit-identical to
+    // this one.
     if (cand.feasible() && cand.delta < best.delta) {
       best = cand;
       best_worker = w;

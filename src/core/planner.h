@@ -87,6 +87,26 @@ class GreedyDpPlanner : public RoutePlanner {
 /// earliest possible arrival, anchor_time + Euclidean time, is too late).
 double CandidateRadiusKm(const Request& r, double L, double now);
 
+/// Lemma 8 cutoff, shared verbatim by GreedyDpPlanner's per-candidate
+/// scan and ParallelGreedyDpPlanner's per-block scan (their bit-identity
+/// depends on using the same expression): true when every worker whose
+/// lower bound is at least `lower_bound` is provably worse than the best
+/// exact cost found so far. The epsilon guards the cutoff against float
+/// noise: on straight-line trips the Euclidean bound equals the exact
+/// network distance, and rounding can put Delta* an epsilon *below* its
+/// own LB; a strict comparison there would (very rarely) let a pruned
+/// scan diverge from an unpruned one.
+inline bool LemmaEightCutoff(double best_delta, double lower_bound) {
+  return best_delta < lower_bound - 1e-9 * (1.0 + best_delta);
+}
+
+/// Indices of `bounds` in ascending lower-bound order — the planning
+/// phase's shared scan order. Both planners sort the same array through
+/// this one function, so they obtain the same permutation (ties included)
+/// and with it the same first-strict-improvement winner.
+std::vector<std::size_t> AscendingLowerBoundOrder(
+    const std::vector<WorkerBound>& bounds);
+
 }  // namespace urpsm
 
 #endif  // URPSM_SRC_CORE_PLANNER_H_

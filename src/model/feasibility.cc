@@ -8,12 +8,34 @@ namespace urpsm {
 
 double PlanningContext::DirectDist(RequestId id) {
   const auto idx = static_cast<std::size_t>(id);
-  if (direct_dist_.size() <= idx) direct_dist_.resize(idx + 1, kInf);
-  if (direct_dist_[idx] == kInf) {
+  if (idx < direct_dist_.size()) {
+    std::atomic<double>& slot = direct_dist_[idx];
+    const double hit = slot.load(std::memory_order_acquire);
+    if (hit != kInf) return hit;
+    // The mutex is held across the oracle call on a miss so each L_r is
+    // computed exactly once — concurrent candidate evaluations needing
+    // the same onboard request's L_r never duplicate the query (keeping
+    // query counts independent of the thread count). Misses happen once
+    // per request id, so this serialization is negligible; hits take the
+    // lock-free path above.
+    std::lock_guard<std::mutex> lock(direct_mu_);
+    const double again = slot.load(std::memory_order_relaxed);
+    if (again != kInf) return again;
     const Request& r = request(id);
-    direct_dist_[idx] = oracle_->Distance(r.origin, r.destination);
+    const double d = oracle_->Distance(r.origin, r.destination);
+    slot.store(d, std::memory_order_release);
+    return d;
   }
-  return direct_dist_[idx];
+  // Id beyond the construction-time table: the request was appended to
+  // the vector afterwards. Always mutex-guarded — only single-threaded
+  // callers (test fixtures, incremental tools) build contexts this way.
+  std::lock_guard<std::mutex> lock(direct_mu_);
+  const auto it = direct_overflow_.find(id);
+  if (it != direct_overflow_.end()) return it->second;
+  const Request& r = request(id);
+  const double d = oracle_->Distance(r.origin, r.destination);
+  direct_overflow_.emplace(id, d);
+  return d;
 }
 
 RouteState BuildRouteState(const Route& route, PlanningContext* ctx) {

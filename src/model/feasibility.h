@@ -1,6 +1,9 @@
 #ifndef URPSM_SRC_MODEL_FEASIBILITY_H_
 #define URPSM_SRC_MODEL_FEASIBILITY_H_
 
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "src/graph/road_network.h"
@@ -9,6 +12,8 @@
 #include "src/shortest/oracle.h"
 
 namespace urpsm {
+
+class ThreadPool;
 
 /// Shared state threaded through decision/insertion/planning: the road
 /// network, the distance oracle, the request table (indexed by RequestId)
@@ -20,7 +25,12 @@ class PlanningContext {
  public:
   PlanningContext(const RoadNetwork* graph, DistanceOracle* oracle,
                   const std::vector<Request>* requests)
-      : graph_(graph), oracle_(oracle), requests_(requests) {}
+      : graph_(graph),
+        oracle_(oracle),
+        requests_(requests),
+        direct_dist_(requests->size()) {
+    for (auto& d : direct_dist_) d.store(kInf, std::memory_order_relaxed);
+  }
 
   const RoadNetwork& graph() const { return *graph_; }
   DistanceOracle* oracle() const { return oracle_; }
@@ -31,14 +41,30 @@ class PlanningContext {
 
   double Dist(VertexId u, VertexId v) const { return oracle_->Distance(u, v); }
 
-  /// L_r = dis(o_r, d_r); computed at most once per request.
+  /// L_r = dis(o_r, d_r); computed at most once per request. Safe to call
+  /// concurrently (the lazy cache is mutex-guarded), so parallel candidate
+  /// evaluations can share it.
   double DirectDist(RequestId id);
+
+  /// Pool for planners that fan per-candidate work across threads, or
+  /// nullptr when the run is sequential. Owned by the simulation.
+  ThreadPool* thread_pool() const { return thread_pool_; }
+  void set_thread_pool(ThreadPool* pool) { thread_pool_ = pool; }
 
  private:
   const RoadNetwork* graph_;
   DistanceOracle* oracle_;
   const std::vector<Request>* requests_;
-  std::vector<double> direct_dist_;  // kInf-filled lazily grown cache
+  ThreadPool* thread_pool_ = nullptr;
+  std::mutex direct_mu_;  // serializes direct_dist_ misses + the overflow map
+  // One slot per request known at construction, kInf = not yet computed.
+  // Hits are lock-free atomic loads — this cache sits inside the
+  // per-placement inner loop of the parallel planner, so a lock on the
+  // hit path would serialize it. Requests appended to the vector *after*
+  // construction (a test-fixture pattern; simulations always pass the
+  // full table) fall back to the mutex-guarded overflow map.
+  std::vector<std::atomic<double>> direct_dist_;
+  std::unordered_map<RequestId, double> direct_overflow_;
 };
 
 /// The auxiliary arrays of Sec. 4.3 for a route with n stops; all are

@@ -1,0 +1,95 @@
+#ifndef URPSM_SRC_PARALLEL_THREAD_POOL_H_
+#define URPSM_SRC_PARALLEL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace urpsm {
+
+/// Fixed-size pool of worker threads driving self-scheduling parallel
+/// loops over index ranges.
+///
+/// The pool exists so the per-request hot path (candidate lower bounds and
+/// exact DP insertions, each an independent pure computation over shared
+/// read-only state) can fan out without spawning threads per request.
+/// Iterations are claimed in `grain`-sized chunks off a shared atomic
+/// cursor — dynamic self-scheduling, so a thread that drew cheap
+/// candidates steals the remaining range from slower ones instead of
+/// idling at a static partition boundary.
+///
+/// `num_threads` counts the *calling* thread: a pool of size N spawns N-1
+/// workers and the caller participates in every loop, so ThreadPool(1)
+/// runs everything inline with zero synchronization. Loops are submitted
+/// one at a time (the planner's driver loop is sequential); `ParallelFor`
+/// is not reentrant and must not be called concurrently from two threads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for every i in [begin, end) exactly once and blocks
+  /// until all iterations finish. Writes made by `body` happen-before the
+  /// return, so the caller may read per-index results without extra
+  /// synchronization. `body` must not throw and must not call back into
+  /// this pool.
+  void ParallelFor(std::int64_t begin, std::int64_t end,
+                   const std::function<void(std::int64_t)>& body,
+                   std::int64_t grain = 1);
+
+  /// ParallelFor producing a value per index: out[i] = fn(i). T must be
+  /// default-constructible — and not bool: adjacent std::vector<bool>
+  /// bit-proxies share bytes, so concurrent per-index writes would race.
+  template <typename T, typename F>
+  std::vector<T> ParallelMap(std::int64_t n, F&& fn) {
+    static_assert(!std::is_same_v<T, bool>,
+                  "ParallelMap<bool> would race on vector<bool> bit-proxies; "
+                  "map to char/int instead");
+    std::vector<T> out(static_cast<std::size_t>(n));
+    ParallelFor(0, n,
+                [&](std::int64_t i) { out[static_cast<std::size_t>(i)] = fn(i); });
+    return out;
+  }
+
+ private:
+  /// One submitted loop. Workers that wake late (after the loop already
+  /// drained) only ever read `cursor`/`end` and claim nothing, so the
+  /// job's lifetime is managed by shared_ptr rather than a join barrier.
+  struct Job {
+    const std::function<void(std::int64_t)>* body = nullptr;
+    std::int64_t end = 0;
+    std::int64_t grain = 1;
+    std::int64_t total = 0;                // iterations in the loop
+    std::atomic<std::int64_t> cursor{0};   // next unclaimed index
+    std::atomic<std::int64_t> finished{0}; // iterations completed
+  };
+
+  void WorkerLoop();
+  /// Claims and runs chunks of `job` until the cursor passes the end.
+  void RunChunks(Job* job);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers: a new job was published
+  std::condition_variable done_cv_;  // submitter: all iterations finished
+  std::uint64_t job_epoch_ = 0;      // bumped per ParallelFor submission
+  std::shared_ptr<Job> job_;         // current (or last) job
+  bool shutdown_ = false;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_PARALLEL_THREAD_POOL_H_

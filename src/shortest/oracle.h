@@ -1,13 +1,14 @@
 #ifndef URPSM_SRC_SHORTEST_ORACLE_H_
 #define URPSM_SRC_SHORTEST_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "src/graph/road_network.h"
-#include "src/util/lru_cache.h"
+#include "src/util/sharded_lru_cache.h"
 
 namespace urpsm {
 
@@ -18,6 +19,13 @@ namespace urpsm {
 /// (Sec. 6.1). All algorithms in this library talk to this interface, and
 /// the number of `Distance` calls is the "distance query" count reported by
 /// the pruning experiments (Figs. 3 and 6).
+///
+/// Thread-safety contract (relied on by the parallel dispatch engine):
+/// `Distance` must be safe to call concurrently. Every oracle bundled here
+/// satisfies it the same way — the query itself only reads immutable state
+/// (graph, labels) through per-call local buffers, and the query counter is
+/// atomic. `Path` is not part of the contract: planners only materialize
+/// paths sequentially.
 class DistanceOracle {
  public:
   virtual ~DistanceOracle() = default;
@@ -30,12 +38,23 @@ class DistanceOracle {
   virtual std::vector<VertexId> Path(VertexId u, VertexId v) = 0;
 
   /// Number of `Distance` calls served so far.
-  std::int64_t query_count() const { return query_count_; }
+  std::int64_t query_count() const {
+    return query_count_.load(std::memory_order_relaxed);
+  }
 
-  void ResetQueryCount() { query_count_ = 0; }
+  void ResetQueryCount() { query_count_.store(0, std::memory_order_relaxed); }
 
  protected:
-  std::int64_t query_count_ = 0;
+  DistanceOracle() = default;
+  // std::atomic is neither copyable nor movable; oracles are (HubLabelOracle
+  // is returned by value from Build), so transfer the counter's value.
+  DistanceOracle(const DistanceOracle& other) : query_count_(other.query_count()) {}
+  DistanceOracle& operator=(const DistanceOracle& other) {
+    query_count_.store(other.query_count(), std::memory_order_relaxed);
+    return *this;
+  }
+
+  std::atomic<std::int64_t> query_count_{0};
 };
 
 /// Exact oracle running Dijkstra per query. Simple and always correct;
@@ -55,6 +74,11 @@ class DijkstraOracle : public DistanceOracle {
 /// Cache hits do not count as queries of the inner oracle but do count as
 /// queries of this oracle (the paper's "saved queries" metric counts calls
 /// that never happen at all thanks to pruning, not cache hits).
+///
+/// The cache is sharded with striped locks, so concurrent `Distance` calls
+/// from the parallel planner only serialize when they collide on a shard.
+/// Two threads racing on the same cold key may both consult the inner
+/// oracle; both obtain the same exact value, so results are unaffected.
 class CachedOracle : public DistanceOracle {
  public:
   /// `inner` is borrowed, not owned: oracles (hub labels in particular)
@@ -79,7 +103,7 @@ class CachedOracle : public DistanceOracle {
   };
 
   DistanceOracle* inner_;
-  LruCache<std::pair<VertexId, VertexId>, double, KeyHash> cache_;
+  ShardedLruCache<std::pair<VertexId, VertexId>, double, KeyHash> cache_;
 };
 
 }  // namespace urpsm

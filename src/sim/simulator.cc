@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 
+#include "src/parallel/parallel_planner.h"
 #include "src/util/stats.h"
 
 namespace urpsm {
@@ -33,8 +34,12 @@ Simulation::Simulation(const RoadNetwork* graph, DistanceOracle* oracle,
 
 SimReport Simulation::Run(const PlannerFactory& factory) {
   cached_ = std::make_unique<CachedOracle>(oracle_, options_.cache_capacity);
+  pool_ = options_.num_threads > 1
+              ? std::make_unique<ThreadPool>(options_.num_threads)
+              : nullptr;
   fleet_ = std::make_unique<Fleet>(workers_, graph_);
   PlanningContext ctx(graph_, cached_.get(), requests_);
+  ctx.set_thread_pool(pool_.get());
   std::unique_ptr<RoutePlanner> planner = factory(&ctx, fleet_.get());
 
   SimReport report;
@@ -112,6 +117,13 @@ PlannerFactory MakeGreedyDpFactory(PlannerConfig config) {
   config.use_pruning = false;
   return [config](PlanningContext* ctx, Fleet* fleet) {
     return std::make_unique<GreedyDpPlanner>(ctx, fleet, config);
+  };
+}
+
+PlannerFactory MakeParallelGreedyDpFactory(PlannerConfig config) {
+  return [config](PlanningContext* ctx, Fleet* fleet) {
+    return std::make_unique<ParallelGreedyDpPlanner>(ctx, fleet, config,
+                                                     ctx->thread_pool());
   };
 }
 

@@ -7,6 +7,7 @@
 
 #include "src/core/planner.h"
 #include "src/model/feasibility.h"
+#include "src/parallel/thread_pool.h"
 #include "src/sim/fleet.h"
 #include "src/sim/metrics.h"
 
@@ -20,6 +21,13 @@ struct SimOptions {
   double wall_limit_seconds = 1e18;
   /// Shared LRU cache capacity for distance queries (0 disables).
   std::size_t cache_capacity = 1 << 20;
+  /// Threads available to planners that use the parallel dispatch engine
+  /// (ParallelGreedyDpPlanner). 1 keeps the run fully sequential; above 1
+  /// the simulation owns a ThreadPool of this size and exposes it via
+  /// PlanningContext::thread_pool(). Sequential planners simply ignore
+  /// it. The request replay loop itself stays single-threaded — requests
+  /// are serialized by release time, as in the paper.
+  int num_threads = 1;
 };
 
 /// Event-driven single-threaded day simulation (Sec. 6.1): requests are
@@ -48,6 +56,7 @@ class Simulation {
   const std::vector<Request>* requests_;
   SimOptions options_;
   std::unique_ptr<CachedOracle> cached_;
+  std::unique_ptr<ThreadPool> pool_;
   std::unique_ptr<Fleet> fleet_;
   std::vector<bool> served_;
 };
@@ -55,6 +64,10 @@ class Simulation {
 /// Convenience wrapper: build a planner of the given kind.
 PlannerFactory MakePruneGreedyDpFactory(PlannerConfig config);
 PlannerFactory MakeGreedyDpFactory(PlannerConfig config);
+/// ParallelGreedyDpPlanner on the simulation's pool (SimOptions::
+/// num_threads); with pruning on, the parallel twin of pruneGreedyDP —
+/// bit-identical results, candidate evaluation fanned across threads.
+PlannerFactory MakeParallelGreedyDpFactory(PlannerConfig config);
 
 }  // namespace urpsm
 

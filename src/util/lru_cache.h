@@ -14,8 +14,9 @@ namespace urpsm {
 ///
 /// The paper (Sec. 6.1) maintains an LRU cache for shortest distance and
 /// path queries shared by all compared algorithms; this is that cache.
-/// `Get` promotes the entry to most-recently-used. Not thread-safe: the
-/// simulation is single-threaded, matching the paper's setup.
+/// `Get` promotes the entry to most-recently-used. Not thread-safe on its
+/// own; concurrent callers go through ShardedLruCache, which stripes
+/// instances of this type behind per-shard locks.
 template <typename K, typename V, typename Hash = std::hash<K>>
 class LruCache {
  public:

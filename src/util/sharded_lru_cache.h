@@ -1,0 +1,125 @@
+#ifndef URPSM_SRC_UTIL_SHARDED_LRU_CACHE_H_
+#define URPSM_SRC_UTIL_SHARDED_LRU_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/util/lru_cache.h"
+
+namespace urpsm {
+
+/// A thread-safe LRU cache striped over independently locked shards.
+///
+/// Keys are spread across 2^k shards by a scrambled hash; each shard is a
+/// plain LruCache behind its own mutex, so concurrent lookups serialize
+/// only when they collide on a shard — the property the parallel planner
+/// needs to keep many in-flight oracle queries from queueing behind one
+/// global cache lock. LRU order is maintained *per shard* (global LRU
+/// would need the global lock this type exists to avoid); with keys
+/// hash-spread evenly the eviction behaviour is indistinguishable from a
+/// single LRU of the same total capacity.
+///
+/// Thread-safety: Get/Put/Clear/size/hits/misses may be called
+/// concurrently. Two threads that miss on the same key may both compute
+/// and Put the value; the second Put refreshes the entry, which is
+/// harmless for the pure-function values (shortest distances) cached
+/// here.
+template <typename K, typename V, typename Hash = std::hash<K>>
+class ShardedLruCache {
+ public:
+  /// `capacity` is the total entry budget, split evenly (rounded up)
+  /// across shards. `num_shards` is rounded up to a power of two; a
+  /// capacity of 0 disables caching entirely, as in LruCache.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t num_shards = 16)
+      : capacity_(capacity) {
+    std::size_t shards = 1;
+    while (shards < num_shards) shards <<= 1;
+    shard_bits_ = 0;
+    for (std::size_t s = shards; s > 1; s >>= 1) ++shard_bits_;
+    const std::size_t per_shard =
+        capacity == 0 ? 0 : (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  std::optional<V> Get(const K& key) {
+    Shard& s = ShardOf(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    return s.cache.Get(key);
+  }
+
+  void Put(const K& key, V value) {
+    Shard& s = ShardOf(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.cache.Put(key, std::move(value));
+  }
+
+  /// Removes all entries (shard by shard; not atomic across shards) but
+  /// keeps hit/miss counters.
+  void Clear() {
+    for (auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      s->cache.Clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      total += s->cache.size();
+    }
+    return total;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  std::int64_t hits() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      total += s->cache.hits();
+    }
+    return total;
+  }
+
+  std::int64_t misses() const {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s->mu);
+      total += s->cache.misses();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t cap) : cache(cap) {}
+    mutable std::mutex mu;
+    LruCache<K, V, Hash> cache;
+  };
+
+  Shard& ShardOf(const K& key) const {
+    if (shard_bits_ == 0) return *shards_[0];  // >>64 would be UB below
+    // Fibonacci scramble so the shard index (top bits) stays uncorrelated
+    // with the hash table's bucket index (low bits) inside the shard.
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(Hash{}(key)) * 0x9e3779b97f4a7c15ULL;
+    return *shards_[static_cast<std::size_t>(h >> (64 - shard_bits_))];
+  }
+
+  std::size_t capacity_;
+  unsigned shard_bits_ = 0;  // log2(num_shards)
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_UTIL_SHARDED_LRU_CACHE_H_

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "src/index/grid_index.h"
 
@@ -64,6 +66,107 @@ TEST(GridIndexTest, PointsOutsideBoxClampToEdgeCells) {
   idx.Insert(1, {-5.0, 20.0});  // clamped to corner cell
   EXPECT_EQ(idx.All().size(), 1u);
   EXPECT_FALSE(idx.WithinRadius({0.0, 10.0}, 1.5).empty());
+}
+
+TEST(GridIndexTest, WithinRadiusAtBoundingBoxCorners) {
+  // Queries anchored on the box's corners must clamp their ring scan to
+  // the existing cells and still return every in-disk worker. A sharded
+  // caller issues these for requests released at the map edge.
+  GridIndex idx({0, 0}, {10, 10}, 1.0);
+  idx.Insert(1, {0.0, 0.0});
+  idx.Insert(2, {10.0, 0.0});
+  idx.Insert(3, {0.0, 10.0});
+  idx.Insert(4, {10.0, 10.0});
+  for (const Point corner :
+       {Point{0.0, 0.0}, Point{10.0, 0.0}, Point{0.0, 10.0}, Point{10.0, 10.0}}) {
+    const auto near = idx.WithinRadius(corner, 0.5);
+    EXPECT_EQ(near.size(), 1u) << "corner (" << corner.x << "," << corner.y << ")";
+  }
+  // A radius covering the whole box from a corner reaches all four.
+  const auto all = idx.WithinRadius({0.0, 0.0}, 15.0);
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(GridIndexTest, WithinRadiusOverEmptyRings) {
+  // Rings between the query cell and the only occupied cell are empty;
+  // the scan must neither stop early nor fabricate workers.
+  GridIndex idx({0, 0}, {20, 20}, 1.0);
+  idx.Insert(42, {18.5, 18.5});
+  EXPECT_TRUE(idx.WithinRadius({1.5, 1.5}, 10.0).empty());
+  const auto found = idx.WithinRadius({1.5, 1.5}, 30.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0], 42);
+  // Radius zero still scans the query's own (empty) cell.
+  EXPECT_TRUE(idx.WithinRadius({5.5, 5.5}, 0.0).empty());
+}
+
+TEST(GridIndexTest, MoveAcrossCellsUnderInterleavedChurn) {
+  // Interleaved insert/remove/move sequences (the access pattern a
+  // sharded fleet produces once anchors migrate cell to cell): after
+  // every step the index must agree with a reference map — no lost,
+  // duplicated, or stale entries.
+  GridIndex idx({0, 0}, {16, 16}, 2.0);
+  std::vector<std::pair<WorkerId, Point>> reference;  // current positions
+
+  const auto verify = [&]() {
+    const auto all = idx.All();
+    ASSERT_EQ(all.size(), reference.size());
+    for (const auto& [w, p] : reference) {
+      // Exactly-once: present globally...
+      ASSERT_EQ(std::count(all.begin(), all.end(), w), 1) << "worker " << w;
+      // ...and findable at (only) its current cell.
+      const auto near = idx.WithinRadius(p, 0.0);
+      EXPECT_NE(std::find(near.begin(), near.end(), w), near.end())
+          << "worker " << w;
+    }
+  };
+
+  const auto move_to = [&](WorkerId w, const Point& to) {
+    for (auto& [id, p] : reference) {
+      if (id == w) {
+        idx.Move(w, p, to);
+        p = to;
+        return;
+      }
+    }
+    FAIL() << "moving unknown worker " << w;
+  };
+
+  idx.Insert(1, {1.0, 1.0});
+  reference.push_back({1, {1.0, 1.0}});
+  idx.Insert(2, {1.2, 1.2});  // same cell as worker 1
+  reference.push_back({2, {1.2, 1.2}});
+  idx.Insert(3, {15.0, 15.0});
+  reference.push_back({3, {15.0, 15.0}});
+  verify();
+
+  move_to(1, {5.0, 1.0});    // crosses one cell boundary
+  move_to(3, {1.0, 15.0});   // long move across the box
+  verify();
+
+  // Remove one of two same-cell workers; the survivor must stay findable.
+  idx.Remove(2, {1.2, 1.2});
+  reference.erase(reference.begin() + 1);
+  verify();
+
+  // Reinsert at the far corner, then bounce a worker back and forth
+  // across the same boundary (regression for swap-with-back removal).
+  idx.Insert(2, {15.5, 0.5});
+  reference.push_back({2, {15.5, 0.5}});
+  move_to(1, {1.0, 1.0});
+  move_to(1, {5.0, 1.0});
+  move_to(1, {1.0, 1.0});
+  verify();
+
+  // Same-cell move is a no-op but must keep the entry.
+  move_to(2, {15.7, 0.7});
+  verify();
+
+  idx.Remove(1, {1.0, 1.0});
+  idx.Remove(2, {15.7, 0.7});
+  idx.Remove(3, {1.0, 15.0});
+  reference.clear();
+  verify();
 }
 
 TEST(GridIndexTest, MemoryGrowsWithFinerCells) {

@@ -1,0 +1,247 @@
+// Flat-memory hot-path trajectory bench: hub-label (CSR) distance queries
+// and per-request insertion latency, recorded machine-readably per PR.
+//
+// Unlike the google-benchmark microbenches (bench_oracle/bench_insertion,
+// which need libbenchmark and report to stdout only), this binary always
+// builds, times the two hot paths with the shared harness, and *writes*
+// `BENCH_oracle.json` and `BENCH_insertion.json` (one JSON object per
+// line, same schema as the BENCH_JSON stdout lines, including per-op
+// p50/p95 latency) into the working directory. The CTest smoke entry runs
+// it from the repository root, so every PR refreshes the perf trajectory
+// files; CI uploads them as artifacts.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/graph/builders.h"
+#include "src/insertion/insertion.h"
+#include "src/model/feasibility.h"
+#include "src/parallel/thread_pool.h"
+#include "src/shortest/hub_labels.h"
+#include "src/shortest/oracle.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+#include "src/workload/city.h"
+
+namespace urpsm::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void WriteJsonFile(const char* path, const std::vector<std::string>& lines) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_hotpath: cannot write %s\n", path);
+    return;
+  }
+  for (const std::string& line : lines) std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path, lines.size());
+}
+
+bool g_smoke = false;  // set once in main, before any Record call
+
+void Record(std::vector<std::string>* out, const std::string& name,
+            std::vector<std::pair<std::string, std::string>> params,
+            double wall_ms, double throughput, double p50_ms, double p95_ms) {
+  // Mark smoke-sized runs so a trajectory refreshed by the CTest smoke
+  // entry is never mistaken for a full measurement.
+  if (g_smoke) params.emplace_back("smoke", "1");
+  out->push_back(
+      FormatJsonLine(name, params, wall_ms, throughput, p50_ms, p95_ms));
+  EmitJsonLine(name, params, wall_ms, throughput, p50_ms, p95_ms);
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// ------------------------------------------------------------------ oracle
+
+void BenchOracle(bool smoke, std::vector<std::string>* lines) {
+  const double s = EnvScale();
+  const RoadNetwork graph = MakeNycLike(0.12 * s, 1);
+  const auto n = graph.num_vertices();
+
+  const auto seq_t0 = Clock::now();
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  const double seq_build_ms = MsSince(seq_t0);
+
+  ThreadPool pool(4);
+  const auto par_t0 = Clock::now();
+  const HubLabelOracle par_labels = HubLabelOracle::Build(graph, &pool);
+  const double par_build_ms = MsSince(par_t0);
+  if (!par_labels.SameLabels(labels)) {
+    std::fprintf(stderr,
+                 "bench_hotpath: parallel hub-label build diverged from the "
+                 "sequential build!\n");
+    std::exit(1);
+  }
+
+  Record(lines, "hub_label_build",
+         {{"graph", "nyc_like"},
+          {"vertices", std::to_string(n)},
+          {"threads", "1"},
+          {"avg_label", Fmt(labels.average_label_size())}},
+         seq_build_ms, n / (seq_build_ms / 1e3), -1.0, -1.0);
+  Record(lines, "hub_label_build",
+         {{"graph", "nyc_like"},
+          {"vertices", std::to_string(n)},
+          {"threads", "4"}},
+         par_build_ms, n / (par_build_ms / 1e3), -1.0, -1.0);
+
+  // Random point-to-point queries; latency sampled per batch so the clock
+  // overhead does not drown sub-microsecond queries.
+  const std::int64_t kQueries = smoke ? 100'000 : 2'000'000;
+  constexpr std::int64_t kBatch = 64;
+  Rng rng(7);
+  std::vector<std::pair<VertexId, VertexId>> pairs(
+      static_cast<std::size_t>(kBatch));
+  StatsAccumulator per_query_us;
+  double sink = 0.0;
+  const auto q_t0 = Clock::now();
+  for (std::int64_t done = 0; done < kQueries; done += kBatch) {
+    for (auto& [u, v] : pairs) {
+      u = rng.UniformInt(0, n - 1);
+      v = rng.UniformInt(0, n - 1);
+    }
+    const auto b_t0 = Clock::now();
+    for (const auto& [u, v] : pairs) sink += labels.Distance(u, v);
+    per_query_us.Add(
+        std::chrono::duration<double, std::micro>(Clock::now() - b_t0)
+            .count() /
+        static_cast<double>(kBatch));
+  }
+  const double q_ms = MsSince(q_t0);
+  if (sink < 0.0) std::printf("unreachable\n");  // keep the loop observable
+  Record(lines, "hub_label_query",
+         {{"graph", "nyc_like"},
+          {"vertices", std::to_string(n)},
+          {"layout", "csr"},
+          {"queries", std::to_string(kQueries)}},
+         q_ms, kQueries / (q_ms / 1e3), per_query_us.Percentile(50) * 1e-3,
+         per_query_us.Percentile(95) * 1e-3);
+}
+
+// --------------------------------------------------------------- insertion
+
+struct InsertionScenario {
+  explicit InsertionScenario(int stops)
+      : graph(MakeGridGraph(40, 40, 0.5)),
+        inner(&graph),
+        cached(&inner, 1 << 22),
+        ctx(&graph, &cached, &requests) {
+    Rng rng(42);
+    worker = {0, 0, 1 << 20};  // capacity never binds; n drives the cost
+    route = Route(worker.initial_location, 0.0);
+    while (route.size() < stops) {
+      const VertexId o = rng.UniformInt(0, graph.num_vertices() - 1);
+      VertexId d = rng.UniformInt(0, graph.num_vertices() - 1);
+      if (d == o) d = (d + 1) % graph.num_vertices();
+      Request r;
+      r.id = static_cast<RequestId>(requests.size());
+      r.origin = o;
+      r.destination = d;
+      r.release_time = 0.0;
+      r.deadline = 1e9;  // loose deadlines: operators pay full asymptotic cost
+      r.penalty = 1.0;
+      requests.push_back(r);
+      const InsertionCandidate c = BasicInsertion(worker, route, r, &ctx);
+      if (c.feasible()) route.Insert(r, c.i, c.j, &cached);
+    }
+    Request p;
+    p.id = static_cast<RequestId>(requests.size());
+    p.origin = 1;
+    p.destination = graph.num_vertices() - 2;
+    p.release_time = 0.0;
+    p.deadline = 1e9;
+    requests.push_back(p);
+    probe = p;
+    BasicInsertion(worker, route, probe, &ctx);  // warm the distance cache
+    state = BuildRouteState(route, &ctx);
+  }
+
+  RoadNetwork graph;
+  DijkstraOracle inner;
+  CachedOracle cached;
+  std::vector<Request> requests;
+  PlanningContext ctx;
+  Worker worker;
+  Route route;
+  Request probe;
+  RouteState state;
+};
+
+template <typename Op>
+void TimeOp(std::vector<std::string>* lines, const std::string& name,
+            int stops, std::int64_t ops, std::int64_t batch, Op&& op) {
+  StatsAccumulator per_op_us;
+  const auto t0 = Clock::now();
+  for (std::int64_t done = 0; done < ops; done += batch) {
+    const auto b_t0 = Clock::now();
+    for (std::int64_t b = 0; b < batch; ++b) op();
+    per_op_us.Add(
+        std::chrono::duration<double, std::micro>(Clock::now() - b_t0)
+            .count() /
+        static_cast<double>(batch));
+  }
+  const double ms = MsSince(t0);
+  Record(lines, name, {{"stops", std::to_string(stops)}}, ms, ops / (ms / 1e3),
+         per_op_us.Percentile(50) * 1e-3, per_op_us.Percentile(95) * 1e-3);
+}
+
+void BenchInsertion(bool smoke, std::vector<std::string>* lines) {
+  const std::vector<int> sizes = smoke ? std::vector<int>{8, 32}
+                                       : std::vector<int>{16, 64, 128};
+  for (const int stops : sizes) {
+    InsertionScenario sc(stops);
+    const std::int64_t ops = smoke ? 2'000 : 50'000;
+    // Per-request planning path: gather the distance columns, then the
+    // linear DP over flat arrays (route state comes from the fleet cache
+    // in the real planner, so it is prebuilt here).
+    TimeOp(lines, "linear_dp_insertion", stops, ops, 16, [&] {
+      const InsertionCandidate c = LinearDpInsertion(
+          sc.worker, sc.route, sc.state, sc.probe, &sc.ctx);
+      if (c.i == -2) std::printf("impossible\n");
+    });
+    TimeOp(lines, "naive_dp_insertion", stops, ops / 4, 8, [&] {
+      const InsertionCandidate c = NaiveDpInsertion(
+          sc.worker, sc.route, sc.state, sc.probe, &sc.ctx);
+      if (c.i == -2) std::printf("impossible\n");
+    });
+    TimeOp(lines, "basic_insertion", stops, smoke ? 50 : 500, 2, [&] {
+      const InsertionCandidate c =
+          BasicInsertion(sc.worker, sc.route, sc.probe, &sc.ctx);
+      if (c.i == -2) std::printf("impossible\n");
+    });
+    TimeOp(lines, "build_route_state", stops, ops, 16, [&] {
+      const RouteState st = BuildRouteState(sc.route, &sc.ctx);
+      if (st.n < 0) std::printf("impossible\n");
+    });
+  }
+}
+
+}  // namespace
+}  // namespace urpsm::bench
+
+int main(int argc, char** argv) {
+  const bool smoke = urpsm::bench::InitBench(argc, argv);
+  urpsm::bench::g_smoke = smoke;
+  std::vector<std::string> oracle_lines;
+  urpsm::bench::BenchOracle(smoke, &oracle_lines);
+  urpsm::bench::WriteJsonFile("BENCH_oracle.json", oracle_lines);
+  std::vector<std::string> insertion_lines;
+  urpsm::bench::BenchInsertion(smoke, &insertion_lines);
+  urpsm::bench::WriteJsonFile("BENCH_insertion.json", insertion_lines);
+  return 0;
+}

@@ -139,24 +139,51 @@ inline std::vector<std::pair<std::string, PlannerFactory>> AllAlgorithms(
 /// can `grep '^BENCH_JSON ' | cut -c12- > BENCH_<name>.json` without
 /// parsing the human-readable tables. Keys/values are plain ASCII; param
 /// values are emitted as strings to keep the schema uniform.
-inline void EmitJsonLine(
+/// Renders one BENCH_JSON result line. `p50_ms` / `p95_ms` carry the
+/// per-operation latency distribution (per planned request for the
+/// simulation benches, per query for the oracle benches) so that
+/// tail-latency regressions at the oracle level are visible in the
+/// trajectory, not just aggregate wall time; pass a negative value to
+/// omit a percentile (older benches without per-op timing).
+inline std::string FormatJsonLine(
     const std::string& name,
     const std::vector<std::pair<std::string, std::string>>& params,
-    double wall_ms, double throughput) {
-  std::string line = "BENCH_JSON {\"name\":\"" + name + "\",\"params\":{";
+    double wall_ms, double throughput, double p50_ms = -1.0,
+    double p95_ms = -1.0) {
+  std::string line = "{\"name\":\"" + name + "\",\"params\":{";
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (i > 0) line += ",";
     line += "\"" + params[i].first + "\":\"" + params[i].second + "\"";
   }
-  char tail[96];
-  std::snprintf(tail, sizeof(tail), "},\"wall_ms\":%.6g,\"throughput\":%.6g}",
+  char tail[160];
+  std::snprintf(tail, sizeof(tail), "},\"wall_ms\":%.6g,\"throughput\":%.6g",
                 wall_ms, throughput);
   line += tail;
-  std::printf("%s\n", line.c_str());
+  if (p50_ms >= 0.0) {
+    std::snprintf(tail, sizeof(tail), ",\"p50_ms\":%.6g", p50_ms);
+    line += tail;
+  }
+  if (p95_ms >= 0.0) {
+    std::snprintf(tail, sizeof(tail), ",\"p95_ms\":%.6g", p95_ms);
+    line += tail;
+  }
+  line += "}";
+  return line;
+}
+
+inline void EmitJsonLine(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    double wall_ms, double throughput, double p50_ms = -1.0,
+    double p95_ms = -1.0) {
+  std::printf("BENCH_JSON %s\n",
+              FormatJsonLine(name, params, wall_ms, throughput, p50_ms,
+                             p95_ms).c_str());
 }
 
 /// EmitJsonLine for one simulation run: wall time in ms, throughput in
-/// requests planned per second of total wall time.
+/// requests planned per second of total wall time, and the per-request
+/// planning-latency percentiles.
 inline void EmitReportJson(
     const std::string& name, const SimReport& rep,
     std::vector<std::pair<std::string, std::string>> params) {
@@ -164,7 +191,8 @@ inline void EmitReportJson(
   if (rep.timed_out) params.emplace_back("timed_out", "1");
   const double throughput =
       rep.wall_seconds > 0.0 ? rep.total_requests / rep.wall_seconds : 0.0;
-  EmitJsonLine(name, params, rep.wall_seconds * 1e3, throughput);
+  EmitJsonLine(name, params, rep.wall_seconds * 1e3, throughput,
+               rep.p50_response_ms, rep.p95_response_ms);
 }
 
 /// Grid of results: one SimReport per (algorithm, sweep value).

@@ -55,22 +55,20 @@ WorkerId GreedyDpPlanner::OnRequest(const Request& r) {
   if (candidates.empty()) return kInvalidWorker;
 
   // Phase 1 — decision (Algo. 4): per-worker lower bounds, no new queries.
+  // Route states come from the fleet's per-worker cache (keyed on
+  // Route::version): a worker whose route did not change since the last
+  // request reuses its arrays instead of re-deriving them.
   std::vector<WorkerBound> bounds;
   bounds.reserve(candidates.size());
-  std::vector<RouteState> states(candidates.size());
-  std::vector<std::size_t> state_index;  // bound k -> states slot
-  state_index.reserve(candidates.size());
   double min_lb = kInf;
-  for (std::size_t k = 0; k < candidates.size(); ++k) {
-    const WorkerId w = candidates[k];
+  for (const WorkerId w : candidates) {
     fleet_->Touch(w, now);
     const Route& route = fleet_->route(w);
-    states[k] = BuildRouteState(route, ctx_);
-    const double lb = DecisionLowerBound(fleet_->worker(w), route, states[k],
-                                         r, L, ctx_->graph());
+    const RouteState& st = fleet_->CachedState(w, ctx_);
+    const double lb =
+        DecisionLowerBound(fleet_->worker(w), route, st, r, L, ctx_->graph());
     if (lb == kInf) continue;  // provably infeasible for this worker
     bounds.push_back({w, lb});
-    state_index.push_back(k);
     min_lb = std::min(min_lb, lb);
   }
   if (bounds.empty()) return kInvalidWorker;
@@ -91,9 +89,11 @@ WorkerId GreedyDpPlanner::OnRequest(const Request& r) {
     }
     const WorkerId w = bounds[k].worker;
     ++exact_evaluations_;
+    // The fleet is frozen between Touch and ApplyInsertion, so this hits
+    // the state cache warmed by the decision phase.
     const InsertionCandidate cand =
         LinearDpInsertion(fleet_->worker(w), fleet_->route(w),
-                          states[state_index[k]], r, ctx_);
+                          fleet_->CachedState(w, ctx_), r, ctx_);
     // Strict improvement only: ties on the exact cost go to the earliest
     // worker in the scan order. Together with the epsilon-guarded cutoff
     // above (which never prunes a potential tie, only strictly worse

@@ -1,31 +1,131 @@
+#include <algorithm>
+#include <vector>
+
 #include "src/insertion/insertion.h"
 
 namespace urpsm {
 
-// Algo. 1: enumerate every (i, j) pair, build the candidate stop sequence,
-// and validate it from scratch. O(n^3) time (O(n^3 q) with O(q) distance
-// queries); kept deliberately naive as the paper's baseline and as ground
-// truth for the DP implementations.
+// Algo. 1: enumerate every (i, j) pair and validate the implied stop
+// sequence from scratch. O(n^3) time; kept deliberately naive as the
+// paper's baseline and as ground truth for the DP implementations — the
+// per-candidate walk below re-derives the schedule, capacity profile and
+// pairing constraints from the raw stop sequence with exactly the checks
+// (and check order) of ValidateStops, independent of the RouteState
+// machinery the DPs rely on.
+//
+// Unlike the DPs it used to issue O(n) distance queries per candidate
+// (O(n^3) total) and build a candidate stop vector per pair. The flat hot
+// path gathers everything once — the two endpoint columns, one freshly
+// queried leg array and L — and every candidate walk then indexes flat
+// arrays only: O(n) fresh queries total and zero per-candidate
+// allocations, with bit-identical accept/reject decisions and deltas
+// (same oracle values accumulated in the same left-to-right order).
 InsertionCandidate BasicInsertion(const Worker& worker, const Route& route,
                                   const Request& r, PlanningContext* ctx) {
   InsertionCandidate best;
   const int n = route.size();
   const int onboard = route.OnboardAtAnchor(ctx->requests());
-  const Stop pickup{r.origin, r.id, StopKind::kPickup};
-  const Stop dropoff{r.destination, r.id, StopKind::kDropoff};
   const double base_cost = route.RemainingCost();
+  const std::vector<Stop>& stops = route.stops();
 
-  std::vector<Stop> candidate;
+  // One prepass over the original stops. pickup_before[m]: the drop-off at
+  // original stop index m has its pickup earlier in the route (insertion
+  // preserves the originals' order, so this is position-independent).
+  // Along the way, detect pickups that would duplicate — either r's own id
+  // or a repeated original pickup: ground truth rejects every candidate
+  // containing a duplicate pickup, so the whole enumeration can bail out.
+  thread_local std::vector<char> pickup_before;
+  pickup_before.assign(static_cast<std::size_t>(n), 0);
+  {
+    thread_local std::vector<RequestId> seen;
+    seen.clear();
+    for (int m = 0; m < n; ++m) {
+      const Stop& s = stops[static_cast<std::size_t>(m)];
+      const bool seen_before =
+          std::find(seen.begin(), seen.end(), s.request) != seen.end();
+      if (s.kind == StopKind::kPickup) {
+        if (s.request == r.id || seen_before) return best;
+        seen.push_back(s.request);
+      } else if (seen_before) {
+        pickup_before[static_cast<std::size_t>(m)] = 1;
+      }
+    }
+  }
+
+  // Flat distance inputs, gathered once: endpoint columns, fresh legs
+  // (ground truth re-queries the legs rather than trusting the route's
+  // cache) and the direct distance L.
+  DistanceColumns* cols = ThreadLocalDistanceColumns();
+  GatherDistanceColumns(route, r, ctx, cols);
+  const double* d_o = cols->to_origin.data();
+  const double* d_d = cols->to_destination.data();
+  thread_local std::vector<double> fresh_legs;
+  fresh_legs.resize(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    fresh_legs[static_cast<std::size_t>(k)] =
+        ctx->Dist(route.VertexAt(k), route.VertexAt(k + 1));
+  }
+  const double L = ctx->Dist(r.origin, r.destination);
+
+  // Validates the candidate "pickup after position i, drop-off after
+  // position j" by walking its n+2 stops. Candidate stop index q holds the
+  // pickup at q == i, the drop-off at q == j + 1, and original stop
+  // q / q-1 / q-2 otherwise; the leg into q is picked from the flat
+  // arrays by which of the three the source and target are.
+  const auto walk = [&](int i, int j, double* cost_out) -> bool {
+    double t = route.anchor_time();
+    double cost = 0.0;
+    int load = onboard;
+    for (int q = 0; q < n + 2; ++q) {
+      if (q == i) {  // r's pickup; source is route position i
+        const double leg = d_o[i];
+        t += leg;
+        cost += leg;
+        load += r.capacity;
+        if (load > worker.capacity) return false;
+      } else if (q == j + 1) {  // r's drop-off
+        const double leg = (j == i) ? L : d_d[j];
+        t += leg;
+        cost += leg;
+        load -= r.capacity;
+        if (load < 0) return false;
+        if (t > r.deadline) return false;
+      } else {  // original stop, index m in the unmodified route
+        const int m = q < i ? q : (q <= j ? q - 1 : q - 2);
+        double leg;
+        if (q - 1 == i) {  // source is r's pickup
+          leg = d_o[m + 1];
+        } else if (q - 1 == j + 1) {  // source is r's drop-off
+          leg = d_d[m + 1];
+        } else {  // source is route position m (anchor or original stop)
+          leg = fresh_legs[static_cast<std::size_t>(m)];
+        }
+        t += leg;
+        cost += leg;
+        const Stop& s = stops[static_cast<std::size_t>(m)];
+        const Request& sr = ctx->request(s.request);
+        if (s.kind == StopKind::kPickup) {
+          load += sr.capacity;
+          if (load > worker.capacity) return false;
+        } else {
+          const bool picked_in_route =
+              pickup_before[static_cast<std::size_t>(m)] != 0 ||
+              (s.request == r.id && m >= i);
+          if (!picked_in_route && onboard == 0) return false;
+          load -= sr.capacity;
+          if (load < 0) return false;
+          if (t > sr.deadline) return false;
+        }
+      }
+    }
+    *cost_out = cost;
+    return true;
+  };
+
   for (int i = 0; i <= n; ++i) {
     for (int j = i; j <= n; ++j) {
-      candidate.assign(route.stops().begin(), route.stops().end());
-      candidate.insert(candidate.begin() + j, dropoff);
-      candidate.insert(candidate.begin() + i, pickup);
       double cost = 0.0;
-      if (!ValidateStops(route.anchor(), route.anchor_time(), candidate,
-                         worker.capacity, onboard, ctx, &cost)) {
-        continue;
-      }
+      if (!walk(i, j, &cost)) continue;
       const double delta = cost - base_cost;
       if (delta < best.delta) {
         best.delta = delta;

@@ -2,6 +2,24 @@
 
 namespace urpsm {
 
+void GatherDistanceColumns(const Route& route, const Request& r,
+                           PlanningContext* ctx, DistanceColumns* cols,
+                           int max_pos) {
+  cols->to_origin.resize(static_cast<std::size_t>(max_pos + 1));
+  cols->to_destination.resize(static_cast<std::size_t>(max_pos + 1));
+  for (int k = 0; k <= max_pos; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    const VertexId v = route.VertexAt(k);
+    cols->to_origin[ks] = ctx->Dist(v, r.origin);
+    cols->to_destination[ks] = ctx->Dist(v, r.destination);
+  }
+}
+
+DistanceColumns* ThreadLocalDistanceColumns() {
+  thread_local DistanceColumns cols;
+  return &cols;
+}
+
 double InsertionDelta(const Route& route, const Request& r, int i, int j,
                       PlanningContext* ctx) {
   const int n = route.size();
@@ -28,6 +46,30 @@ double InsertionDelta(const Route& route, const Request& r, int i, int j,
             ctx->Dist(r.destination, route.VertexAt(j + 1)) - leg(j);
   }
   return det_o + det_d;
+}
+
+InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
+                                    const RouteState& st, const Request& r,
+                                    PlanningContext* ctx) {
+  DistanceColumns* cols = ThreadLocalDistanceColumns();
+  GatherDistanceColumns(route, r, ctx, cols);
+  return NaiveDpInsertion(worker, route, st, r, *cols, ctx);
+}
+
+InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
+                                     const RouteState& st, const Request& r,
+                                     PlanningContext* ctx) {
+  DistanceColumns* cols = ThreadLocalDistanceColumns();
+  // The scan breaks at the first position whose arrival already misses
+  // r's deadline and looks one position ahead at most; positions beyond
+  // that are never read, so don't pay queries for them.
+  int cutoff = 0;
+  while (cutoff < st.n &&
+         st.arr[static_cast<std::size_t>(cutoff)] <= r.deadline) {
+    ++cutoff;
+  }
+  GatherDistanceColumns(route, r, ctx, cols, cutoff);
+  return LinearDpInsertion(worker, route, st, r, *cols, ctx);
 }
 
 InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,

@@ -1,11 +1,46 @@
 #ifndef URPSM_SRC_INSERTION_INSERTION_H_
 #define URPSM_SRC_INSERTION_INSERTION_H_
 
+#include <vector>
+
 #include "src/model/feasibility.h"
 #include "src/model/route.h"
 #include "src/model/types.h"
 
 namespace urpsm {
+
+/// Flat per-request distance columns over route positions 0..n:
+///   to_origin[k]      = dis(l_k, o_r)
+///   to_destination[k] = dis(l_k, d_r)
+/// Gathered once per (route, request) before the i/j insertion scan so the
+/// operators index a flat column instead of calling the (locked) shared
+/// distance cache per slot. The road network is undirected, so one column
+/// serves both directions of every detour term.
+struct DistanceColumns {
+  std::vector<double> to_origin;
+  std::vector<double> to_destination;
+};
+
+/// Fills `cols` with the endpoint distances of inserting `r` into `route`
+/// for route positions 0..max_pos (max_pos = route.size() gathers the full
+/// 2(n+1), Lemma 9's budget), reusing the columns' capacity. Callers whose
+/// scan provably stops early — the linear DP breaks at the first position
+/// past r's deadline — pass a smaller max_pos so pruned candidates don't
+/// pay shared-cache queries for positions never read.
+void GatherDistanceColumns(const Route& route, const Request& r,
+                           PlanningContext* ctx, DistanceColumns* cols,
+                           int max_pos);
+inline void GatherDistanceColumns(const Route& route, const Request& r,
+                                  PlanningContext* ctx,
+                                  DistanceColumns* cols) {
+  GatherDistanceColumns(route, r, ctx, cols, route.size());
+}
+
+/// Reusable thread-local scratch columns. The operator overloads without an
+/// explicit columns argument gather into these, so steady-state planning
+/// allocates nothing per candidate. The pointer stays valid for the thread's
+/// lifetime; contents are overwritten by the next gather on this thread.
+DistanceColumns* ThreadLocalDistanceColumns();
 
 /// Result of an insertion evaluation (Def. 6): the cheapest feasible
 /// placement of the request's pickup (after route position i) and drop-off
@@ -37,12 +72,26 @@ InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
 InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
                                      const Request& r, PlanningContext* ctx);
 
-/// Variants taking a prebuilt RouteState (for callers that already have it).
+/// Variants taking a prebuilt RouteState (for callers that already have
+/// it, e.g. the planners' fleet-cached state); the distance columns are
+/// gathered into the thread-local scratch.
 InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
                                     const RouteState& st, const Request& r,
                                     PlanningContext* ctx);
 InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
                                      const RouteState& st, const Request& r,
+                                     PlanningContext* ctx);
+
+/// Core variants taking prebuilt state AND prebuilt distance columns
+/// (cols must hold n+1 entries per column for this route). These issue no
+/// endpoint distance queries themselves — only the cached L_r lookup.
+InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
+                                    const RouteState& st, const Request& r,
+                                    const DistanceColumns& cols,
+                                    PlanningContext* ctx);
+InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
+                                     const RouteState& st, const Request& r,
+                                     const DistanceColumns& cols,
                                      PlanningContext* ctx);
 
 /// Increased distance Delta_{i,j} of a concrete placement (Eq. 5), with no

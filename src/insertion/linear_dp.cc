@@ -1,5 +1,3 @@
-#include <vector>
-
 #include "src/insertion/insertion.h"
 
 namespace urpsm {
@@ -9,34 +7,26 @@ namespace urpsm {
 // by the dynamic program Dio/Plc (Eq. 11-12). Lemma 6 guarantees that if
 // the stored minimal-detour candidate violates the pairing constraints of
 // Corollary 1, every other candidate does too, so one O(1) check per j
-// suffices. Total O(n) time and at most 2n + 1 distance queries: dis(l_k,
-// o_r) and dis(l_k, d_r) for k = 0..n (l_0 = anchor shares no query with
-// the legs, which come from the route's cache) plus L = dis(o_r, d_r).
+// suffices. Total O(n) time over flat inputs: dis(l_k, o_r) / dis(l_k, d_r)
+// come pre-gathered in `cols` (2n + 2 queries paid once per (route,
+// request), Lemma 9's budget), the legs from the route's cache, and L from
+// the per-request direct-distance cache — the scan itself touches no hash
+// table and takes no lock.
 InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
                                      const RouteState& st, const Request& r,
+                                     const DistanceColumns& cols,
                                      PlanningContext* ctx) {
   InsertionCandidate best;
   const int n = st.n;
   const int cap = worker.capacity - r.capacity;
   if (cap < 0) return best;
   const double L = ctx->DirectDist(r.id);
-  const auto leg = [&](int k) {
-    return route.leg_costs()[static_cast<std::size_t>(k)];
-  };
-
-  // dis(l_k, o_r) / dis(l_k, d_r), filled on demand as the scan advances.
-  std::vector<double> d_o(static_cast<std::size_t>(n + 1), -1.0);
-  std::vector<double> d_d(static_cast<std::size_t>(n + 1), -1.0);
-  const auto dist_o = [&](int k) -> double {
-    auto& slot = d_o[static_cast<std::size_t>(k)];
-    if (slot < 0.0) slot = ctx->Dist(route.VertexAt(k), r.origin);
-    return slot;
-  };
-  const auto dist_d = [&](int k) -> double {
-    auto& slot = d_d[static_cast<std::size_t>(k)];
-    if (slot < 0.0) slot = ctx->Dist(route.VertexAt(k), r.destination);
-    return slot;
-  };
+  const double* legs = route.leg_costs().data();
+  const double* d_o = cols.to_origin.data();
+  const double* d_d = cols.to_destination.data();
+  const double* arr = st.arr.data();
+  const double* slack = st.slack.data();
+  const int* picked = st.picked.data();
 
   double dio = kInf;  // Dio[j]: min feasible det(l_i, o_r, l_{i+1}), i < j
   int plc = -1;       // Plc[j]: the i achieving Dio[j]
@@ -44,15 +34,14 @@ InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
   for (int j = 0; j <= n; ++j) {
     const auto js = static_cast<std::size_t>(j);
     // Any placement at positions >= j arrives after r's deadline.
-    if (st.arr[js] > r.deadline) break;
+    if (arr[js] > r.deadline) break;
 
     // --- Cases i == j (Fig. 2a / 2b), O(1) each (line 4 of Algo. 3). ---
-    if (st.picked[js] <= cap &&
-        st.arr[js] + dist_o(j) + L <= r.deadline) {
+    if (picked[js] <= cap && arr[js] + d_o[js] + L <= r.deadline) {
       const double delta = (j == n)
-                               ? dist_o(j) + L
-                               : dist_o(j) + L + dist_d(j + 1) - leg(j);
-      const bool others_ok = j == n || delta <= st.slack[js];
+                               ? d_o[js] + L
+                               : d_o[js] + L + d_d[js + 1] - legs[js];
+      const bool others_ok = j == n || delta <= slack[js];
       if (others_ok && delta < best.delta) best = {delta, j, j};
     }
 
@@ -60,11 +49,11 @@ InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
     if (j > 0 && dio < kInf) {
       // Corollary 1: (1) capacity through j, (2) r's deadline, (3) slack
       // of stops after j.
-      const bool cap_ok = st.picked[js] <= cap;
-      const bool ddl_ok = st.arr[js] + dio + dist_d(j) <= r.deadline;
+      const bool cap_ok = picked[js] <= cap;
+      const bool ddl_ok = arr[js] + dio + d_d[js] <= r.deadline;
       const double det_d =
-          (j == n) ? dist_d(j) : dist_d(j) + dist_d(j + 1) - leg(j);
-      const bool slack_ok = j == n || dio + det_d <= st.slack[js];
+          (j == n) ? d_d[js] : d_d[js] + d_d[js + 1] - legs[js];
+      const bool slack_ok = j == n || dio + det_d <= slack[js];
       if (cap_ok && ddl_ok && slack_ok) {
         const double delta = dio + det_d;
         if (delta < best.delta) best = {delta, plc, j};
@@ -73,15 +62,15 @@ InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
 
     // --- DP transition to Dio[j+1] / Plc[j+1] (Eq. 11-12). ---
     if (j < n) {
-      if (st.picked[js] > cap) {
+      if (picked[js] > cap) {
         // Lemma 5: r cannot remain on board across segment j -> j+1;
         // every candidate i <= j dies.
         dio = kInf;
         plc = -1;
       } else {
-        const double det = dist_o(j) + dist_o(j + 1) - leg(j);
+        const double det = d_o[js] + d_o[js + 1] - legs[js];
         // Lemma 4 (2): candidate i = j must not exhaust later slacks.
-        if (det <= st.slack[js] && det < dio) {
+        if (det <= slack[js] && det < dio) {
           dio = det;
           plc = j;
         }

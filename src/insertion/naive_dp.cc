@@ -1,7 +1,5 @@
 #include "src/insertion/insertion.h"
 
-#include <vector>
-
 namespace urpsm {
 
 // Algo. 2: enumerate all O(n^2) pairs (i, j); each pair is checked in O(1)
@@ -9,28 +7,22 @@ namespace urpsm {
 // We use `continue` where the paper uses `break` on conditions (3)/(4) of
 // Lemma 4: those quantities are not monotone in j (dis(l_j, d_r) can shrink
 // as j grows), so continuing is required for exact equivalence with basic
-// insertion. This does not change the O(n^2) bound.
+// insertion. This does not change the O(n^2) bound. The endpoint distances
+// dis(l_k, o_r) / dis(l_k, d_r) come pre-gathered in `cols` (the naive
+// variant always needed all 2n + 2 of them), so the O(n^2) scan reads flat
+// arrays only.
 InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
                                     const RouteState& st, const Request& r,
+                                    const DistanceColumns& cols,
                                     PlanningContext* ctx) {
   InsertionCandidate best;
   const int n = st.n;
   const int cap = worker.capacity - r.capacity;
   if (cap < 0) return best;
   const double L = ctx->DirectDist(r.id);
-
-  // dis(l_k, o_r) and dis(l_k, d_r) for every route position (2n + 2
-  // queries; the naive variant does not optimize query count).
-  std::vector<double> d_o(static_cast<std::size_t>(n + 1));
-  std::vector<double> d_d(static_cast<std::size_t>(n + 1));
-  for (int k = 0; k <= n; ++k) {
-    d_o[static_cast<std::size_t>(k)] = ctx->Dist(route.VertexAt(k), r.origin);
-    d_d[static_cast<std::size_t>(k)] =
-        ctx->Dist(route.VertexAt(k), r.destination);
-  }
-  const auto leg = [&](int k) {
-    return route.leg_costs()[static_cast<std::size_t>(k)];
-  };
+  const double* legs = route.leg_costs().data();
+  const double* d_o = cols.to_origin.data();
+  const double* d_d = cols.to_destination.data();
 
   for (int i = 0; i <= n; ++i) {
     const auto is = static_cast<std::size_t>(i);
@@ -46,7 +38,7 @@ InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
     {
       const double delta = (i == n)
                                ? d_o[is] + L
-                               : d_o[is] + L + d_d[is + 1] - leg(i);
+                               : d_o[is] + L + d_d[is + 1] - legs[is];
       // Lemma 4 (3): r's own drop-off deadline.
       const bool own_ok = st.arr[is] + d_o[is] + L <= r.deadline;
       // Lemma 4 (4): delay of every later stop.
@@ -58,7 +50,7 @@ InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
 
     // General case i < j (Fig. 2c).
     if (i == n) continue;
-    const double det_o = d_o[is] + d_o[is + 1] - leg(i);
+    const double det_o = d_o[is] + d_o[is + 1] - legs[is];
     // Lemma 4 (2): the pickup detour alone must respect every later slack.
     if (det_o > st.slack[is]) continue;
     for (int j = i + 1; j <= n; ++j) {
@@ -66,7 +58,7 @@ InsertionCandidate NaiveDpInsertion(const Worker& worker, const Route& route,
       // Lemma 5 (2): r is on board through position j.
       if (st.picked[js] > cap) break;
       const double det_d =
-          (j == n) ? d_d[js] : d_d[js] + d_d[js + 1] - leg(j);
+          (j == n) ? d_d[js] : d_d[js] + d_d[js + 1] - legs[js];
       const double delta = det_o + det_d;
       // Lemma 4 (3): arrival at d_r.
       if (st.arr[js] + det_o + d_d[js] > r.deadline) continue;

@@ -1,8 +1,6 @@
 #include "src/model/feasibility.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 namespace urpsm {
 
@@ -38,8 +36,9 @@ double PlanningContext::DirectDist(RequestId id) {
   return d;
 }
 
-RouteState BuildRouteState(const Route& route, PlanningContext* ctx) {
-  RouteState st;
+void BuildRouteState(const Route& route, PlanningContext* ctx,
+                     RouteState* out) {
+  RouteState& st = *out;
   st.n = route.size();
   const auto size = static_cast<std::size_t>(st.n + 1);
   st.arr.resize(size);
@@ -54,7 +53,9 @@ RouteState BuildRouteState(const Route& route, PlanningContext* ctx) {
   for (int k = 1; k <= st.n; ++k) {
     const auto ks = static_cast<std::size_t>(k);
     const Stop& stop = route.stops()[ks - 1];
-    st.arr[ks] = st.arr[ks - 1] + route.leg_costs()[ks - 1];
+    // The route's arrival prefix is maintained with the same left-to-right
+    // accumulation this loop used to perform, so copying it is bit-exact.
+    st.arr[ks] = route.ArrivalAt(k);
     const Request& r = ctx->request(stop.request);
     if (stop.kind == StopKind::kPickup) {
       st.ddl[ks] = r.deadline - ctx->DirectDist(stop.request);
@@ -70,6 +71,11 @@ RouteState BuildRouteState(const Route& route, PlanningContext* ctx) {
     const auto ks = static_cast<std::size_t>(k);
     st.slack[ks] = std::min(st.slack[ks + 1], st.ddl[ks + 1] - st.arr[ks + 1]);
   }
+}
+
+RouteState BuildRouteState(const Route& route, PlanningContext* ctx) {
+  RouteState st;
+  BuildRouteState(route, ctx, &st);
   return st;
 }
 
@@ -80,7 +86,14 @@ bool ValidateStops(VertexId anchor, double anchor_time,
   double cost = 0.0;
   int load = onboard;
   VertexId prev = anchor;
-  std::unordered_set<RequestId> picked;
+  // Thread-local scratch instead of a per-call unordered_set: this runs
+  // inside candidate validation loops. Stop lists are short, so a linear
+  // membership scan over a flat array beats hashing + allocation.
+  thread_local std::vector<RequestId> picked;
+  picked.clear();
+  const auto picked_contains = [&](RequestId id) {
+    return std::find(picked.begin(), picked.end(), id) != picked.end();
+  };
   for (const Stop& s : stops) {
     const double leg = ctx->Dist(prev, s.location);
     t += leg;
@@ -88,13 +101,14 @@ bool ValidateStops(VertexId anchor, double anchor_time,
     prev = s.location;
     const Request& r = ctx->request(s.request);
     if (s.kind == StopKind::kPickup) {
-      if (!picked.insert(s.request).second) return false;  // duplicate pickup
+      if (picked_contains(s.request)) return false;  // duplicate pickup
+      picked.push_back(s.request);
       load += r.capacity;
       if (load > worker_capacity) return false;
     } else {
       // The pickup must precede the drop-off unless the rider is already
       // on board (pickup committed before the anchor).
-      const bool picked_in_route = picked.contains(s.request);
+      const bool picked_in_route = picked_contains(s.request);
       if (!picked_in_route && onboard == 0) return false;
       load -= r.capacity;
       if (load < 0) return false;

@@ -83,10 +83,16 @@ struct RouteState {
 };
 
 /// Builds the auxiliary arrays for `route`. Uses only the route's cached
-/// leg costs plus (cached) direct distances, so it issues no new
+/// arrival prefix plus (cached) direct distances, so it issues no new
 /// shortest-distance queries after the first time each onboard request's
 /// L_r is seen.
 RouteState BuildRouteState(const Route& route, PlanningContext* ctx);
+
+/// In-place variant reusing `out`'s array capacity — the form the fleet's
+/// per-worker route-state cache rebuilds through, so steady-state planning
+/// allocates nothing here.
+void BuildRouteState(const Route& route, PlanningContext* ctx,
+                     RouteState* out);
 
 /// Ground-truth feasibility check used by tests and the basic insertion:
 /// recomputes the schedule of `stops` starting from (anchor, anchor_time)

@@ -1,15 +1,20 @@
 #include "src/model/route.h"
 
+#include <algorithm>
 #include <cassert>
-#include <unordered_set>
 
 namespace urpsm {
 
-double Route::ArrivalAt(int k) const {
-  assert(k >= 0 && k <= size());
+void Route::RecomputeArrivals() {
+  // Same left-to-right accumulation as a fresh prefix walk starting at the
+  // anchor time, so cached arrivals are bit-identical to recomputed ones.
+  arrivals_.resize(stops_.size() + 1);
   double t = anchor_time_;
-  for (int l = 0; l < k; ++l) t += leg_costs_[static_cast<std::size_t>(l)];
-  return t;
+  arrivals_[0] = t;
+  for (std::size_t k = 0; k < leg_costs_.size(); ++k) {
+    t += leg_costs_[k];
+    arrivals_[k + 1] = t;
+  }
 }
 
 double Route::RemainingCost() const {
@@ -66,6 +71,8 @@ void Route::Insert(const Request& r, int i, int j, DistanceOracle* oracle) {
     }
   }
   assert(static_cast<int>(leg_costs_.size()) == size());
+  ++version_;
+  RecomputeArrivals();
 }
 
 void Route::SetStops(std::vector<Stop> stops, DistanceOracle* oracle) {
@@ -76,6 +83,8 @@ void Route::SetStops(std::vector<Stop> stops, DistanceOracle* oracle) {
     leg_costs_[static_cast<std::size_t>(k)] =
         oracle->Distance(VertexAt(k), VertexAt(k + 1));
   }
+  ++version_;
+  RecomputeArrivals();
 }
 
 Stop Route::PopFront() {
@@ -85,6 +94,8 @@ Stop Route::PopFront() {
   anchor_ = front.location;
   stops_.erase(stops_.begin());
   leg_costs_.erase(leg_costs_.begin());
+  ++version_;
+  RecomputeArrivals();
   return front;
 }
 
@@ -102,13 +113,19 @@ std::vector<VertexId> Route::MaterializePath(DistanceOracle* oracle) const {
 }
 
 int Route::OnboardAtAnchor(const std::vector<Request>& requests) const {
-  std::unordered_set<RequestId> picked_here;
+  // Thread-local scratch instead of a per-call unordered_set: this runs
+  // inside every RouteState build. Stops lists are short, so a linear
+  // membership scan over a flat array beats hashing.
+  thread_local std::vector<RequestId> picked_here;
+  picked_here.clear();
   for (const Stop& s : stops_) {
-    if (s.kind == StopKind::kPickup) picked_here.insert(s.request);
+    if (s.kind == StopKind::kPickup) picked_here.push_back(s.request);
   }
   int onboard = 0;
   for (const Stop& s : stops_) {
-    if (s.kind == StopKind::kDropoff && !picked_here.contains(s.request)) {
+    if (s.kind == StopKind::kDropoff &&
+        std::find(picked_here.begin(), picked_here.end(), s.request) ==
+            picked_here.end()) {
       onboard += requests[static_cast<std::size_t>(s.request)].capacity;
     }
   }

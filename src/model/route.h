@@ -1,6 +1,8 @@
 #ifndef URPSM_SRC_MODEL_ROUTE_H_
 #define URPSM_SRC_MODEL_ROUTE_H_
 
+#include <cassert>
+#include <cstdint>
 #include <vector>
 
 #include "src/model/types.h"
@@ -12,7 +14,13 @@ namespace urpsm {
 /// worker most recently reached, with the time it was/will be reached) plus
 /// the ordered pending stops l_1..l_n. The route caches the travel time of
 /// every leg so that schedules (arrival times) are recomputable with zero
-/// shortest-distance queries.
+/// shortest-distance queries, and keeps the arrival prefix itself cached so
+/// ArrivalAt is O(1).
+///
+/// Every mutation (Insert, SetStops, PopFront, set_anchor_time) bumps a
+/// monotonic version counter. Downstream caches — the fleet's per-worker
+/// RouteState memo in particular — key on it: an unchanged version
+/// guarantees the route (stops, legs, anchor, anchor time) is unchanged.
 ///
 /// Model note: worker positions are resolved at vertex granularity, exactly
 /// as in the paper's simulation — between stops the worker's location is
@@ -21,11 +29,20 @@ class Route {
  public:
   Route() = default;
   Route(VertexId anchor, double anchor_time)
-      : anchor_(anchor), anchor_time_(anchor_time) {}
+      : anchor_(anchor), anchor_time_(anchor_time), arrivals_{anchor_time} {}
 
   VertexId anchor() const { return anchor_; }
   double anchor_time() const { return anchor_time_; }
-  void set_anchor_time(double t) { anchor_time_ = t; }
+  void set_anchor_time(double t) {
+    anchor_time_ = t;
+    ++version_;
+    RecomputeArrivals();
+  }
+
+  /// Mutation counter: bumped by Insert, SetStops, PopFront and
+  /// set_anchor_time. Equal versions of the same Route object imply an
+  /// identical route; cache RouteState and schedules against it.
+  std::uint64_t version() const { return version_; }
 
   const std::vector<Stop>& stops() const { return stops_; }
   /// Travel time of leg k (from vertex k to vertex k+1), k in [0, size).
@@ -40,8 +57,15 @@ class Route {
     return k == 0 ? anchor_ : stops_[static_cast<std::size_t>(k - 1)].location;
   }
 
-  /// Arrival time at route position k (anchor_time + prefix of leg costs).
-  double ArrivalAt(int k) const;
+  /// Arrival time at route position k. O(1): served from the cached
+  /// arrival prefix, which is recomputed eagerly on every mutation with
+  /// the same left-to-right accumulation a fresh prefix walk would use
+  /// (bit-identical results, and safe for concurrent readers since reads
+  /// never mutate).
+  double ArrivalAt(int k) const {
+    assert(k >= 0 && k <= size());
+    return arrivals_[static_cast<std::size_t>(k)];
+  }
 
   /// Total planned travel time from the anchor through the last stop.
   double RemainingCost() const;
@@ -70,10 +94,14 @@ class Route {
   std::vector<VertexId> MaterializePath(DistanceOracle* oracle) const;
 
  private:
+  void RecomputeArrivals();
+
   VertexId anchor_ = kInvalidVertex;
   double anchor_time_ = 0.0;
+  std::uint64_t version_ = 0;
   std::vector<Stop> stops_;
   std::vector<double> leg_costs_;  // leg_costs_[k] = cost(VertexAt(k), VertexAt(k+1))
+  std::vector<double> arrivals_{0.0};  // arrivals_[k] = ArrivalAt(k), size()+1 entries
 };
 
 }  // namespace urpsm

@@ -52,29 +52,27 @@ WorkerId ParallelGreedyDpPlanner::OnRequest(const Request& r) {
   for (const WorkerId w : candidates) fleet_->Touch(w, now);
 
   // Phase 1 — decision (Algo. 4): per-worker lower bounds, fanned across
-  // the pool. Each slot is written by exactly one iteration.
-  std::vector<RouteState> states(candidates.size());
+  // the pool. Each lbs slot is written by exactly one iteration, and each
+  // iteration touches exactly one fleet state-cache slot (candidates are
+  // distinct workers), so the cached RouteState rebuilds are race-free.
   std::vector<double> lbs(candidates.size(), kInf);
   ForEach(candidates.size(), [&](std::int64_t k) {
     const auto ks = static_cast<std::size_t>(k);
     const WorkerId w = candidates[ks];
     const Route& route = fleet_->route(w);
-    states[ks] = BuildRouteState(route, ctx_);
-    lbs[ks] = DecisionLowerBound(fleet_->worker(w), route, states[ks], r, L,
-                                 ctx_->graph());
+    const RouteState& st = fleet_->CachedState(w, ctx_);
+    lbs[ks] =
+        DecisionLowerBound(fleet_->worker(w), route, st, r, L, ctx_->graph());
   });
 
   // Sequential reduction in candidate order: same bounds, same min as the
   // sequential planner.
   std::vector<WorkerBound> bounds;
   bounds.reserve(candidates.size());
-  std::vector<std::size_t> state_index;  // bound k -> states slot
-  state_index.reserve(candidates.size());
   double min_lb = kInf;
   for (std::size_t k = 0; k < candidates.size(); ++k) {
     if (lbs[k] == kInf) continue;  // provably infeasible for this worker
     bounds.push_back({candidates[k], lbs[k]});
-    state_index.push_back(k);
     min_lb = std::min(min_lb, lbs[k]);
   }
   if (bounds.empty()) return kInvalidWorker;
@@ -99,8 +97,10 @@ WorkerId ParallelGreedyDpPlanner::OnRequest(const Request& r) {
     ForEach(b1 - b0, [&](std::int64_t i) {
       const std::size_t k = order[b0 + static_cast<std::size_t>(i)];
       const WorkerId w = bounds[k].worker;
+      // Pure cache read: the decision phase warmed every candidate's
+      // state slot and the fleet is frozen until ApplyInsertion.
       cands[k] = LinearDpInsertion(fleet_->worker(w), fleet_->route(w),
-                                   states[state_index[k]], r, ctx_);
+                                   fleet_->CachedState(w, ctx_), r, ctx_);
     });
     exact_evaluations_ += static_cast<std::int64_t>(b1 - b0);
     // Reduce in scan order with strict improvement only — exactly the

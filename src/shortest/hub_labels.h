@@ -9,6 +9,8 @@
 
 namespace urpsm {
 
+class ThreadPool;
+
 /// Two-hop hub labeling built with pruned landmark labeling (PLL).
 ///
 /// Stand-in for the hub-based labeling algorithm of Abraham et al. [9] that
@@ -17,11 +19,26 @@ namespace urpsm {
 /// pairs; dis(u, v) = min over common hubs h of d(u,h) + d(h,v). Pruned
 /// Dijkstras are run from vertices in descending-degree order, which keeps
 /// labels small on road-like planar graphs.
+///
+/// Labels are stored in CSR layout: one contiguous hub-rank array and one
+/// contiguous hub-distance array (structure of arrays), plus per-vertex
+/// offsets. A query is a branch-light merge-join over two flat, sorted
+/// slices — no per-vertex vector indirection, no padding (the old
+/// array-of-structs entry was 16 bytes; CSR stores 12 per label).
 class HubLabelOracle : public DistanceOracle {
  public:
-  /// Builds labels for `graph`. O(sum label sizes * log) preprocessing;
-  /// intended for graphs up to a few hundred thousand vertices.
+  /// Builds labels for `graph` sequentially. O(sum label sizes * log)
+  /// preprocessing; intended for graphs up to a few hundred thousand
+  /// vertices.
   static HubLabelOracle Build(const RoadNetwork& graph);
+
+  /// Parallel build over `pool` (nullptr or size 1 falls back to the
+  /// sequential build). Roots are processed in speculative batches against
+  /// a frozen label snapshot and committed strictly in rank order; a
+  /// speculative search is re-run sequentially exactly when a hub committed
+  /// ahead of it would have pruned one of its label entries, so the result
+  /// is bit-identical to the sequential build for every pool size.
+  static HubLabelOracle Build(const RoadNetwork& graph, ThreadPool* pool);
 
   double Distance(VertexId u, VertexId v) override;
 
@@ -36,19 +53,26 @@ class HubLabelOracle : public DistanceOracle {
   /// Total memory consumed by the labels, in bytes.
   std::int64_t MemoryBytes() const;
 
- private:
-  struct LabelEntry {
-    VertexId hub;   // rank-space hub id (position in build order)
-    double dist;
-  };
+  /// Exact equality of the label structure (offsets, hub ranks and hub
+  /// distances, bit for bit). Used to prove parallel builds identical to
+  /// sequential ones.
+  bool SameLabels(const HubLabelOracle& other) const {
+    return offsets_ == other.offsets_ && hub_rank_ == other.hub_rank_ &&
+           hub_dist_ == other.hub_dist_;
+  }
 
+ private:
   explicit HubLabelOracle(const RoadNetwork* graph) : graph_(graph) {}
 
   double QueryByLabels(VertexId u, VertexId v) const;
 
   const RoadNetwork* graph_;
-  // labels_[v] sorted by hub id ascending.
-  std::vector<std::vector<LabelEntry>> labels_;
+  // CSR label storage: vertex v's label occupies [offsets_[v], offsets_[v+1])
+  // in hub_rank_/hub_dist_, sorted by hub rank ascending (ranks are
+  // positions in the build order, so lists are sorted by construction).
+  std::vector<std::int64_t> offsets_;
+  std::vector<VertexId> hub_rank_;
+  std::vector<double> hub_dist_;
 };
 
 }  // namespace urpsm

@@ -7,11 +7,22 @@ namespace urpsm {
 Fleet::Fleet(std::vector<Worker> workers, const RoadNetwork* graph)
     : workers_(std::move(workers)), graph_(graph) {
   routes_.reserve(workers_.size());
-  versions_.assign(workers_.size(), 0);
+  state_cache_.resize(workers_.size());
   commit_log_.resize(workers_.size());
   for (const Worker& w : workers_) {
     routes_.emplace_back(w.initial_location, 0.0);
   }
+}
+
+const RouteState& Fleet::CachedState(WorkerId w, PlanningContext* ctx) {
+  StateCacheEntry& entry = state_cache_[static_cast<std::size_t>(w)];
+  const Route& rt = routes_[static_cast<std::size_t>(w)];
+  if (!entry.valid || entry.route_version != rt.version()) {
+    BuildRouteState(rt, ctx, &entry.state);
+    entry.route_version = rt.version();
+    entry.valid = true;
+  }
+  return entry.state;
 }
 
 void Fleet::AttachIndex(GridIndex* index) {
@@ -24,8 +35,7 @@ void Fleet::AttachIndex(GridIndex* index) {
 void Fleet::PushHeap(WorkerId w) {
   const Route& rt = routes_[static_cast<std::size_t>(w)];
   if (rt.empty()) return;
-  heap_.push({rt.anchor_time() + rt.leg_costs().front(), w,
-              versions_[static_cast<std::size_t>(w)]});
+  heap_.push({rt.anchor_time() + rt.leg_costs().front(), w, rt.version()});
 }
 
 void Fleet::CommitFront(WorkerId w) {
@@ -42,7 +52,6 @@ void Fleet::CommitFront(WorkerId w) {
   }
   commit_log_[static_cast<std::size_t>(w)].push_back({stop, rt.anchor_time()});
   if (index_ != nullptr) index_->Move(w, from, anchor_point(w));
-  ++versions_[static_cast<std::size_t>(w)];
   PushHeap(w);
 }
 
@@ -50,7 +59,7 @@ void Fleet::AdvanceTo(double t) {
   while (!heap_.empty()) {
     const HeapEntry top = heap_.top();
     const auto ws = static_cast<std::size_t>(top.worker);
-    if (top.version != versions_[ws]) {
+    if (top.version != routes_[ws].version()) {
       heap_.pop();
       continue;
     }
@@ -73,7 +82,6 @@ void Fleet::ApplyInsertion(WorkerId w, const Request& r, int i, int j,
   Route& rt = routes_[static_cast<std::size_t>(w)];
   rt.Insert(r, i, j, oracle);
   assignment_[r.id] = w;
-  ++versions_[static_cast<std::size_t>(w)];
   PushHeap(w);
 }
 
@@ -82,7 +90,6 @@ void Fleet::ReplaceRoute(WorkerId w, const Request& r, std::vector<Stop> stops,
   Route& rt = routes_[static_cast<std::size_t>(w)];
   rt.SetStops(std::move(stops), oracle);
   assignment_[r.id] = w;
-  ++versions_[static_cast<std::size_t>(w)];
   PushHeap(w);
 }
 

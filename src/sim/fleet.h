@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/index/grid_index.h"
+#include "src/model/feasibility.h"
 #include "src/model/route.h"
 #include "src/model/types.h"
 #include "src/shortest/oracle.h"
@@ -39,6 +40,20 @@ class Fleet {
   const Route& route(WorkerId w) const {
     return routes_[static_cast<std::size_t>(w)];
   }
+
+  /// The auxiliary arrays (Sec. 4.3) of worker `w`'s current route,
+  /// memoized on Route::version(): a rebuild happens only after the route
+  /// actually mutated (Insert/SetStops/PopFront/anchor-time bump), so the
+  /// decision and planning phases stop re-deriving O(n) state per
+  /// candidate. Equivalent to a fresh BuildRouteState at every call.
+  ///
+  /// Thread-safety: calls for *distinct* workers may run concurrently
+  /// (each worker owns its slot; the planners' parallel phases touch every
+  /// candidate exactly once per loop). Calls for the same worker must be
+  /// externally ordered — in the planners that holds because the fleet is
+  /// frozen between Touch and ApplyInsertion, so after the decision phase
+  /// warms a worker's entry, later calls are pure reads.
+  const RouteState& CachedState(WorkerId w, PlanningContext* ctx);
   const Point& anchor_point(WorkerId w) const {
     return graph_->coord(route(w).anchor());
   }
@@ -94,9 +109,18 @@ class Fleet {
   void CommitFront(WorkerId w);
   void PushHeap(WorkerId w);
 
+  struct StateCacheEntry {
+    std::uint64_t route_version = 0;
+    bool valid = false;
+    RouteState state;
+  };
+
   struct HeapEntry {
     double arrival;
     WorkerId worker;
+    // Route::version() at push time; a mismatch on pop means the route
+    // mutated since and the entry is stale. (The route's counter is the
+    // single mutation clock — the state cache keys on it too.)
     std::uint64_t version;
     bool operator>(const HeapEntry& o) const { return arrival > o.arrival; }
   };
@@ -105,7 +129,7 @@ class Fleet {
   const RoadNetwork* graph_;
   GridIndex* index_ = nullptr;
   std::vector<Route> routes_;
-  std::vector<std::uint64_t> versions_;
+  std::vector<StateCacheEntry> state_cache_;  // slot w ↔ routes_[w]
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
 
   std::unordered_map<RequestId, WorkerId> assignment_;

@@ -22,6 +22,7 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
     avg.total_distance += r.total_distance / n;
     avg.penalty_sum += r.penalty_sum / n;
     avg.avg_response_ms += r.avg_response_ms / n;
+    avg.p50_response_ms += r.p50_response_ms / n;
     avg.p95_response_ms += r.p95_response_ms / n;
     avg.max_response_ms = std::max(avg.max_response_ms, r.max_response_ms);
     queries += static_cast<double>(r.distance_queries);

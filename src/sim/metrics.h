@@ -23,6 +23,7 @@ struct SimReport {
   double total_distance = 0.0;    // sum_w D(S_w), travel-time minutes
   double penalty_sum = 0.0;       // sum of p_r over rejected requests
   double avg_response_ms = 0.0;   // mean per-request planning wall time
+  double p50_response_ms = 0.0;
   double p95_response_ms = 0.0;
   double max_response_ms = 0.0;
   std::int64_t distance_queries = 0;

@@ -98,6 +98,7 @@ SimReport Simulation::Run(const PlannerFactory& factory) {
   report.unified_cost =
       options_.alpha * report.total_distance + report.penalty_sum;
   report.avg_response_ms = response_ms.mean();
+  report.p50_response_ms = response_ms.Percentile(50);
   report.p95_response_ms = response_ms.Percentile(95);
   report.max_response_ms = response_ms.max();
   report.distance_queries = cached_->query_count();

@@ -320,11 +320,14 @@ TEST_P(ParallelPlannerDeterminismTest, BitIdenticalToSequentialForAllThreadCount
 }
 
 INSTANTIATE_TEST_SUITE_P(Workloads, ParallelPlannerDeterminismTest,
-                         ::testing::Values(10.0,  // default penalties
-                                           1.7),  // rejection-heavy
+                         ::testing::Values(10.0,   // default penalties
+                                           1.7,    // rejection-heavy
+                                           30.0),  // accept-heavy: long
+                                                   // routes, warm caches
                          [](const ::testing::TestParamInfo<double>& info) {
-                           return info.param >= 5.0 ? "DefaultPenalties"
-                                                    : "RejectionHeavy";
+                           if (info.param < 5.0) return "RejectionHeavy";
+                           return info.param > 20.0 ? "AcceptHeavy"
+                                                    : "DefaultPenalties";
                          });
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "src/algos/batch.h"
@@ -145,6 +146,12 @@ inline std::vector<std::pair<std::string, PlannerFactory>> AllAlgorithms(
 /// tail-latency regressions at the oracle level are visible in the
 /// trajectory, not just aggregate wall time; pass a negative value to
 /// omit a percentile (older benches without per-op timing).
+///
+/// Every line also carries `hw_concurrency` — the hardware threads the
+/// machine actually exposed — so a measurement from a 1-hardware-thread
+/// CI container is machine-distinguishable from a real multicore run
+/// (thread-count sweeps above hw_concurrency are oversubscription, not
+/// speedup).
 inline std::string FormatJsonLine(
     const std::string& name,
     const std::vector<std::pair<std::string, std::string>>& params,
@@ -167,6 +174,9 @@ inline std::string FormatJsonLine(
     std::snprintf(tail, sizeof(tail), ",\"p95_ms\":%.6g", p95_ms);
     line += tail;
   }
+  std::snprintf(tail, sizeof(tail), ",\"hw_concurrency\":%u",
+                std::thread::hardware_concurrency());
+  line += tail;
   line += "}";
   return line;
 }
@@ -183,11 +193,13 @@ inline void EmitJsonLine(
 
 /// EmitJsonLine for one simulation run: wall time in ms, throughput in
 /// requests planned per second of total wall time, and the per-request
-/// planning-latency percentiles.
+/// planning-latency percentiles. The run's thread count rides along in
+/// the params (complementing the line-level hw_concurrency field).
 inline void EmitReportJson(
     const std::string& name, const SimReport& rep,
     std::vector<std::pair<std::string, std::string>> params) {
   params.emplace_back("algorithm", rep.algorithm);
+  params.emplace_back("num_threads", std::to_string(rep.num_threads));
   if (rep.timed_out) params.emplace_back("timed_out", "1");
   const double throughput =
       rep.wall_seconds > 0.0 ? rep.total_requests / rep.wall_seconds : 0.0;

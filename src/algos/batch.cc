@@ -1,6 +1,7 @@
 #include "src/algos/batch.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <utility>
 
@@ -9,9 +10,10 @@
 
 namespace urpsm {
 
-BatchPlanner::BatchPlanner(PlanningContext* ctx, Fleet* fleet,
-                           PlannerConfig config, double batch_interval_min,
-                           int max_group_size)
+BatchBaselinePlanner::BatchBaselinePlanner(PlanningContext* ctx, Fleet* fleet,
+                                           PlannerConfig config,
+                                           double batch_interval_min,
+                                           int max_group_size)
     : ctx_(ctx),
       fleet_(fleet),
       config_(config),
@@ -23,7 +25,7 @@ BatchPlanner::BatchPlanner(PlanningContext* ctx, Fleet* fleet,
   fleet_->AttachIndex(index_.get());
 }
 
-WorkerId BatchPlanner::OnRequest(const Request& r) {
+WorkerId BatchBaselinePlanner::OnRequest(const Request& r) {
   const double now = r.release_time;
   if (batch_open_ && now >= batch_start_ + batch_interval_) FlushBatch(now);
   if (!batch_open_) {
@@ -36,11 +38,29 @@ WorkerId BatchPlanner::OnRequest(const Request& r) {
   return kInvalidWorker;
 }
 
-void BatchPlanner::Finalize() {
-  if (batch_open_) FlushBatch(batch_start_ + batch_interval_);
+void BatchBaselinePlanner::OnBatch(const std::vector<RequestId>& batch,
+                                   double now) {
+  // The simulation owns the windowing on this path; bypass the internal
+  // buffer and plan the window as one batch at its close.
+  batch_open_ = false;
+  buffer_ = batch;
+  FlushBatch(now);
 }
 
-BatchPlanner::GroupFit BatchPlanner::EvaluateGroup(
+void BatchBaselinePlanner::Finalize(double budget_seconds) {
+  if (budget_seconds <= 0.0) {
+    // Kill switch already exceeded: buffered requests stay rejected (DNF)
+    // instead of paying for an unbounded final flush.
+    buffer_.clear();
+    batch_open_ = false;
+    return;
+  }
+  if (batch_open_) {
+    FlushBatch(batch_start_ + batch_interval_, budget_seconds);
+  }
+}
+
+BatchBaselinePlanner::GroupFit BatchBaselinePlanner::EvaluateGroup(
     WorkerId w, const std::vector<RequestId>& group, double /*now*/,
     bool commit) {
   GroupFit fit;
@@ -67,7 +87,8 @@ BatchPlanner::GroupFit BatchPlanner::EvaluateGroup(
   return fit;
 }
 
-void BatchPlanner::FlushBatch(double now) {
+void BatchBaselinePlanner::FlushBatch(double now, double budget_seconds) {
+  const auto flush_t0 = std::chrono::steady_clock::now();
   batch_open_ = false;
   if (buffer_.empty()) return;
   std::vector<RequestId> batch;
@@ -104,6 +125,15 @@ void BatchPlanner::FlushBatch(double now) {
             });
 
   for (const auto& group : groups) {
+    // A bounded flush stops between groups once the budget is spent; the
+    // remaining groups' members stay rejected (DNF) rather than letting a
+    // nearly-exhausted wall limit buy an unbounded amount of planning.
+    if (budget_seconds < kInf &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      flush_t0)
+                .count() > budget_seconds) {
+      break;
+    }
     // Candidate workers around the group's first pickup.
     double radius = 0.0;
     for (RequestId rid : group) {
@@ -138,7 +168,7 @@ PlannerFactory MakeBatchFactory(PlannerConfig config,
                                 double batch_interval_min,
                                 int max_group_size) {
   return [=](PlanningContext* ctx, Fleet* fleet) {
-    return std::make_unique<BatchPlanner>(ctx, fleet, config,
+    return std::make_unique<BatchBaselinePlanner>(ctx, fleet, config,
                                           batch_interval_min, max_group_size);
   };
 }

@@ -2,6 +2,7 @@
 #define URPSM_SRC_ALGOS_BATCH_H_
 
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "src/core/planner.h"
@@ -20,20 +21,37 @@ namespace urpsm {
 /// greedily with linear DP insertion. Members that do not fit the chosen
 /// worker are rejected, which is where batch loses served rate relative to
 /// per-request greedy planning.
-class BatchPlanner : public RoutePlanner {
+///
+/// Two driving modes share the one FlushBatch implementation:
+///  - per-request (OnRequest): the planner buffers internally and flushes
+///    when a release crosses its own `batch_interval_min` boundary — the
+///    legacy standalone behaviour;
+///  - windowed (OnBatch): the simulation owns the windowing
+///    (SimOptions::batch_window_s) and hands whole release windows over,
+///    so the baseline rides the same dispatch-window plumbing as
+///    DispatchWindowPlanner and the two become directly comparable under
+///    identical window semantics.
+class BatchBaselinePlanner : public BatchPlanner {
  public:
-  BatchPlanner(PlanningContext* ctx, Fleet* fleet, PlannerConfig config,
-               double batch_interval_min = 0.1, int max_group_size = 3);
+  BatchBaselinePlanner(PlanningContext* ctx, Fleet* fleet,
+                       PlannerConfig config, double batch_interval_min = 0.1,
+                       int max_group_size = 3);
 
   WorkerId OnRequest(const Request& r) override;
-  void Finalize() override;
+  void OnBatch(const std::vector<RequestId>& batch, double now) override;
+  void Finalize(double budget_seconds) override;
   std::string_view name() const override { return "batch"; }
   std::int64_t index_memory_bytes() const override {
     return index_->MemoryBytes();
   }
 
  private:
-  void FlushBatch(double now);
+  /// Plans the buffered batch at simulated time `now`. `budget_seconds`
+  /// bounds the wall time spent: group planning stops once it is
+  /// exhausted and the remaining members stay rejected (DNF). The
+  /// in-simulation driving paths pass an unbounded budget — their time
+  /// is accounted by the simulator's own per-request/per-window clock.
+  void FlushBatch(double now, double budget_seconds = kInf);
   /// Greedy multi-insert evaluation: how many of `group` fit into worker
   /// `w`'s route (virtually), and at what total cost.
   struct GroupFit {

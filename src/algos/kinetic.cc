@@ -104,7 +104,7 @@ KineticPlanner::Ordering KineticPlanner::BestOrdering(const Worker& worker,
   }
   s.used.assign(m, false);
   Dfs(&s, route.anchor(), route.anchor_time(), 0.0,
-      route.OnboardAtAnchor(ctx_->requests()));
+      route.OnboardAtAnchor(*ctx_));
 
   Ordering out;
   if (s.best_cost == kInf) return out;

@@ -33,6 +33,82 @@ std::vector<std::size_t> AscendingLowerBoundOrder(
   return order;
 }
 
+std::vector<WorkerId> FilterCandidates(PlanningContext* ctx,
+                                       const GridIndex& index,
+                                       const Request& r, double L,
+                                       double now) {
+  if (now + L > r.deadline) return {};  // unservable even ideally
+  const double radius = CandidateRadiusKm(r, L, now);
+  if (radius < 0.0) return {};
+  const Point origin_pt = ctx->graph().coord(r.origin);
+  return index.WithinRadius(origin_pt, radius);
+}
+
+WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
+                               const PlannerConfig& config, const Request& r,
+                               double L,
+                               const std::vector<WorkerId>& candidates,
+                               InsertionCandidate* best_out,
+                               std::int64_t* exact_evaluations) {
+  // Phase 1 — decision (Algo. 4): per-worker lower bounds, no new queries.
+  // Route states come from the fleet's per-worker cache (keyed on
+  // Route::version): a worker whose route did not change since the last
+  // request reuses its arrays instead of re-deriving them.
+  std::vector<WorkerBound> bounds;
+  bounds.reserve(candidates.size());
+  double min_lb = kInf;
+  for (const WorkerId w : candidates) {
+    const Route& route = fleet->route(w);
+    const RouteState& st = fleet->CachedState(w, ctx);
+    const double lb =
+        DecisionLowerBound(fleet->worker(w), route, st, r, L, ctx->graph());
+    if (lb == kInf) continue;  // provably infeasible for this worker
+    bounds.push_back({w, lb});
+    min_lb = std::min(min_lb, lb);
+  }
+  if (bounds.empty()) return kInvalidWorker;
+  // Line 5 of Algo. 4: reject when the penalty is cheaper than even the
+  // optimistic cost of serving.
+  if (r.penalty < config.alpha * min_lb) return kInvalidWorker;
+
+  // Phase 2 — planning: scan in ascending LB order with exact insertion.
+  const std::vector<std::size_t> order = AscendingLowerBoundOrder(bounds);
+
+  WorkerId best_worker = kInvalidWorker;
+  InsertionCandidate best;
+  for (std::size_t k : order) {
+    // Lemma 8: every remaining worker's exact cost is at least its LB.
+    if (config.use_pruning && best.feasible() &&
+        LemmaEightCutoff(best.delta, bounds[k].lower_bound)) {
+      break;
+    }
+    const WorkerId w = bounds[k].worker;
+    if (exact_evaluations != nullptr) ++*exact_evaluations;
+    // The fleet is frozen between Touch and ApplyInsertion, so this hits
+    // the state cache warmed by the decision phase.
+    const InsertionCandidate cand =
+        LinearDpInsertion(fleet->worker(w), fleet->route(w),
+                          fleet->CachedState(w, ctx), r, ctx);
+    // Strict improvement only: ties on the exact cost go to the earliest
+    // worker in the scan order. Together with the epsilon-guarded cutoff
+    // above (which never prunes a potential tie, only strictly worse
+    // workers), the chosen insertion is the same for any scan that
+    // follows this order and evaluates a superset — in particular
+    // ParallelGreedyDpPlanner's block-parallel scan and the dispatch-
+    // window engine's per-shard scans are bit-identical to this one.
+    if (cand.feasible() && cand.delta < best.delta) {
+      best = cand;
+      best_worker = w;
+    }
+  }
+  if (best_worker == kInvalidWorker) return kInvalidWorker;
+  if (config.exact_reject_check && r.penalty < config.alpha * best.delta) {
+    return kInvalidWorker;
+  }
+  *best_out = best;
+  return best_worker;
+}
+
 GreedyDpPlanner::GreedyDpPlanner(PlanningContext* ctx, Fleet* fleet,
                                  PlannerConfig config)
     : ctx_(ctx), fleet_(fleet), config_(config) {
@@ -45,71 +121,20 @@ GreedyDpPlanner::GreedyDpPlanner(PlanningContext* ctx, Fleet* fleet,
 WorkerId GreedyDpPlanner::OnRequest(const Request& r) {
   const double now = r.release_time;
   const double L = ctx_->DirectDist(r.id);  // the decision phase's 1 query
-  if (now + L > r.deadline) return kInvalidWorker;  // unservable even ideally
-
   // Line 3 of Algo. 5: candidate filter via grid index and deadline.
-  const double radius = CandidateRadiusKm(r, L, now);
-  if (radius < 0.0) return kInvalidWorker;
-  const Point origin_pt = ctx_->graph().coord(r.origin);
-  std::vector<WorkerId> candidates = index_->WithinRadius(origin_pt, radius);
+  const std::vector<WorkerId> candidates =
+      FilterCandidates(ctx_, *index_, r, L, now);
   if (candidates.empty()) return kInvalidWorker;
 
-  // Phase 1 — decision (Algo. 4): per-worker lower bounds, no new queries.
-  // Route states come from the fleet's per-worker cache (keyed on
-  // Route::version): a worker whose route did not change since the last
-  // request reuses its arrays instead of re-deriving them.
-  std::vector<WorkerBound> bounds;
-  bounds.reserve(candidates.size());
-  double min_lb = kInf;
-  for (const WorkerId w : candidates) {
-    fleet_->Touch(w, now);
-    const Route& route = fleet_->route(w);
-    const RouteState& st = fleet_->CachedState(w, ctx_);
-    const double lb =
-        DecisionLowerBound(fleet_->worker(w), route, st, r, L, ctx_->graph());
-    if (lb == kInf) continue;  // provably infeasible for this worker
-    bounds.push_back({w, lb});
-    min_lb = std::min(min_lb, lb);
-  }
-  if (bounds.empty()) return kInvalidWorker;
-  // Line 5 of Algo. 4: reject when the penalty is cheaper than even the
-  // optimistic cost of serving.
-  if (r.penalty < config_.alpha * min_lb) return kInvalidWorker;
+  // Touching only mutates the touched worker's own route, so committing
+  // every candidate up front is equivalent to the historical interleaved
+  // touch-then-bound loop — commits happen in the same candidate order.
+  for (const WorkerId w : candidates) fleet_->Touch(w, now);
 
-  // Phase 2 — planning: scan in ascending LB order with exact insertion.
-  const std::vector<std::size_t> order = AscendingLowerBoundOrder(bounds);
-
-  WorkerId best_worker = kInvalidWorker;
   InsertionCandidate best;
-  for (std::size_t k : order) {
-    // Lemma 8: every remaining worker's exact cost is at least its LB.
-    if (config_.use_pruning && best.feasible() &&
-        LemmaEightCutoff(best.delta, bounds[k].lower_bound)) {
-      break;
-    }
-    const WorkerId w = bounds[k].worker;
-    ++exact_evaluations_;
-    // The fleet is frozen between Touch and ApplyInsertion, so this hits
-    // the state cache warmed by the decision phase.
-    const InsertionCandidate cand =
-        LinearDpInsertion(fleet_->worker(w), fleet_->route(w),
-                          fleet_->CachedState(w, ctx_), r, ctx_);
-    // Strict improvement only: ties on the exact cost go to the earliest
-    // worker in the scan order. Together with the epsilon-guarded cutoff
-    // above (which never prunes a potential tie, only strictly worse
-    // workers), the chosen insertion is the same for any scan that
-    // follows this order and evaluates a superset — in particular
-    // ParallelGreedyDpPlanner's block-parallel scan is bit-identical to
-    // this one.
-    if (cand.feasible() && cand.delta < best.delta) {
-      best = cand;
-      best_worker = w;
-    }
-  }
+  const WorkerId best_worker = PlanRequestSequential(
+      ctx_, fleet_, config_, r, L, candidates, &best, &exact_evaluations_);
   if (best_worker == kInvalidWorker) return kInvalidWorker;
-  if (config_.exact_reject_check && r.penalty < config_.alpha * best.delta) {
-    return kInvalidWorker;
-  }
   fleet_->ApplyInsertion(best_worker, r, best.i, best.j, ctx_->oracle());
   return best_worker;
 }

@@ -14,6 +14,8 @@
 
 namespace urpsm {
 
+struct InsertionCandidate;
+
 /// Online route-planning algorithm: receives each request at its release
 /// time (the fleet is already advanced to that time) and either assigns it
 /// to a worker — mutating that worker's route through the Fleet — or
@@ -30,11 +32,29 @@ class RoutePlanner {
   virtual std::string_view name() const = 0;
 
   /// Called once after the last request; batch-style planners flush any
-  /// buffered work here.
-  virtual void Finalize() {}
+  /// buffered work here. `budget_seconds` is the planning wall time still
+  /// available under the simulation's kill switch (SimOptions::
+  /// wall_limit_seconds): a run that already timed out passes 0, and the
+  /// planner must not start unbounded work — buffered requests it cannot
+  /// afford to plan stay rejected (DNF, as in the paper's timeout runs).
+  virtual void Finalize(double budget_seconds) { (void)budget_seconds; }
 
   /// Memory footprint of the planner's spatial index (Fig. 5's metric).
   virtual std::int64_t index_memory_bytes() const { return 0; }
+};
+
+/// A planner that consumes whole dispatch windows: the simulation buffers
+/// requests released within SimOptions::batch_window_s, advances the fleet
+/// to the window close, and hands the batch over in one call. Assignment
+/// outcomes are read from the fleet's records (OnRequest's return value is
+/// unused on this path), so OnBatch may serve members in any internal
+/// order — including in parallel — as long as rejections remain final.
+class BatchPlanner : public RoutePlanner {
+ public:
+  /// Plans every buffered request of one window. `batch` holds the ids in
+  /// release order; `now` is the window close time — the fleet has already
+  /// been advanced to it, and all planning happens "at" this instant.
+  virtual void OnBatch(const std::vector<RequestId>& batch, double now) = 0;
 };
 
 /// Builds the planner under test once the simulation has wired up the
@@ -106,6 +126,37 @@ inline bool LemmaEightCutoff(double best_delta, double lower_bound) {
 /// and with it the same first-strict-improvement winner.
 std::vector<std::size_t> AscendingLowerBoundOrder(
     const std::vector<WorkerBound>& bounds);
+
+/// The candidate filter (line 3 of Algo. 5) shared by every planning
+/// path: the ideal-service deadline test, the conservative radius, and
+/// the grid-index lookup. Returns an empty vector when `r` is unservable
+/// or no worker is in range — callers treat empty as rejection. Like
+/// PlanRequestSequential below, this exists so the window = 0
+/// bit-identity contract has exactly one filter implementation to drift
+/// from (none).
+std::vector<WorkerId> FilterCandidates(PlanningContext* ctx,
+                                       const GridIndex& index,
+                                       const Request& r, double L,
+                                       double now);
+
+/// THE sequential decision+planning scan (Algos. 4+5 minus candidate
+/// filtering): per-candidate lower bounds in candidate order, the penalty
+/// rejection against the minimum bound, then exact linear-DP evaluation
+/// in ascending-lower-bound order with the (config-gated) Lemma 8 cutoff
+/// and strict-improvement tie-break. Every sequential planning path —
+/// GreedyDpPlanner::OnRequest, the dispatch-window engine's singleton
+/// batches and its conflict replans — funnels through this one function,
+/// so their bit-identity contract has a single implementation to stay in
+/// lockstep with. `candidates` must already be touched to the planning
+/// time; `L` is the request's direct distance. Returns kInvalidWorker on
+/// rejection, else the chosen worker with `*best` filled. Each linear-DP
+/// evaluation increments *exact_evaluations when non-null.
+WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
+                               const PlannerConfig& config, const Request& r,
+                               double L,
+                               const std::vector<WorkerId>& candidates,
+                               InsertionCandidate* best,
+                               std::int64_t* exact_evaluations);
 
 }  // namespace urpsm
 

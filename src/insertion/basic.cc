@@ -24,7 +24,7 @@ InsertionCandidate BasicInsertion(const Worker& worker, const Route& route,
                                   const Request& r, PlanningContext* ctx) {
   InsertionCandidate best;
   const int n = route.size();
-  const int onboard = route.OnboardAtAnchor(ctx->requests());
+  const int onboard = route.OnboardAtAnchor(*ctx);
   const double base_cost = route.RemainingCost();
   const std::vector<Stop>& stops = route.stops();
 

@@ -5,7 +5,7 @@
 namespace urpsm {
 
 double PlanningContext::DirectDist(RequestId id) {
-  const auto idx = static_cast<std::size_t>(id);
+  const std::size_t idx = IndexOf(id);
   if (idx < direct_dist_.size()) {
     std::atomic<double>& slot = direct_dist_[idx];
     const double hit = slot.load(std::memory_order_acquire);
@@ -19,7 +19,7 @@ double PlanningContext::DirectDist(RequestId id) {
     std::lock_guard<std::mutex> lock(direct_mu_);
     const double again = slot.load(std::memory_order_relaxed);
     if (again != kInf) return again;
-    const Request& r = request(id);
+    const Request& r = (*requests_)[idx];
     const double d = oracle_->Distance(r.origin, r.destination);
     slot.store(d, std::memory_order_release);
     return d;
@@ -48,7 +48,7 @@ void BuildRouteState(const Route& route, PlanningContext* ctx,
 
   st.arr[0] = route.anchor_time();
   st.ddl[0] = kInf;
-  st.picked[0] = route.OnboardAtAnchor(ctx->requests());
+  st.picked[0] = route.OnboardAtAnchor(*ctx);
 
   for (int k = 1; k <= st.n; ++k) {
     const auto ks = static_cast<std::size_t>(k);

@@ -2,6 +2,8 @@
 #define URPSM_SRC_MODEL_FEASIBILITY_H_
 
 #include <atomic>
+#include <cassert>
+#include <cstddef>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -30,13 +32,40 @@ class PlanningContext {
         requests_(requests),
         direct_dist_(requests->size()) {
     for (auto& d : direct_dist_) d.store(kInf, std::memory_order_relaxed);
+    // Ids are usually the dense positions 0..n-1 (generated workloads);
+    // everything downstream used to *assume* that and silently indexed out
+    // of bounds otherwise. Detect the dense layout once and keep the O(1)
+    // path for it; any other id scheme gets an explicit id->index map.
+    dense_ids_ = true;
+    for (std::size_t i = 0; i < requests_->size(); ++i) {
+      if ((*requests_)[i].id != static_cast<RequestId>(i)) {
+        dense_ids_ = false;
+        break;
+      }
+    }
+    if (!dense_ids_) {
+      id_to_index_.reserve(requests_->size());
+      for (std::size_t i = 0; i < requests_->size(); ++i) {
+        id_to_index_.emplace((*requests_)[i].id, i);
+      }
+    }
   }
 
   const RoadNetwork& graph() const { return *graph_; }
   DistanceOracle* oracle() const { return oracle_; }
   const std::vector<Request>& requests() const { return *requests_; }
+  /// Position of request `id` in the request table. Ids need not be dense
+  /// or equal to positions; unknown ids are a caller bug (asserted).
+  /// Requests appended to the table after construction (a test-fixture
+  /// pattern) must keep the dense id==position layout.
+  std::size_t IndexOf(RequestId id) const {
+    if (dense_ids_) return static_cast<std::size_t>(id);
+    const auto it = id_to_index_.find(id);
+    assert(it != id_to_index_.end() && "unknown request id");
+    return it->second;
+  }
   const Request& request(RequestId id) const {
-    return (*requests_)[static_cast<std::size_t>(id)];
+    return (*requests_)[IndexOf(id)];
   }
 
   double Dist(VertexId u, VertexId v) const { return oracle_->Distance(u, v); }
@@ -56,6 +85,8 @@ class PlanningContext {
   DistanceOracle* oracle_;
   const std::vector<Request>* requests_;
   ThreadPool* thread_pool_ = nullptr;
+  bool dense_ids_ = true;  // ids equal table positions (common case)
+  std::unordered_map<RequestId, std::size_t> id_to_index_;  // non-dense only
   std::mutex direct_mu_;  // serializes direct_dist_ misses + the overflow map
   // One slot per request known at construction, kInf = not yet computed.
   // Hits are lock-free atomic loads — this cache sits inside the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/model/feasibility.h"
+
 namespace urpsm {
 
 void Route::RecomputeArrivals() {
@@ -112,10 +114,12 @@ std::vector<VertexId> Route::MaterializePath(DistanceOracle* oracle) const {
   return path;
 }
 
-int Route::OnboardAtAnchor(const std::vector<Request>& requests) const {
+int Route::OnboardAtAnchor(const PlanningContext& ctx) const {
   // Thread-local scratch instead of a per-call unordered_set: this runs
   // inside every RouteState build. Stops lists are short, so a linear
-  // membership scan over a flat array beats hashing.
+  // membership scan over a flat array beats hashing. Request capacities
+  // resolve through the context's id->index mapping — the one place id
+  // resolution lives.
   thread_local std::vector<RequestId> picked_here;
   picked_here.clear();
   for (const Stop& s : stops_) {
@@ -126,7 +130,7 @@ int Route::OnboardAtAnchor(const std::vector<Request>& requests) const {
     if (s.kind == StopKind::kDropoff &&
         std::find(picked_here.begin(), picked_here.end(), s.request) ==
             picked_here.end()) {
-      onboard += requests[static_cast<std::size_t>(s.request)].capacity;
+      onboard += ctx.request(s.request).capacity;
     }
   }
   return onboard;

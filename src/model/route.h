@@ -10,6 +10,8 @@
 
 namespace urpsm {
 
+class PlanningContext;
+
 /// A worker's planned route (Def. 4): the anchor vertex l_0 (the vertex the
 /// worker most recently reached, with the time it was/will be reached) plus
 /// the ordered pending stops l_1..l_n. The route caches the travel time of
@@ -84,8 +86,10 @@ class Route {
   Stop PopFront();
 
   /// Number of capacity units on board at the anchor: requests whose
-  /// drop-off is pending but whose pickup already happened.
-  int OnboardAtAnchor(const std::vector<Request>& requests) const;
+  /// drop-off is pending but whose pickup already happened. Request
+  /// capacities resolve through the context's id->index mapping, so
+  /// non-dense id spaces are handled like dense ones.
+  int OnboardAtAnchor(const PlanningContext& ctx) const;
 
   /// Full vertex-level driving path from the anchor through every pending
   /// stop, materialized with shortest-path queries (each stop-to-stop leg

@@ -1,0 +1,47 @@
+#include "src/parallel/fleet_shards.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace urpsm {
+
+FleetShards::FleetShards(const Fleet* fleet, Point lo, Point hi,
+                         double region_km, int num_shards)
+    : fleet_(fleet),
+      lo_(lo),
+      region_km_(region_km > 0.0 ? region_km : 1.0),
+      num_shards_(std::max(1, num_shards)) {
+  cells_x_ = std::max(1, static_cast<int>(std::ceil((hi.x - lo.x) /
+                                                    region_km_)));
+  cells_y_ = std::max(1, static_cast<int>(std::ceil((hi.y - lo.y) /
+                                                    region_km_)));
+  shard_of_.assign(static_cast<std::size_t>(fleet_->size()), 0);
+  members_.resize(static_cast<std::size_t>(num_shards_));
+  mutexes_ = std::make_unique<std::mutex[]>(
+      static_cast<std::size_t>(num_shards_));
+  Rebuild();
+}
+
+int FleetShards::ShardOfPoint(const Point& p) const {
+  const int cx = std::clamp(
+      static_cast<int>(std::floor((p.x - lo_.x) / region_km_)), 0,
+      cells_x_ - 1);
+  const int cy = std::clamp(
+      static_cast<int>(std::floor((p.y - lo_.y) / region_km_)), 0,
+      cells_y_ - 1);
+  // Neighbouring regions land on different shards (row-major scan order),
+  // so dense areas spread across the lock space instead of piling onto
+  // one shard.
+  return (cy * cells_x_ + cx) % num_shards_;
+}
+
+void FleetShards::Rebuild() {
+  for (std::vector<WorkerId>& m : members_) m.clear();
+  for (WorkerId w = 0; w < fleet_->size(); ++w) {
+    const int s = ShardOfPoint(fleet_->anchor_point(w));
+    shard_of_[static_cast<std::size_t>(w)] = s;
+    members_[static_cast<std::size_t>(s)].push_back(w);
+  }
+}
+
+}  // namespace urpsm

@@ -1,0 +1,79 @@
+#ifndef URPSM_SRC_PARALLEL_FLEET_SHARDS_H_
+#define URPSM_SRC_PARALLEL_FLEET_SHARDS_H_
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/geo/point.h"
+#include "src/model/types.h"
+#include "src/sim/fleet.h"
+
+namespace urpsm {
+
+/// Spatial partition of the fleet for whole-request parallel planning:
+/// the road network's bounding box is covered by a coarse grid of region
+/// cells, regions map onto a fixed set of shards, and every worker belongs
+/// to the shard of the region its route anchor lies in.
+///
+/// Each shard carries its own mutex. The dispatch-window engine hands out
+/// one task per (request, candidate shard), and the Fleet — once shards
+/// are attached via Fleet::AttachShards — serializes per-worker mutations
+/// and route-state cache rebuilds on the owning shard's lock, so requests
+/// planned concurrently can touch overlapping candidate sets without
+/// racing.
+///
+/// The shard count and region size are structural constants of the run:
+/// they never depend on the thread count, so the task decomposition (and
+/// with it every deterministic planning result) is identical for any pool
+/// size. Shard membership is refreshed by Rebuild(), which the engine
+/// calls once per window after the driver thread has committed due stops;
+/// between Rebuilds the worker->shard map is immutable and may be read
+/// concurrently.
+class FleetShards {
+ public:
+  static constexpr int kDefaultShards = 16;
+
+  /// `fleet` is borrowed and must outlive the shards. `lo`/`hi` bound the
+  /// anchor coordinates (the graph bounding box); `region_km` is the side
+  /// of one region cell — coarser than the planners' candidate grid so
+  /// small anchor moves rarely change a worker's shard.
+  FleetShards(const Fleet* fleet, Point lo, Point hi, double region_km,
+              int num_shards = kDefaultShards);
+
+  /// Reassigns every worker to the shard of its current anchor region.
+  /// Driver-thread only; must not run concurrently with anything that
+  /// reads the assignment (planning phases, locked Fleet mutations).
+  void Rebuild();
+
+  int num_shards() const { return num_shards_; }
+  int ShardOf(WorkerId w) const {
+    return shard_of_[static_cast<std::size_t>(w)];
+  }
+  std::mutex& mutex(int shard) {
+    return mutexes_[static_cast<std::size_t>(shard)];
+  }
+  std::mutex& mutex_of(WorkerId w) { return mutex(ShardOf(w)); }
+  /// Workers currently assigned to `shard`, in worker-id order.
+  const std::vector<WorkerId>& workers_in(int shard) const {
+    return members_[static_cast<std::size_t>(shard)];
+  }
+
+  /// Shard of an arbitrary point's region (exposed for tests).
+  int ShardOfPoint(const Point& p) const;
+
+ private:
+  const Fleet* fleet_;
+  Point lo_;
+  double region_km_;
+  int cells_x_ = 0;
+  int cells_y_ = 0;
+  int num_shards_ = 0;
+  std::vector<int> shard_of_;                // worker id -> shard
+  std::vector<std::vector<WorkerId>> members_;  // shard -> worker ids
+  std::unique_ptr<std::mutex[]> mutexes_;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_PARALLEL_FLEET_SHARDS_H_

@@ -35,15 +35,13 @@ void ParallelGreedyDpPlanner::ForEach(
 WorkerId ParallelGreedyDpPlanner::OnRequest(const Request& r) {
   const double now = r.release_time;
   const double L = ctx_->DirectDist(r.id);  // the decision phase's 1 query
-  if (now + L > r.deadline) return kInvalidWorker;  // unservable even ideally
 
-  // Candidate filter via grid index and deadline (sequential, as in the
-  // sequential planner; the index emits workers cell by cell, which is the
-  // partition order the pool's threads later claim chunks of).
-  const double radius = CandidateRadiusKm(r, L, now);
-  if (radius < 0.0) return kInvalidWorker;
-  const Point origin_pt = ctx_->graph().coord(r.origin);
-  std::vector<WorkerId> candidates = index_->WithinRadius(origin_pt, radius);
+  // Candidate filter via grid index and deadline — the shared
+  // FilterCandidates, run sequentially as in the sequential planner (the
+  // index emits workers cell by cell, which is the partition order the
+  // pool's threads later claim chunks of).
+  const std::vector<WorkerId> candidates =
+      FilterCandidates(ctx_, *index_, r, L, now);
   if (candidates.empty()) return kInvalidWorker;
 
   // Touching mutates the fleet (commits due stops, bumps idle clocks) and

@@ -1,0 +1,293 @@
+#include "src/sim/dispatch_window.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/insertion/insertion.h"
+
+namespace urpsm {
+
+DispatchWindowPlanner::DispatchWindowPlanner(PlanningContext* ctx,
+                                             Fleet* fleet,
+                                             PlannerConfig config,
+                                             ThreadPool* pool)
+    : ctx_(ctx), fleet_(fleet), config_(config), pool_(pool) {
+  Point lo, hi;
+  ctx_->graph().BoundingBox(&lo, &hi);
+  index_ = std::make_unique<GridIndex>(lo, hi, config_.grid_cell_km);
+  fleet_->AttachIndex(index_.get());
+  // Shard regions are coarser than the candidate grid (4 cells per region
+  // side) so a worker's stop-to-stop anchor moves rarely change its shard.
+  // Both constants are structural — independent of the thread count — so
+  // the task decomposition, and with it every planning result, is too.
+  shards_ = std::make_unique<FleetShards>(fleet_, lo, hi,
+                                          4.0 * config_.grid_cell_km);
+  fleet_->AttachShards(shards_.get());
+}
+
+DispatchWindowPlanner::~DispatchWindowPlanner() {
+  fleet_->AttachShards(nullptr);
+}
+
+void DispatchWindowPlanner::ForEach(
+    std::size_t n, const std::function<void(std::int64_t)>& body) {
+  // Purely an execution choice (the per-task work is fixed): tiny task
+  // counts run inline rather than paying the pool wakeup.
+  const bool worth_fanning =
+      pool_ != nullptr && pool_->num_threads() > 1 && n >= 2;
+  if (worth_fanning) {
+    pool_->ParallelFor(0, static_cast<std::int64_t>(n), body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(static_cast<std::int64_t>(i));
+  }
+}
+
+WorkerId DispatchWindowPlanner::OnRequest(const Request& r) {
+  PlanAndApplySingle(r, r.release_time);
+  return fleet_->AssignedWorker(r.id);
+}
+
+void DispatchWindowPlanner::PlanAndApplySingle(const Request& r, double now) {
+  const double L = ctx_->DirectDist(r.id);
+  const std::vector<WorkerId> candidates =
+      FilterCandidates(ctx_, *index_, r, L, now);
+  if (candidates.empty()) return;
+  for (const WorkerId w : candidates) fleet_->Touch(w, now);
+  Proposal p;
+  if (PlanSequential(r, candidates, &p)) {
+    fleet_->ApplyInsertion(p.worker, r, p.i, p.j, ctx_->oracle());
+  }
+}
+
+bool DispatchWindowPlanner::PlanSequential(
+    const Request& r, const std::vector<WorkerId>& candidates, Proposal* out) {
+  // Funnels through the one shared sequential scan, so singleton batches
+  // and conflict replans can never drift from GreedyDpPlanner::OnRequest.
+  const double L = ctx_->DirectDist(r.id);
+  InsertionCandidate best;
+  const WorkerId best_worker = PlanRequestSequential(
+      ctx_, fleet_, config_, r, L, candidates, &best, &exact_evaluations_);
+  if (best_worker == kInvalidWorker) return false;
+  out->request = r.id;
+  out->worker = best_worker;
+  out->delta = best.delta;
+  out->i = best.i;
+  out->j = best.j;
+  out->route_version = fleet_->route(best_worker).version();
+  return true;
+}
+
+void DispatchWindowPlanner::OnBatch(const std::vector<RequestId>& batch,
+                                    double now) {
+  // Singleton fast path (the window = 0 / per-request mode): literally
+  // the sequential planner's filter + touch + shared scan, which is what
+  // the bit-identity contract promises anyway.
+  if (batch.size() == 1) {
+    PlanAndApplySingle(ctx_->request(batch.front()), now);
+    return;
+  }
+
+  // ---- 1. Prep (driver): filters, candidates, touches.
+  struct Prep {
+    const Request* r = nullptr;
+    double L = 0.0;
+    std::vector<WorkerId> candidates;
+    std::vector<double> lbs;  // aligned with candidates, kInf = infeasible
+    std::vector<WorkerBound> bounds;
+    std::vector<std::size_t> order;  // scan order into bounds
+    bool alive = false;
+  };
+  std::vector<Prep> preps(batch.size());
+  touched_.assign(static_cast<std::size_t>(fleet_->size()), 0);
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    Prep& p = preps[b];
+    p.r = &ctx_->request(batch[b]);
+    const Request& r = *p.r;
+    p.L = ctx_->DirectDist(r.id);
+    // Planning happens at the window close: the shared filter's ideal-
+    // service deadline test runs against `now`, not the release time.
+    p.candidates = FilterCandidates(ctx_, *index_, r, p.L, now);
+    if (p.candidates.empty()) continue;
+    p.alive = true;
+    for (const WorkerId w : p.candidates) {
+      auto& flag = touched_[static_cast<std::size_t>(w)];
+      if (flag == 0) {
+        flag = 1;
+        fleet_->Touch(w, now);
+      }
+    }
+  }
+  // Anchors may have moved while committing due stops; shard membership
+  // reflects the post-touch positions for the rest of the window.
+  shards_->Rebuild();
+
+  // ---- 2. Decision phase: one task per (request, candidate shard).
+  struct ShardTask {
+    std::size_t req = 0;                     // index into preps
+    std::vector<std::size_t> positions;      // into candidates (phase 2:
+                                             // into order)
+    InsertionCandidate best;                 // phase 2 result
+    std::size_t best_pos = 0;                // scan position of `best`
+    WorkerId best_worker = kInvalidWorker;
+    std::int64_t evals = 0;
+  };
+  const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
+  std::vector<std::vector<std::size_t>> by_shard(shard_count);
+  std::vector<ShardTask> tasks;
+  const auto flush_groups = [&](std::size_t req) {
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (by_shard[s].empty()) continue;
+      tasks.push_back({req, std::move(by_shard[s]), {}, 0, kInvalidWorker, 0});
+      by_shard[s].clear();
+    }
+  };
+  for (std::size_t b = 0; b < preps.size(); ++b) {
+    Prep& p = preps[b];
+    if (!p.alive) continue;
+    p.lbs.assign(p.candidates.size(), kInf);
+    for (std::size_t k = 0; k < p.candidates.size(); ++k) {
+      by_shard[static_cast<std::size_t>(shards_->ShardOf(p.candidates[k]))]
+          .push_back(k);
+    }
+    flush_groups(b);
+  }
+  ForEach(tasks.size(), [&](std::int64_t t) {
+    ShardTask& task = tasks[static_cast<std::size_t>(t)];
+    Prep& p = preps[task.req];
+    for (const std::size_t k : task.positions) {
+      const WorkerId w = p.candidates[k];
+      const Route& route = fleet_->route(w);
+      const RouteState& st = fleet_->CachedState(w, ctx_);
+      p.lbs[k] = DecisionLowerBound(fleet_->worker(w), route, st, *p.r, p.L,
+                                    ctx_->graph());
+    }
+  });
+
+  // ---- 3. Rejection + scan order (driver), in candidate order — the
+  // same bounds array and permutation the sequential planner derives.
+  for (Prep& p : preps) {
+    if (!p.alive) continue;
+    double min_lb = kInf;
+    p.bounds.reserve(p.candidates.size());
+    for (std::size_t k = 0; k < p.candidates.size(); ++k) {
+      if (p.lbs[k] == kInf) continue;
+      p.bounds.push_back({p.candidates[k], p.lbs[k]});
+      min_lb = std::min(min_lb, p.lbs[k]);
+    }
+    if (p.bounds.empty() || p.r->penalty < config_.alpha * min_lb) {
+      p.alive = false;  // rejection is final (Def. 5)
+      continue;
+    }
+    p.order = AscendingLowerBoundOrder(p.bounds);
+  }
+
+  // ---- 4. Planning phase: per (request, shard) exact evaluations in the
+  // global scan order, shard-local Lemma 8 cutoff.
+  tasks.clear();
+  for (std::size_t b = 0; b < preps.size(); ++b) {
+    Prep& p = preps[b];
+    if (!p.alive) continue;
+    for (std::size_t pos = 0; pos < p.order.size(); ++pos) {
+      const WorkerId w = p.bounds[p.order[pos]].worker;
+      by_shard[static_cast<std::size_t>(shards_->ShardOf(w))].push_back(pos);
+    }
+    flush_groups(b);
+  }
+  ForEach(tasks.size(), [&](std::int64_t t) {
+    ShardTask& task = tasks[static_cast<std::size_t>(t)];
+    const Prep& p = preps[task.req];
+    for (const std::size_t pos : task.positions) {
+      const std::size_t k = p.order[pos];
+      // Shard-local cutoff: lossless (the epsilon guard never prunes a
+      // candidate that could beat or tie this shard's best), so the
+      // cross-shard merge below still finds the global winner.
+      if (config_.use_pruning && task.best.feasible() &&
+          LemmaEightCutoff(task.best.delta, p.bounds[k].lower_bound)) {
+        break;
+      }
+      const WorkerId w = p.bounds[k].worker;
+      ++task.evals;
+      const InsertionCandidate cand =
+          LinearDpInsertion(fleet_->worker(w), fleet_->route(w),
+                            fleet_->CachedState(w, ctx_), *p.r, ctx_);
+      if (cand.feasible() && cand.delta < task.best.delta) {
+        task.best = cand;
+        task.best_pos = pos;
+        task.best_worker = w;
+      }
+    }
+  });
+
+  // ---- Merge winners per request: minimum (delta, scan position) over
+  // shards == the sequential scan's first strict improvement (ties on the
+  // exact cost go to the earliest candidate in the shared scan order).
+  std::vector<Proposal> proposals(preps.size());
+  std::vector<std::size_t> best_pos_of(preps.size(), 0);
+  for (const ShardTask& task : tasks) {
+    exact_evaluations_ += task.evals;
+    if (!task.best.feasible()) continue;
+    Proposal& p = proposals[task.req];
+    const bool wins =
+        p.worker == kInvalidWorker || task.best.delta < p.delta ||
+        (task.best.delta == p.delta && task.best_pos < best_pos_of[task.req]);
+    if (wins) {
+      p.request = preps[task.req].r->id;
+      p.worker = task.best_worker;
+      p.delta = task.best.delta;
+      p.i = task.best.i;
+      p.j = task.best.j;
+      best_pos_of[task.req] = task.best_pos;
+    }
+  }
+
+  // ---- 5. Conflict resolution: apply in unified-cost-then-id order.
+  std::vector<std::size_t> accepted;
+  accepted.reserve(preps.size());
+  for (std::size_t b = 0; b < preps.size(); ++b) {
+    Prep& p = preps[b];
+    if (!p.alive || proposals[b].worker == kInvalidWorker) continue;
+    if (config_.exact_reject_check &&
+        p.r->penalty < config_.alpha * proposals[b].delta) {
+      continue;
+    }
+    proposals[b].route_version =
+        fleet_->route(proposals[b].worker).version();
+    accepted.push_back(b);
+  }
+  std::sort(accepted.begin(), accepted.end(),
+            [&](std::size_t a, std::size_t b) {
+              const Proposal& pa = proposals[a];
+              const Proposal& pb = proposals[b];
+              if (pa.delta != pb.delta) return pa.delta < pb.delta;
+              return pa.request < pb.request;
+            });
+  for (const std::size_t b : accepted) {
+    Proposal& p = proposals[b];
+    const Request& r = *preps[b].r;
+    if (fleet_->route(p.worker).version() == p.route_version) {
+      // Still the fleet snapshot the proposal was computed against (for
+      // this worker): feasibility and delta hold verbatim.
+      fleet_->ApplyInsertion(p.worker, r, p.i, p.j, ctx_->oracle());
+      continue;
+    }
+    // An earlier (cheaper) batch member took this worker: replan against
+    // the updated fleet. The grid index did not move (Insert keeps
+    // anchors), so the original candidate list is still the filter's
+    // output.
+    ++conflict_replans_;
+    Proposal replanned;
+    if (PlanSequential(r, preps[b].candidates, &replanned)) {
+      fleet_->ApplyInsertion(replanned.worker, r, replanned.i, replanned.j,
+                             ctx_->oracle());
+    }
+  }
+}
+
+PlannerFactory MakeDispatchWindowFactory(PlannerConfig config) {
+  return [config](PlanningContext* ctx, Fleet* fleet) {
+    return std::make_unique<DispatchWindowPlanner>(ctx, fleet, config,
+                                                   ctx->thread_pool());
+  };
+}
+
+}  // namespace urpsm

@@ -1,0 +1,120 @@
+#ifndef URPSM_SRC_SIM_DISPATCH_WINDOW_H_
+#define URPSM_SRC_SIM_DISPATCH_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/parallel/fleet_shards.h"
+#include "src/parallel/thread_pool.h"
+
+namespace urpsm {
+
+/// Batched dispatch-window engine: pruneGreedyDP lifted from per-request
+/// to per-window planning with *whole-request* parallelism.
+///
+/// The simulation buffers every request released within one dispatch
+/// window (SimOptions::batch_window_s) and hands the batch over at the
+/// window close, with the fleet advanced to that instant. The engine then
+/// plans the batch as the paper's assignment problem:
+///
+///   1. Prep (driver): per request — direct distance, unservability and
+///      radius checks, grid-index candidate filter, Fleet::Touch of every
+///      candidate. Touching mutates fleet + index, so it stays serial.
+///   2. Decision phase (parallel): workers are partitioned into
+///      grid-region shards (FleetShards); one task per (request,
+///      candidate shard) computes that shard's decision lower bounds.
+///      Route-state cache rebuilds serialize on the shard's lock, so
+///      requests sharing candidates are race-free.
+///   3. Rejection + scan order (driver): per request, the bounds merge in
+///      candidate order — exactly the array the sequential planner builds
+///      — and Algo. 4's penalty test plus AscendingLowerBoundOrder run
+///      unchanged.
+///   4. Planning phase (parallel): one task per (request, candidate
+///      shard) evaluates the exact linear-DP insertions of its shard's
+///      candidates in the global scan order with a shard-local Lemma 8
+///      cutoff. The per-request winner is the (delta, scan-position)
+///      minimum over shards — bit-identical to the sequential pruned
+///      scan's first-strict-improvement winner, because the epsilon-
+///      guarded cutoff never prunes a candidate that could beat or tie.
+///   5. Conflict resolution (driver): proposals apply in unified-cost-
+///      then-request-id order. A proposal whose worker's route changed
+///      under it (an earlier batch member won the same worker) is
+///      replanned sequentially against the updated fleet; rejections
+///      stay final (Def. 5).
+///
+/// Determinism: tasks are pure functions of the frozen fleet, task
+/// decomposition depends only on structural constants (never the thread
+/// count), merges happen in fixed orders on the driver, and conflicts
+/// resolve in a total order — so for any window length the results are
+/// bit-identical across thread counts, and a window of 0 (the simulator
+/// then drives OnRequest per release, i.e. singleton batches at release
+/// time) reproduces the sequential pruneGreedyDP run exactly.
+class DispatchWindowPlanner : public BatchPlanner {
+ public:
+  /// `pool` is borrowed and may be nullptr (phases then run inline).
+  DispatchWindowPlanner(PlanningContext* ctx, Fleet* fleet,
+                        PlannerConfig config, ThreadPool* pool);
+  ~DispatchWindowPlanner() override;
+
+  /// Singleton batch at the release time — the window = 0 semantics.
+  WorkerId OnRequest(const Request& r) override;
+  void OnBatch(const std::vector<RequestId>& batch, double now) override;
+  std::string_view name() const override {
+    return config_.use_pruning ? "windowPruneGreedyDP" : "windowGreedyDP";
+  }
+  std::int64_t index_memory_bytes() const override {
+    return index_->MemoryBytes();
+  }
+
+  /// Exact linear-DP evaluations performed. Thread-count independent for
+  /// a fixed window length (the task decomposition is structural).
+  std::int64_t exact_evaluations() const { return exact_evaluations_; }
+  /// Proposals that lost their worker to an earlier batch member and went
+  /// through the sequential replanning path.
+  std::int64_t conflict_replans() const { return conflict_replans_; }
+
+ private:
+  /// A request's chosen insertion against a fleet snapshot, keyed by the
+  /// worker's route version so conflict resolution can detect staleness.
+  struct Proposal {
+    RequestId request = kInvalidRequest;
+    WorkerId worker = kInvalidWorker;
+    double delta = kInf;  // exact increased distance (unified cost / alpha)
+    int i = -1;
+    int j = -1;
+    std::uint64_t route_version = 0;
+  };
+
+  /// Runs body over [0, n) on the pool when attached, inline otherwise.
+  void ForEach(std::size_t n, const std::function<void(std::int64_t)>& body);
+  /// Full sequential pruneGreedyDP pass for one request against the
+  /// *current* fleet (conflict replanning). Returns false on rejection.
+  bool PlanSequential(const Request& r, const std::vector<WorkerId>& candidates,
+                      Proposal* out);
+  /// The window = 0 / singleton-batch path: filter + touch + the shared
+  /// sequential scan + apply. No shard rebuild, no task machinery.
+  void PlanAndApplySingle(const Request& r, double now);
+
+  PlanningContext* ctx_;
+  Fleet* fleet_;
+  PlannerConfig config_;
+  ThreadPool* pool_;
+  std::unique_ptr<GridIndex> index_;
+  std::unique_ptr<FleetShards> shards_;
+  std::int64_t exact_evaluations_ = 0;
+  std::int64_t conflict_replans_ = 0;
+  std::vector<std::uint8_t> touched_;  // per-window scratch, worker-indexed
+};
+
+/// DispatchWindowPlanner on the simulation's pool; the windowed twin of
+/// pruneGreedyDP. Drive it with SimOptions::batch_window_s > 0 for real
+/// windows, or 0 for the bit-identical per-request mode.
+PlannerFactory MakeDispatchWindowFactory(PlannerConfig config);
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_SIM_DISPATCH_WINDOW_H_

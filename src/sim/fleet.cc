@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/parallel/fleet_shards.h"
+
 namespace urpsm {
 
 Fleet::Fleet(std::vector<Worker> workers, const RoadNetwork* graph)
@@ -14,7 +16,18 @@ Fleet::Fleet(std::vector<Worker> workers, const RoadNetwork* graph)
   }
 }
 
+std::unique_lock<std::mutex> Fleet::MaybeLockShard(WorkerId w) {
+  if (shards_ == nullptr) return {};
+  return std::unique_lock<std::mutex>(shards_->mutex_of(w));
+}
+
+std::unique_lock<std::mutex> Fleet::MaybeLockCommit() {
+  if (shards_ == nullptr) return {};
+  return std::unique_lock<std::mutex>(commit_mu_);
+}
+
 const RouteState& Fleet::CachedState(WorkerId w, PlanningContext* ctx) {
+  const std::unique_lock<std::mutex> lock = MaybeLockShard(w);
   StateCacheEntry& entry = state_cache_[static_cast<std::size_t>(w)];
   const Route& rt = routes_[static_cast<std::size_t>(w)];
   if (!entry.valid || entry.route_version != rt.version()) {
@@ -32,6 +45,8 @@ void Fleet::AttachIndex(GridIndex* index) {
   }
 }
 
+void Fleet::AttachShards(FleetShards* shards) { shards_ = shards; }
+
 void Fleet::PushHeap(WorkerId w) {
   const Route& rt = routes_[static_cast<std::size_t>(w)];
   if (rt.empty()) return;
@@ -39,18 +54,23 @@ void Fleet::PushHeap(WorkerId w) {
 }
 
 void Fleet::CommitFront(WorkerId w) {
+  // Callers either run on the driver thread (AdvanceTo/FinishAll) or hold
+  // the worker's shard lock (Touch in shard-safe mode): the route and the
+  // per-worker commit log need no further locking here. The cross-shard
+  // commit state does.
   Route& rt = routes_[static_cast<std::size_t>(w)];
   assert(!rt.empty());
   const Point from = anchor_point(w);
   const double leg = rt.leg_costs().front();
   const Stop stop = rt.PopFront();
+  commit_log_[static_cast<std::size_t>(w)].push_back({stop, rt.anchor_time()});
+  const std::unique_lock<std::mutex> lock = MaybeLockCommit();
   committed_distance_ += leg;
   if (stop.kind == StopKind::kPickup) {
     pickup_time_[stop.request] = rt.anchor_time();
   } else {
     dropoff_time_[stop.request] = rt.anchor_time();
   }
-  commit_log_[static_cast<std::size_t>(w)].push_back({stop, rt.anchor_time()});
   if (index_ != nullptr) index_->Move(w, from, anchor_point(w));
   PushHeap(w);
 }
@@ -70,6 +90,7 @@ void Fleet::AdvanceTo(double t) {
 }
 
 void Fleet::Touch(WorkerId w, double t) {
+  const std::unique_lock<std::mutex> lock = MaybeLockShard(w);
   Route& rt = routes_[static_cast<std::size_t>(w)];
   while (!rt.empty() && rt.anchor_time() + rt.leg_costs().front() <= t) {
     CommitFront(w);
@@ -79,16 +100,20 @@ void Fleet::Touch(WorkerId w, double t) {
 
 void Fleet::ApplyInsertion(WorkerId w, const Request& r, int i, int j,
                            DistanceOracle* oracle) {
+  const std::unique_lock<std::mutex> shard_lock = MaybeLockShard(w);
   Route& rt = routes_[static_cast<std::size_t>(w)];
   rt.Insert(r, i, j, oracle);
+  const std::unique_lock<std::mutex> lock = MaybeLockCommit();
   assignment_[r.id] = w;
   PushHeap(w);
 }
 
 void Fleet::ReplaceRoute(WorkerId w, const Request& r, std::vector<Stop> stops,
                          DistanceOracle* oracle) {
+  const std::unique_lock<std::mutex> shard_lock = MaybeLockShard(w);
   Route& rt = routes_[static_cast<std::size_t>(w)];
   rt.SetStops(std::move(stops), oracle);
+  const std::unique_lock<std::mutex> lock = MaybeLockCommit();
   assignment_[r.id] = w;
   PushHeap(w);
 }

@@ -2,6 +2,7 @@
 #define URPSM_SRC_SIM_FLEET_H_
 
 #include <cstdint>
+#include <mutex>
 #include <queue>
 #include <unordered_map>
 #include <vector>
@@ -13,6 +14,8 @@
 #include "src/shortest/oracle.h"
 
 namespace urpsm {
+
+class FleetShards;
 
 /// The moving fleet: every worker's committed route, its progress along it,
 /// and the spatial index of worker anchors.
@@ -32,6 +35,18 @@ class Fleet {
   /// the caller); inserts all current anchors.
   void AttachIndex(GridIndex* index);
 
+  /// Switches the fleet into shard-safe mode (nullptr switches back):
+  /// Touch, ApplyInsertion, ReplaceRoute and CachedState serialize on the
+  /// owning shard's mutex, and the cross-shard state a commit mutates
+  /// (arrival heap, grid index, pickup/drop-off records, total distance)
+  /// goes behind one commit mutex — so distinct requests may plan and
+  /// mutate overlapping worker sets from pool threads concurrently.
+  /// With no shards attached (the default) every call stays lock-free and
+  /// the PR-2 single-request contract applies. AdvanceTo and FinishAll
+  /// remain driver-thread-only in both modes: they walk the arrival heap
+  /// unlocked and must not overlap locked mutations.
+  void AttachShards(FleetShards* shards);
+
   int size() const { return static_cast<int>(workers_.size()); }
   const std::vector<Worker>& workers() const { return workers_; }
   const Worker& worker(WorkerId w) const {
@@ -49,10 +64,14 @@ class Fleet {
   ///
   /// Thread-safety: calls for *distinct* workers may run concurrently
   /// (each worker owns its slot; the planners' parallel phases touch every
-  /// candidate exactly once per loop). Calls for the same worker must be
-  /// externally ordered — in the planners that holds because the fleet is
-  /// frozen between Touch and ApplyInsertion, so after the decision phase
-  /// warms a worker's entry, later calls are pure reads.
+  /// candidate exactly once per loop). Without attached shards, calls for
+  /// the same worker must be externally ordered — in the planners that
+  /// holds because the fleet is frozen between Touch and ApplyInsertion,
+  /// so after the decision phase warms a worker's entry, later calls are
+  /// pure reads. With shards attached (dispatch-window engine), the
+  /// check-and-rebuild is serialized on the worker's shard mutex, so
+  /// concurrent requests sharing a candidate may both call this; the
+  /// returned reference stays valid while the route's version is stable.
   const RouteState& CachedState(WorkerId w, PlanningContext* ctx);
   const Point& anchor_point(WorkerId w) const {
     return graph_->coord(route(w).anchor());
@@ -108,6 +127,10 @@ class Fleet {
  private:
   void CommitFront(WorkerId w);
   void PushHeap(WorkerId w);
+  /// Shard lock of worker `w` when shards are attached, else a no-op lock.
+  std::unique_lock<std::mutex> MaybeLockShard(WorkerId w);
+  /// Commit lock (heap/index/records/distance) when sharded, else no-op.
+  std::unique_lock<std::mutex> MaybeLockCommit();
 
   struct StateCacheEntry {
     std::uint64_t route_version = 0;
@@ -128,6 +151,8 @@ class Fleet {
   std::vector<Worker> workers_;
   const RoadNetwork* graph_;
   GridIndex* index_ = nullptr;
+  FleetShards* shards_ = nullptr;  // non-null => shard-safe mode
+  std::mutex commit_mu_;           // guards cross-shard commit state
   std::vector<Route> routes_;
   std::vector<StateCacheEntry> state_cache_;  // slot w ↔ routes_[w]
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;

@@ -13,18 +13,20 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
   SimReport avg;
   avg.algorithm = reports.front().algorithm;
   avg.total_requests = reports.front().total_requests;
+  avg.num_threads = reports.front().num_threads;
   const double n = static_cast<double>(reports.size());
-  double served = 0.0, queries = 0.0, index_mem = 0.0;
+  double served = 0.0, processed = 0.0, queries = 0.0, index_mem = 0.0;
   for (const SimReport& r : reports) {
     served += r.served_requests;
+    processed += r.processed_requests;
     avg.served_rate += r.served_rate / n;
     avg.unified_cost += r.unified_cost / n;
     avg.total_distance += r.total_distance / n;
     avg.penalty_sum += r.penalty_sum / n;
-    avg.avg_response_ms += r.avg_response_ms / n;
-    avg.p50_response_ms += r.p50_response_ms / n;
-    avg.p95_response_ms += r.p95_response_ms / n;
-    avg.max_response_ms = std::max(avg.max_response_ms, r.max_response_ms);
+    // Latency distribution: pool the per-request samples. An average of
+    // per-run percentiles is not a percentile of the pooled runs (two
+    // skewed runs can move it arbitrarily far from the true pooled p50).
+    avg.response_stats.Merge(r.response_stats);
     queries += static_cast<double>(r.distance_queries);
     index_mem += static_cast<double>(r.index_memory_bytes);
     avg.wall_seconds += r.wall_seconds / n;
@@ -33,7 +35,12 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
     avg.mean_detour_ratio += r.mean_detour_ratio / n;
     avg.makespan_min = std::max(avg.makespan_min, r.makespan_min);
   }
+  avg.avg_response_ms = avg.response_stats.mean();
+  avg.p50_response_ms = avg.response_stats.Percentile(50);
+  avg.p95_response_ms = avg.response_stats.Percentile(95);
+  avg.max_response_ms = avg.response_stats.max();
   avg.served_requests = static_cast<int>(std::lround(served / n));
+  avg.processed_requests = static_cast<int>(std::lround(processed / n));
   avg.distance_queries = static_cast<std::int64_t>(std::llround(queries / n));
   avg.index_memory_bytes =
       static_cast<std::int64_t>(std::llround(index_mem / n));
@@ -49,7 +56,13 @@ InvariantReport Fail(const std::string& msg) { return {false, msg}; }
 }  // namespace
 
 InvariantReport VerifyInvariants(const Fleet& fleet,
-                                 const std::vector<Request>& requests) {
+                                 const std::vector<Request>& requests,
+                                 bool mid_run) {
+  // Requests are looked up by id, never by vector position: workloads with
+  // gappy or reordered ids must verify the same way dense ones do.
+  std::unordered_map<RequestId, const Request*> by_id;
+  by_id.reserve(requests.size());
+  for (const Request& r : requests) by_id.emplace(r.id, &r);
   std::unordered_set<RequestId> seen_served;
   for (WorkerId w = 0; w < fleet.size(); ++w) {
     const Worker& worker = fleet.worker(w);
@@ -57,7 +70,12 @@ InvariantReport VerifyInvariants(const Fleet& fleet,
     double prev_time = 0.0;
     std::unordered_set<RequestId> onboard;
     for (const Fleet::CommittedStop& cs : fleet.CommitLog(w)) {
-      const Request& r = requests[static_cast<std::size_t>(cs.stop.request)];
+      const auto it = by_id.find(cs.stop.request);
+      if (it == by_id.end()) {
+        return Fail("committed stop references unknown request " +
+                    std::to_string(cs.stop.request));
+      }
+      const Request& r = *it->second;
       std::ostringstream at;
       at << "worker " << w << ", request " << r.id << ", t=" << cs.time;
       if (cs.time + kTimeEps < prev_time) {
@@ -88,16 +106,22 @@ InvariantReport VerifyInvariants(const Fleet& fleet,
         }
       }
     }
-    if (!onboard.empty()) {
+    if (!mid_run && !onboard.empty()) {
       return Fail("worker " + std::to_string(w) +
                   " finished with passengers on board");
     }
   }
-  // (4) served/rejected partition.
+  // (4) served/rejected partition. Mid-run, an assigned request may still
+  // be en route (drop-off pending); a delivery without an assignment is a
+  // violation at any point.
   for (const Request& r : requests) {
     const bool assigned = fleet.AssignedWorker(r.id) != kInvalidWorker;
     const bool delivered = seen_served.contains(r.id);
-    if (assigned != delivered) {
+    if (delivered && !assigned) {
+      return Fail("request " + std::to_string(r.id) +
+                  " delivered without assignment");
+    }
+    if (!mid_run && assigned != delivered) {
       return Fail("request " + std::to_string(r.id) +
                   " assigned/delivered mismatch");
     }

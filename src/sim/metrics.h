@@ -7,6 +7,7 @@
 
 #include "src/model/types.h"
 #include "src/sim/fleet.h"
+#include "src/util/stats.h"
 
 namespace urpsm {
 
@@ -17,6 +18,10 @@ namespace urpsm {
 struct SimReport {
   std::string algorithm;
   int total_requests = 0;
+  /// Requests actually handed to the planner before the wall limit hit.
+  /// Equals total_requests on a complete run; on a truncated (timed_out)
+  /// run the latency percentiles below cover only these.
+  int processed_requests = 0;
   int served_requests = 0;
   double served_rate = 0.0;
   double unified_cost = 0.0;
@@ -26,10 +31,20 @@ struct SimReport {
   double p50_response_ms = 0.0;
   double p95_response_ms = 0.0;
   double max_response_ms = 0.0;
+  /// The per-request planning-latency samples (ms) behind the summary
+  /// fields above. Retained so multi-run aggregation can pool samples and
+  /// report true percentiles of the pooled distribution — averaging each
+  /// run's p50/p95 would not be a percentile of anything.
+  StatsAccumulator response_stats;
   std::int64_t distance_queries = 0;
   std::int64_t index_memory_bytes = 0;
   double wall_seconds = 0.0;
   bool timed_out = false;
+  /// SimOptions::num_threads of the run, recorded so every emitted result
+  /// line carries its thread count machine-readably (the bench JSON also
+  /// records std::thread::hardware_concurrency, making oversubscribed
+  /// container runs distinguishable from real multicore measurements).
+  int num_threads = 1;
 
   // Service-quality extras (not headline paper metrics, but standard in
   // the ride-sharing literature the paper cites).
@@ -40,7 +55,10 @@ struct SimReport {
 
 /// Averages the numeric fields of several runs of the same algorithm
 /// (the paper repeats every setting and reports means, Sec. 6.1).
-/// `timed_out` is OR-ed; counters are rounded means.
+/// `timed_out` is OR-ed; counters are rounded means. Latency percentiles
+/// (p50/p95) are computed over the POOLED per-request samples of all runs,
+/// not as a mean of per-run percentiles; avg/max likewise come from the
+/// pooled distribution.
 SimReport AverageReports(const std::vector<SimReport>& reports);
 
 /// Violation found by the invariant checker; empty string means clean.
@@ -56,8 +74,15 @@ struct InvariantReport {
 ///   (2) every drop-off happens by the request's deadline;
 ///   (3) the onboard load never exceeds the worker's capacity;
 ///   (4) every request is either served or rejected — never both.
+/// Requests are matched by id (ids need not be dense or 0..n-1).
+///
+/// With `mid_run = true` the end-of-simulation conditions are relaxed for
+/// checks between dispatch windows: passengers may still be on board, and
+/// an assigned request may not have been delivered yet (its drop-off is
+/// still pending). Prefix properties (1)-(3) are enforced in full.
 InvariantReport VerifyInvariants(const Fleet& fleet,
-                                 const std::vector<Request>& requests);
+                                 const std::vector<Request>& requests,
+                                 bool mid_run = false);
 
 }  // namespace urpsm
 

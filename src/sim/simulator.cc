@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
 
 #include "src/parallel/parallel_planner.h"
 #include "src/util/stats.h"
@@ -30,6 +33,31 @@ Simulation::Simulation(const RoadNetwork* graph, DistanceOracle* oracle,
   for (std::size_t i = 0; i + 1 < requests_->size(); ++i) {
     assert((*requests_)[i].release_time <= (*requests_)[i + 1].release_time);
   }
+  // Ids must be unique and valid; they are resolved through an id->index
+  // map downstream, so they need not be dense. Validated unconditionally
+  // (release builds too): before this check a non-dense id silently
+  // indexed out of bounds, and a duplicate id would silently alias two
+  // requests in every id-keyed map — both are unrecoverable input bugs,
+  // so fail loudly instead of producing corrupt reports.
+  std::unordered_set<RequestId> ids;
+  ids.reserve(requests_->size());
+  for (const Request& r : *requests_) {
+    if (r.id < 0 || !ids.insert(r.id).second) {
+      std::fprintf(stderr,
+                   "Simulation: invalid or duplicate request id %d\n", r.id);
+      std::abort();
+    }
+  }
+}
+
+bool Simulation::request_served(RequestId id) const {
+  // served_ is empty before the first Run(); any id reads as not served.
+  // Linear scan: this is a post-run inspection helper, not a hot path.
+  const std::size_t n = std::min(served_.size(), requests_->size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((*requests_)[i].id == id) return served_[i];
+  }
+  return false;
 }
 
 SimReport Simulation::Run(const PlannerFactory& factory) {
@@ -45,35 +73,81 @@ SimReport Simulation::Run(const PlannerFactory& factory) {
   SimReport report;
   report.algorithm = std::string(planner->name());
   report.total_requests = static_cast<int>(requests_->size());
+  report.num_threads = options_.num_threads;
 
-  StatsAccumulator response_ms;
+  StatsAccumulator& response_ms = report.response_stats;
   const auto t0 = std::chrono::steady_clock::now();
   double planning_seconds = 0.0;
 
-  for (const Request& r : *requests_) {
-    if (planning_seconds > options_.wall_limit_seconds) {
-      report.timed_out = true;
-      break;  // remaining requests are rejected (DNF, as in the paper)
+  auto* batcher = dynamic_cast<BatchPlanner*>(planner.get());
+  if (batcher != nullptr && options_.batch_window_s > 0.0) {
+    // Windowed event loop: buffer all requests released within one
+    // dispatch window, advance the fleet to the window close, and plan
+    // the batch in a single OnBatch call. Each member's recorded
+    // response latency is its window's planning latency — what a
+    // requester experiences at the dispatch boundary.
+    const double window_min = options_.batch_window_s / 60.0;
+    const std::size_t n = requests_->size();
+    std::size_t next = 0;
+    std::vector<RequestId> batch;
+    while (next < n) {
+      if (planning_seconds > options_.wall_limit_seconds) {
+        report.timed_out = true;
+        break;  // remaining requests are rejected (DNF, as in the paper)
+      }
+      const double window_end = (*requests_)[next].release_time + window_min;
+      batch.clear();
+      while (next < n && (*requests_)[next].release_time < window_end) {
+        batch.push_back((*requests_)[next].id);
+        ++next;
+      }
+      fleet_->AdvanceTo(window_end);
+      const auto win_t0 = std::chrono::steady_clock::now();
+      batcher->OnBatch(batch, window_end);
+      const double secs = SecondsSince(win_t0);
+      planning_seconds += secs;
+      report.processed_requests += static_cast<int>(batch.size());
+      for (std::size_t b = 0; b < batch.size(); ++b) {
+        response_ms.Add(secs * 1e3);
+      }
     }
-    fleet_->AdvanceTo(r.release_time);
-    const auto req_t0 = std::chrono::steady_clock::now();
-    planner->OnRequest(r);
-    const double secs = SecondsSince(req_t0);
-    planning_seconds += secs;
-    response_ms.Add(secs * 1e3);
+  } else {
+    for (const Request& r : *requests_) {
+      if (planning_seconds > options_.wall_limit_seconds) {
+        report.timed_out = true;
+        break;  // remaining requests are rejected (DNF, as in the paper)
+      }
+      fleet_->AdvanceTo(r.release_time);
+      const auto req_t0 = std::chrono::steady_clock::now();
+      planner->OnRequest(r);
+      const double secs = SecondsSince(req_t0);
+      planning_seconds += secs;
+      ++report.processed_requests;
+      response_ms.Add(secs * 1e3);
+    }
   }
   {
+    // Finalize gets only the wall-time budget that is actually left: a
+    // timed-out run passes 0 and a batch-style planner must not start
+    // unbounded flush work on top of an already-exceeded limit. (Its
+    // time used to be added unbounded after the loop had broken.)
+    const double budget =
+        std::max(0.0, options_.wall_limit_seconds - planning_seconds);
     const auto fin_t0 = std::chrono::steady_clock::now();
-    planner->Finalize();
+    planner->Finalize(budget);
     planning_seconds += SecondsSince(fin_t0);
+    if (planning_seconds > options_.wall_limit_seconds) {
+      report.timed_out = true;
+    }
   }
   fleet_->FinishAll();
 
   served_.assign(requests_->size(), false);
   double wait_sum = 0.0, detour_sum = 0.0;
-  for (const Request& r : *requests_) {
+  for (std::size_t idx = 0; idx < requests_->size(); ++idx) {
+    const Request& r = (*requests_)[idx];
     const bool ok = fleet_->DropoffTime(r.id) < kInf;
-    served_[static_cast<std::size_t>(r.id)] = ok;
+    served_[idx] = ok;
     if (ok) {
       ++report.served_requests;
       const double pickup = fleet_->PickupTime(r.id);

@@ -22,22 +22,38 @@ struct SimOptions {
   /// Shared LRU cache capacity for distance queries (0 disables).
   std::size_t cache_capacity = 1 << 20;
   /// Threads available to planners that use the parallel dispatch engine
-  /// (ParallelGreedyDpPlanner). 1 keeps the run fully sequential; above 1
-  /// the simulation owns a ThreadPool of this size and exposes it via
-  /// PlanningContext::thread_pool(). Sequential planners simply ignore
-  /// it. The request replay loop itself stays single-threaded — requests
-  /// are serialized by release time, as in the paper.
+  /// (ParallelGreedyDpPlanner, DispatchWindowPlanner). 1 keeps the run
+  /// fully sequential; above 1 the simulation owns a ThreadPool of this
+  /// size and exposes it via PlanningContext::thread_pool(). Sequential
+  /// planners simply ignore it. The request replay loop itself stays
+  /// single-threaded — requests are serialized by release time, as in the
+  /// paper.
   int num_threads = 1;
+  /// Dispatch-window length in simulated *seconds*. When > 0 and the
+  /// planner implements BatchPlanner, Run() switches to the windowed
+  /// event loop: requests released within one window are buffered, the
+  /// fleet advances to the window close, and the whole batch is planned
+  /// in one OnBatch call (the paper's batch baseline uses 6 s). 0 — the
+  /// default — keeps the per-request loop for every planner, which a
+  /// BatchPlanner sees as singleton batches at each release time;
+  /// DispatchWindowPlanner guarantees that mode is bit-identical to the
+  /// sequential pruneGreedyDP run at every thread count.
+  double batch_window_s = 0.0;
 };
 
-/// Event-driven single-threaded day simulation (Sec. 6.1): requests are
-/// replayed in release order; before each release the fleet advances to
-/// the release time; the planner then serves or rejects the request. At
-/// the end all committed+planned work is flushed and the unified cost,
-/// served rate and response times are collected.
+/// Event-driven day simulation (Sec. 6.1): requests are replayed in
+/// release order; before each release the fleet advances to the release
+/// time; the planner then serves or rejects the request. With
+/// SimOptions::batch_window_s > 0 and a BatchPlanner, the replay loop is
+/// windowed instead: whole release windows are handed over in one OnBatch
+/// call. At the end all committed+planned work is flushed and the unified
+/// cost, served rate and response times are collected.
 class Simulation {
  public:
-  /// `requests` must be sorted by release time (ascending).
+  /// `requests` must be sorted by release time (ascending), and ids must
+  /// be unique and non-negative — they need NOT be the dense positions
+  /// 0..n-1 (gappy id spaces from trace extracts are fine; everything
+  /// downstream resolves ids through an id->index map).
   Simulation(const RoadNetwork* graph, DistanceOracle* oracle,
              std::vector<Worker> workers, const std::vector<Request>* requests,
              SimOptions options);
@@ -46,8 +62,12 @@ class Simulation {
 
   /// Fleet state after Run() (for invariant checks and inspection).
   const Fleet& fleet() const { return *fleet_; }
-  /// served()[r] — whether request r was served.
+  /// served()[k] — whether the k-th request of the input vector was
+  /// served (indexed by table *position*; for the common dense workloads
+  /// position and id coincide). For arbitrary ids use request_served().
   const std::vector<bool>& served() const { return served_; }
+  /// Whether the request with this id was served (id-safe lookup).
+  bool request_served(RequestId id) const;
 
  private:
   const RoadNetwork* graph_;

@@ -11,6 +11,15 @@ void StatsAccumulator::Add(double x) {
   sorted_ = false;
 }
 
+void StatsAccumulator::Merge(const StatsAccumulator& other) {
+  // Self-merge would insert from a vector being reallocated.
+  const std::size_t n = other.samples_.size();
+  samples_.reserve(samples_.size() + n);
+  for (std::size_t i = 0; i < n; ++i) samples_.push_back(other.samples_[i]);
+  sum_ += other.sum_;
+  sorted_ = false;
+}
+
 double StatsAccumulator::mean() const {
   return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
 }

@@ -13,6 +13,11 @@ namespace urpsm {
 class StatsAccumulator {
  public:
   void Add(double x);
+  /// Adds every sample of `other` (pooling, not averaging): percentiles of
+  /// the merged accumulator are percentiles of the union of the two sample
+  /// sets. This is how multi-run reports aggregate latency distributions —
+  /// an average of per-run percentiles is not a percentile of anything.
+  void Merge(const StatsAccumulator& other);
 
   std::size_t count() const { return samples_.size(); }
   double sum() const { return sum_; }
@@ -21,6 +26,9 @@ class StatsAccumulator {
   double max() const;
   /// Exact p-th percentile, p in [0, 100]. Returns 0 when empty.
   double Percentile(double p) const;
+  /// The retained samples. Order is unspecified (percentile queries sort
+  /// the backing array in place).
+  const std::vector<double>& samples() const { return samples_; }
 
  private:
   mutable std::vector<double> samples_;

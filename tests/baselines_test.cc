@@ -137,20 +137,50 @@ TEST(BatchTest, FinalizeFlushesLastBatch) {
   TestEnv env(MakeGridGraph(8, 8, 0.8));
   std::vector<Worker> workers = {{0, 27, 4}};
   Fleet fleet(workers, &env.graph());
-  BatchPlanner batch(env.ctx(), &fleet, PlannerConfig{},
-                     /*batch_interval_min=*/0.1);
+  BatchBaselinePlanner batch(env.ctx(), &fleet, PlannerConfig{},
+                             /*batch_interval_min=*/0.1);
   const Request r = env.AddRequest(28, 30, 0.0, 1e9);
   EXPECT_EQ(batch.OnRequest(r), kInvalidWorker);  // deferred
   EXPECT_EQ(fleet.AssignedWorker(r.id), kInvalidWorker);
-  batch.Finalize();
+  batch.Finalize(/*budget_seconds=*/1e9);
   EXPECT_EQ(fleet.AssignedWorker(r.id), 0);
+}
+
+TEST(BatchTest, ExhaustedBudgetSkipsFinalFlush) {
+  TestEnv env(MakeGridGraph(8, 8, 0.8));
+  std::vector<Worker> workers = {{0, 27, 4}};
+  Fleet fleet(workers, &env.graph());
+  BatchBaselinePlanner batch(env.ctx(), &fleet, PlannerConfig{},
+                             /*batch_interval_min=*/0.1);
+  const Request r = env.AddRequest(28, 30, 0.0, 1e9);
+  batch.OnRequest(r);
+  // The wall limit is already exceeded: the buffered request must stay
+  // rejected instead of being planned in unbounded post-timeout work.
+  batch.Finalize(/*budget_seconds=*/0.0);
+  EXPECT_EQ(fleet.AssignedWorker(r.id), kInvalidWorker);
+}
+
+TEST(BatchTest, WindowedModeMatchesSimulatorWindows) {
+  // Driven through Simulation's windowed event loop (batch_window_s > 0),
+  // the baseline consumes whole release windows via OnBatch and must still
+  // produce a valid, invariant-respecting run that serves requests.
+  BaselineFixture f(48);
+  SimOptions options;
+  options.batch_window_s = 6.0;  // the paper's 6-second batching interval
+  Simulation sim(&f.graph, &f.oracle, f.workers, &f.requests, options);
+  const SimReport rep = sim.Run(MakeBatchFactory({}));
+  EXPECT_EQ(rep.algorithm, "batch");
+  EXPECT_GT(rep.served_requests, 0);
+  EXPECT_EQ(rep.processed_requests, rep.total_requests);
+  const InvariantReport inv = VerifyInvariants(sim.fleet(), f.requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
 }
 
 TEST(BatchTest, BatchBoundaryTriggersFlush) {
   TestEnv env(MakeGridGraph(8, 8, 0.8));
   std::vector<Worker> workers = {{0, 27, 4}};
   Fleet fleet(workers, &env.graph());
-  BatchPlanner batch(env.ctx(), &fleet, PlannerConfig{}, 0.1);
+  BatchBaselinePlanner batch(env.ctx(), &fleet, PlannerConfig{}, 0.1);
   const Request r1 = env.AddRequest(28, 30, 0.0, 1e9);
   batch.OnRequest(r1);
   // Second request lands past the 6-second boundary: r1 must be flushed.

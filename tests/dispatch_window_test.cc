@@ -1,0 +1,409 @@
+// Tests for the batched dispatch-window engine: FleetShards partitioning,
+// window = 0 bit-identity with sequential pruneGreedyDP at every thread
+// count, thread-count determinism of real windows, per-window invariant
+// checks on accept- and rejection-heavy workloads, and a shard-conflict
+// fuzz driving concurrent Touch/ApplyInsertion on contended workers
+// (run under tsan by the tsan preset).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/parallel/fleet_shards.h"
+#include "src/shortest/hub_labels.h"
+#include "src/sim/dispatch_window.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+// ---------------------------------------------------------------- shards
+
+TEST(FleetShardsTest, EveryWorkerInExactlyOneShard) {
+  const RoadNetwork graph = MakeChengduLike(0.05, 3);
+  Rng rng(9);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 37, 4.0, &rng);
+  Fleet fleet(workers, &graph);
+  Point lo, hi;
+  graph.BoundingBox(&lo, &hi);
+  FleetShards shards(&fleet, lo, hi, 4.0, 8);
+  ASSERT_EQ(shards.num_shards(), 8);
+  int total = 0;
+  for (int s = 0; s < shards.num_shards(); ++s) {
+    for (const WorkerId w : shards.workers_in(s)) {
+      EXPECT_EQ(shards.ShardOf(w), s);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, fleet.size());
+  // Shard of a worker matches the shard of its anchor region.
+  for (WorkerId w = 0; w < fleet.size(); ++w) {
+    EXPECT_EQ(shards.ShardOf(w), shards.ShardOfPoint(fleet.anchor_point(w)));
+  }
+}
+
+TEST(FleetShardsTest, RebuildTracksAnchorMovement) {
+  TestEnv env(MakeGridGraph(12, 12, 1.0));
+  std::vector<Worker> workers = {{0, 0, 4}};
+  Fleet fleet(workers, &env.graph());
+  Point lo, hi;
+  env.graph().BoundingBox(&lo, &hi);
+  FleetShards shards(&fleet, lo, hi, /*region_km=*/2.0, 16);
+  const int before = shards.ShardOf(0);
+  // Drive the worker across the map; shard follows after Rebuild.
+  const Request r = env.AddRequest(0, 143, 0.0, 1e9);
+  fleet.ApplyInsertion(0, r, 0, 0, env.oracle());
+  fleet.FinishAll();
+  shards.Rebuild();
+  EXPECT_EQ(shards.ShardOf(0), shards.ShardOfPoint(fleet.anchor_point(0)));
+  EXPECT_NE(shards.ShardOf(0), before);  // corner -> far corner region
+}
+
+// ----------------------------------------------- window=0 bit-identity
+
+struct WorkloadRun {
+  SimReport report;
+  std::vector<bool> served;
+};
+
+WorkloadRun RunOnce(const RoadNetwork& graph, DistanceOracle* oracle,
+                    const std::vector<Worker>& workers,
+                    const std::vector<Request>& requests,
+                    const PlannerFactory& factory, int num_threads,
+                    double batch_window_s = 0.0) {
+  SimOptions options;
+  options.num_threads = num_threads;
+  options.batch_window_s = batch_window_s;
+  Simulation sim(&graph, oracle, workers, &requests, options);
+  WorkloadRun run;
+  run.report = sim.Run(factory);
+  run.served = sim.served();
+  return run;
+}
+
+// Bit-identical on every deterministic field (wall-clock response-time
+// stats are inherently run-dependent and excluded).
+void ExpectIdentical(const WorkloadRun& a, const WorkloadRun& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.report.served_requests, b.report.served_requests);
+  EXPECT_EQ(a.report.unified_cost, b.report.unified_cost);
+  EXPECT_EQ(a.report.total_distance, b.report.total_distance);
+  EXPECT_EQ(a.report.penalty_sum, b.report.penalty_sum);
+  EXPECT_EQ(a.report.mean_pickup_wait_min, b.report.mean_pickup_wait_min);
+  EXPECT_EQ(a.report.mean_detour_ratio, b.report.mean_detour_ratio);
+  EXPECT_EQ(a.report.makespan_min, b.report.makespan_min);
+  EXPECT_EQ(a.served, b.served);
+}
+
+class DispatchWindowDeterminismTest : public ::testing::TestWithParam<double> {
+};
+
+TEST_P(DispatchWindowDeterminismTest, WindowZeroBitIdenticalToSequential) {
+  const double penalty_factor = GetParam();
+  const RoadNetwork graph = MakeChengduLike(0.05, 2);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+
+  Rng rng(17);
+  RequestParams rp;
+  rp.count = 260;
+  rp.duration_min = 240.0;
+  rp.penalty_factor = penalty_factor;
+  rp.seed = 23;
+  const std::vector<Request> requests =
+      GenerateRequests(graph, rp, &labels, &rng);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 14, 4.0, &rng);
+
+  const PlannerConfig config;  // pruning on
+  const WorkloadRun sequential = RunOnce(graph, &labels, workers, requests,
+                                         MakePruneGreedyDpFactory(config), 1);
+  ASSERT_GT(sequential.report.served_requests, 0);
+  if (penalty_factor < 5.0) {
+    ASSERT_LT(sequential.report.served_requests,
+              sequential.report.total_requests);
+  }
+
+  // The acceptance bar: batch_window_s = 0 reproduces the sequential
+  // pruneGreedyDP run exactly, for every thread count.
+  for (int threads : {1, 2, 4, 8}) {
+    const WorkloadRun windowed =
+        RunOnce(graph, &labels, workers, requests,
+                MakeDispatchWindowFactory(config), threads,
+                /*batch_window_s=*/0.0);
+    ExpectIdentical(sequential, windowed,
+                    "window=0 threads=" + std::to_string(threads));
+  }
+}
+
+TEST_P(DispatchWindowDeterminismTest, RealWindowsThreadCountIndependent) {
+  const double penalty_factor = GetParam();
+  const RoadNetwork graph = MakeChengduLike(0.05, 2);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+
+  Rng rng(19);
+  RequestParams rp;
+  rp.count = 220;
+  rp.duration_min = 200.0;
+  rp.penalty_factor = penalty_factor;
+  rp.seed = 29;
+  const std::vector<Request> requests =
+      GenerateRequests(graph, rp, &labels, &rng);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 12, 4.0, &rng);
+
+  const PlannerConfig config;
+  for (double window_s : {2.0, 15.0}) {
+    const WorkloadRun base =
+        RunOnce(graph, &labels, workers, requests,
+                MakeDispatchWindowFactory(config), 1, window_s);
+    ASSERT_GT(base.report.served_requests, 0);
+    for (int threads : {2, 4, 8}) {
+      const WorkloadRun run =
+          RunOnce(graph, &labels, workers, requests,
+                  MakeDispatchWindowFactory(config), threads, window_s);
+      ExpectIdentical(base, run, "window=" + std::to_string(window_s) +
+                                     " threads=" + std::to_string(threads));
+      // The task decomposition is structural, so even the distance-query
+      // count must not depend on the pool size.
+      EXPECT_EQ(base.report.distance_queries, run.report.distance_queries);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, DispatchWindowDeterminismTest,
+                         ::testing::Values(10.0,   // default penalties
+                                           1.7,    // rejection-heavy
+                                           30.0),  // accept-heavy
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           if (info.param < 5.0) return "RejectionHeavy";
+                           return info.param > 20.0 ? "AcceptHeavy"
+                                                    : "DefaultPenalties";
+                         });
+
+// -------------------------------------------- per-window invariants
+
+// Drives the engine window by window by hand and verifies the fleet
+// invariants after every OnBatch — the mid-run mode tolerates passengers
+// still on board and assignments whose drop-off is pending.
+void CheckInvariantsAfterEveryWindow(double penalty_factor) {
+  const RoadNetwork graph = MakeChengduLike(0.05, 4);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  Rng rng(31);
+  RequestParams rp;
+  rp.count = 180;
+  rp.duration_min = 180.0;
+  rp.penalty_factor = penalty_factor;
+  rp.seed = 37;
+  const std::vector<Request> requests =
+      GenerateRequests(graph, rp, &labels, &rng);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 10, 4.0, &rng);
+
+  ThreadPool pool(4);
+  Fleet fleet(workers, &graph);
+  PlanningContext ctx(&graph, &labels, &requests);
+  ctx.set_thread_pool(&pool);
+  DispatchWindowPlanner planner(&ctx, &fleet, PlannerConfig{}, &pool);
+
+  const double window_min = 6.0 / 60.0;
+  std::size_t next = 0;
+  int windows = 0;
+  while (next < requests.size()) {
+    const double window_end = requests[next].release_time + window_min;
+    std::vector<RequestId> batch;
+    while (next < requests.size() &&
+           requests[next].release_time < window_end) {
+      batch.push_back(requests[next].id);
+      ++next;
+    }
+    fleet.AdvanceTo(window_end);
+    planner.OnBatch(batch, window_end);
+    ++windows;
+    const InvariantReport inv =
+        VerifyInvariants(fleet, requests, /*mid_run=*/true);
+    ASSERT_TRUE(inv.ok) << "after window " << windows << ": "
+                        << inv.violation;
+  }
+  fleet.FinishAll();
+  const InvariantReport final_inv = VerifyInvariants(fleet, requests);
+  EXPECT_TRUE(final_inv.ok) << final_inv.violation;
+  EXPECT_GT(windows, 10);  // the workload actually spans many windows
+}
+
+TEST(DispatchWindowInvariantsTest, AcceptHeavyEveryWindowClean) {
+  CheckInvariantsAfterEveryWindow(/*penalty_factor=*/30.0);
+}
+
+TEST(DispatchWindowInvariantsTest, RejectionHeavyEveryWindowClean) {
+  CheckInvariantsAfterEveryWindow(/*penalty_factor=*/1.7);
+}
+
+// --------------------------------------------- conflict resolution
+
+TEST(DispatchWindowConflictTest, SecondRequestReplansOntoUpdatedRoute) {
+  // One worker, two batch members: both propose the same worker against
+  // the frozen fleet; the cheaper proposal applies first (unified-cost-
+  // then-id order), the loser detects the route-version change and goes
+  // through the sequential replan — ending up inserted into the updated
+  // route rather than applying a stale (i, j).
+  TestEnv env(MakeGridGraph(8, 8, 0.8));
+  std::vector<Worker> workers = {{0, 27, 4}};
+  Fleet fleet(workers, &env.graph());
+  const Request r1 = env.AddRequest(28, 30, 0.0, 1e9, 1e9);
+  const Request r2 = env.AddRequest(29, 31, 0.0, 1e9, 1e9);
+  DispatchWindowPlanner planner(env.ctx(), &fleet, PlannerConfig{},
+                                /*pool=*/nullptr);
+  planner.OnBatch({r1.id, r2.id}, 0.0);
+  EXPECT_EQ(fleet.AssignedWorker(r1.id), 0);
+  EXPECT_EQ(fleet.AssignedWorker(r2.id), 0);
+  EXPECT_EQ(planner.conflict_replans(), 1);
+  fleet.FinishAll();
+  const InvariantReport inv = VerifyInvariants(fleet, env.requests());
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+// ------------------------------------------------ shard-conflict fuzz
+
+TEST(ShardConflictFuzzTest, ContendedEvaluationThenOrderedApplication) {
+  // The engine's per-window pattern, fuzzed: several requests evaluate
+  // the SAME workers concurrently (CachedState rebuilds contend on the
+  // shard locks), then a driver applies proposals in order, replaying the
+  // conflict-resolution staleness check. Run under tsan by the tsan
+  // preset; any unserialized state-cache rebuild is a data race here.
+  TestEnv env(MakeGridGraph(10, 10, 0.8));
+  constexpr int kWorkers = 4, kThreads = 4, kRounds = 20;
+  std::vector<Worker> workers;
+  for (int w = 0; w < kWorkers; ++w) workers.push_back({w, w * 7, 6});
+  std::vector<Request> all;
+  Rng rng(13);
+  for (int i = 0; i < kThreads * kRounds; ++i) {
+    const VertexId o = rng.UniformInt(0, 99);
+    VertexId d = rng.UniformInt(0, 99);
+    if (d == o) d = (d + 1) % 100;
+    all.push_back(env.AddRequest(o, d, 0.0, 1e9, 1e9));
+  }
+
+  Fleet fleet(workers, &env.graph());
+  Point lo, hi;
+  env.graph().BoundingBox(&lo, &hi);
+  GridIndex index(lo, hi, 2.0);
+  fleet.AttachIndex(&index);
+  FleetShards shards(&fleet, lo, hi, /*region_km=*/1.6, 4);
+  fleet.AttachShards(&shards);
+
+  struct Proposal {
+    WorkerId worker = kInvalidWorker;
+    int i = -1, j = -1;
+    std::uint64_t version = 0;
+  };
+  int applied = 0, conflicts = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const double now = 0.4 * round;
+    // Driver: touch everyone (commits due stops, bumps idle clocks).
+    for (WorkerId w = 0; w < kWorkers; ++w) fleet.Touch(w, now);
+    shards.Rebuild();
+    // Parallel: every thread evaluates its request against ALL workers —
+    // two requests contending for one worker is the common case here.
+    std::vector<Proposal> proposals(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const Request& r =
+            all[static_cast<std::size_t>(round * kThreads + t)];
+        double best_delta = kInf;
+        for (WorkerId w = 0; w < kWorkers; ++w) {
+          const InsertionCandidate cand = LinearDpInsertion(
+              fleet.worker(w), fleet.route(w),
+              fleet.CachedState(w, env.ctx()), r, env.ctx());
+          if (cand.feasible() && cand.delta < best_delta) {
+            best_delta = cand.delta;
+            proposals[static_cast<std::size_t>(t)] = {
+                w, cand.i, cand.j, fleet.route(w).version()};
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    // Driver: ordered application with the engine's staleness rule.
+    for (int t = 0; t < kThreads; ++t) {
+      const Proposal& p = proposals[static_cast<std::size_t>(t)];
+      const Request& r = all[static_cast<std::size_t>(round * kThreads + t)];
+      if (p.worker == kInvalidWorker) continue;
+      if (fleet.route(p.worker).version() == p.version) {
+        fleet.ApplyInsertion(p.worker, r, p.i, p.j, env.ctx()->oracle());
+        ++applied;
+      } else {
+        ++conflicts;  // an earlier proposal took the worker: skip (reject)
+      }
+    }
+  }
+  fleet.AttachShards(nullptr);
+  fleet.FinishAll();
+  EXPECT_GT(applied, 0);
+  EXPECT_GT(conflicts, 0) << "fuzz never produced a worker conflict";
+  const InvariantReport inv = VerifyInvariants(fleet, all);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+TEST(ShardConflictFuzzTest, ConcurrentMutationAcrossShards) {
+  // Shard-safe mutation path: threads own disjoint workers and run
+  // Touch + ApplyInsertion concurrently. Per-worker route state is
+  // exclusive; the cross-shard commit state (arrival heap, grid index,
+  // pickup/drop-off records, total distance) is what the commit mutex
+  // must protect — tsan flags it if it does not.
+  TestEnv env(MakeGridGraph(10, 10, 0.8));
+  constexpr int kThreads = 4, kPerThread = 30;
+  std::vector<Worker> workers;
+  for (int w = 0; w < kThreads; ++w) workers.push_back({w, w * 11, 8});
+  std::vector<Request> all;
+  Rng rng(29);
+  for (int i = 0; i < kThreads * kPerThread; ++i) {
+    const VertexId o = rng.UniformInt(0, 99);
+    VertexId d = rng.UniformInt(0, 99);
+    if (d == o) d = (d + 1) % 100;
+    all.push_back(env.AddRequest(o, d, 0.0, 1e9, 1e9));
+  }
+
+  Fleet fleet(workers, &env.graph());
+  Point lo, hi;
+  env.graph().BoundingBox(&lo, &hi);
+  GridIndex index(lo, hi, 2.0);
+  fleet.AttachIndex(&index);
+  FleetShards shards(&fleet, lo, hi, /*region_km=*/1.6, 4);
+  fleet.AttachShards(&shards);
+
+  std::atomic<int> applied{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const WorkerId w = t;  // exclusive owner of this worker's route
+      for (int k = 0; k < kPerThread; ++k) {
+        const Request& r = all[static_cast<std::size_t>(t * kPerThread + k)];
+        fleet.Touch(w, 0.2 * k);  // commits stops -> heap/index/records
+        const InsertionCandidate cand = LinearDpInsertion(
+            fleet.worker(w), fleet.route(w), fleet.CachedState(w, env.ctx()),
+            r, env.ctx());
+        if (cand.feasible()) {
+          fleet.ApplyInsertion(w, r, cand.i, cand.j, env.ctx()->oracle());
+          applied.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  fleet.AttachShards(nullptr);
+  fleet.FinishAll();
+  EXPECT_GT(applied.load(), 0);
+  const InvariantReport inv = VerifyInvariants(fleet, all);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+}  // namespace
+}  // namespace urpsm

@@ -89,7 +89,7 @@ TEST_P(InsertionPropertyTest, DpVariantsMatchGroundTruth) {
       double cost = 0.0;
       EXPECT_TRUE(ValidateStops(applied.anchor(), applied.anchor_time(),
                                 stops, worker.capacity,
-                                route.OnboardAtAnchor(env.requests()),
+                                route.OnboardAtAnchor(*env.ctx()),
                                 env.ctx(), &cost));
       EXPECT_NEAR(cost - route.RemainingCost(), c.delta, 1e-9);
     }

@@ -1,3 +1,5 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "src/sim/metrics.h"
@@ -32,8 +34,8 @@ TEST(AverageReportsTest, MeansAndMaxes) {
   b.served_requests = 80;
   a.unified_cost = 100.0;
   b.unified_cost = 200.0;
-  a.max_response_ms = 5.0;
-  b.max_response_ms = 9.0;
+  a.response_stats.Add(5.0);
+  b.response_stats.Add(9.0);
   a.timed_out = false;
   b.timed_out = true;
   a.makespan_min = 100.0;
@@ -41,9 +43,38 @@ TEST(AverageReportsTest, MeansAndMaxes) {
   const SimReport avg = AverageReports({a, b});
   EXPECT_EQ(avg.served_requests, 70);
   EXPECT_DOUBLE_EQ(avg.unified_cost, 150.0);
-  EXPECT_DOUBLE_EQ(avg.max_response_ms, 9.0);  // max, not mean
+  EXPECT_DOUBLE_EQ(avg.max_response_ms, 9.0);  // max over pooled samples
   EXPECT_TRUE(avg.timed_out);                  // OR
   EXPECT_DOUBLE_EQ(avg.makespan_min, 100.0);   // max
+}
+
+TEST(AverageReportsTest, PercentilesArePooledNotAveraged) {
+  // Two deliberately skewed runs. Run A: 9 fast requests and one slow.
+  // Run B: uniformly slow. A per-run p50 average would report
+  // (1 + 100) / 2 = 50.5 ms — a latency that 15 of the 20 pooled samples
+  // beat. The pooled p50 must come from the merged sample set.
+  SimReport a, b;
+  a.algorithm = b.algorithm = "x";
+  a.total_requests = b.total_requests = 10;
+  for (int i = 0; i < 9; ++i) a.response_stats.Add(1.0);
+  a.response_stats.Add(1000.0);
+  a.p50_response_ms = a.response_stats.Percentile(50);   // 1.0
+  a.p95_response_ms = a.response_stats.Percentile(95);   // ~550
+  for (int i = 0; i < 10; ++i) b.response_stats.Add(100.0);
+  b.p50_response_ms = b.response_stats.Percentile(50);   // 100.0
+  b.p95_response_ms = b.response_stats.Percentile(95);   // 100.0
+
+  const SimReport avg = AverageReports({a, b});
+  StatsAccumulator pooled;
+  pooled.Merge(a.response_stats);
+  pooled.Merge(b.response_stats);
+  EXPECT_DOUBLE_EQ(avg.p50_response_ms, pooled.Percentile(50));
+  EXPECT_DOUBLE_EQ(avg.p95_response_ms, pooled.Percentile(95));
+  EXPECT_DOUBLE_EQ(avg.avg_response_ms, pooled.mean());
+  EXPECT_DOUBLE_EQ(avg.max_response_ms, 1000.0);
+  // The old average-of-percentiles is measurably wrong on this pair.
+  const double avg_of_p50s = (a.p50_response_ms + b.p50_response_ms) / 2.0;
+  EXPECT_GT(std::abs(avg_of_p50s - avg.p50_response_ms), 10.0);
 }
 
 TEST(ServiceMetricsTest, PopulatedAndSane) {

@@ -95,11 +95,11 @@ TEST_F(RouteTest, OnboardAtAnchorCountsCommittedPickups) {
   const Request r = env_.AddRequest(2, 5, 0.0, 100.0, 10.0, 3);
   Route rt(0, 0.0);
   rt.Insert(r, 0, 0, env_.oracle());
-  EXPECT_EQ(rt.OnboardAtAnchor(env_.requests()), 0);
+  EXPECT_EQ(rt.OnboardAtAnchor(*env_.ctx()), 0);
   rt.PopFront();  // pickup committed; rider (capacity 3) on board
-  EXPECT_EQ(rt.OnboardAtAnchor(env_.requests()), 3);
+  EXPECT_EQ(rt.OnboardAtAnchor(*env_.ctx()), 3);
   rt.PopFront();  // dropoff committed
-  EXPECT_EQ(rt.OnboardAtAnchor(env_.requests()), 0);
+  EXPECT_EQ(rt.OnboardAtAnchor(*env_.ctx()), 0);
 }
 
 TEST_F(RouteTest, SetStopsRecomputesLegs) {

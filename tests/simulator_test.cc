@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "src/algos/batch.h"
 #include "src/sim/metrics.h"
 #include "src/sim/simulator.h"
 #include "src/workload/city.h"
@@ -91,6 +92,73 @@ TEST(SimulatorTest, WallLimitTriggersTimeout) {
   const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
   EXPECT_TRUE(rep.timed_out);
   EXPECT_LE(rep.served_requests, rep.total_requests);
+  // The truncated run reports how far it got, so percentile stats over
+  // the processed prefix are interpretable.
+  EXPECT_LT(rep.processed_requests, rep.total_requests);
+  EXPECT_EQ(static_cast<std::size_t>(rep.processed_requests),
+            rep.response_stats.count());
+}
+
+TEST(SimulatorTest, ProcessedRequestsCoversFullRunWithoutTimeout) {
+  SimFixture f(5, 10, 80);
+  Simulation sim(&f.graph, &f.oracle, f.workers, &f.requests, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_FALSE(rep.timed_out);
+  EXPECT_EQ(rep.processed_requests, rep.total_requests);
+}
+
+TEST(SimulatorTest, TimedOutRunSkipsUnboundedFinalize) {
+  // The batch baseline defers every assignment to Finalize-time flushes.
+  // With the wall limit already exceeded, Finalize(0) must NOT plan the
+  // buffered requests: before the budget was threaded through, a timed-out
+  // run still paid for (and counted) an unbounded final flush.
+  SimFixture f(9, 10, 120);
+  SimOptions options;
+  options.wall_limit_seconds = 0.0;
+  Simulation sim(&f.graph, &f.oracle, f.workers, &f.requests, options);
+  const SimReport rep = sim.Run(MakeBatchFactory({}));
+  EXPECT_TRUE(rep.timed_out);
+  EXPECT_EQ(rep.served_requests, 0);  // nothing was ever flushed
+}
+
+TEST(SimulatorTest, GappyRequestIdsAreHandled) {
+  // Ids far from the dense 0..n-1 layout: formerly silent out-of-bounds
+  // indexing (served_, direct-distance cache, request table) — now routed
+  // through the id->index mapping end to end.
+  SimFixture f(12, 8, 40);
+  std::vector<Request> gappy = f.requests;
+  for (std::size_t i = 0; i < gappy.size(); ++i) {
+    gappy[i].id = static_cast<RequestId>(1000 + 7 * i);  // gappy, non-dense
+  }
+  Simulation sim(&f.graph, &f.oracle, f.workers, &gappy, SimOptions{});
+  const SimReport rep = sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_EQ(rep.total_requests, static_cast<int>(gappy.size()));
+  EXPECT_GT(rep.served_requests, 0);
+  const InvariantReport inv = VerifyInvariants(sim.fleet(), gappy);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+  // served() is position-indexed; request_served resolves by id. The two
+  // must agree, and the penalty partition must hold under gappy ids.
+  double expect_penalty = 0.0;
+  int served_count = 0;
+  for (std::size_t i = 0; i < gappy.size(); ++i) {
+    EXPECT_EQ(sim.served()[i], sim.request_served(gappy[i].id));
+    if (sim.served()[i]) {
+      ++served_count;
+    } else {
+      expect_penalty += gappy[i].penalty;
+    }
+  }
+  EXPECT_EQ(served_count, rep.served_requests);
+  EXPECT_NEAR(rep.penalty_sum, expect_penalty, 1e-9);
+
+  // The same workload with dense ids must produce the same outcomes —
+  // ids are labels, not semantics.
+  Simulation dense_sim(&f.graph, &f.oracle, f.workers, &f.requests,
+                       SimOptions{});
+  const SimReport dense_rep = dense_sim.Run(MakePruneGreedyDpFactory({}));
+  EXPECT_EQ(dense_rep.served_requests, rep.served_requests);
+  EXPECT_EQ(dense_rep.unified_cost, rep.unified_cost);
+  EXPECT_EQ(dense_sim.served(), sim.served());
 }
 
 TEST(SimulatorTest, DeterministicAcrossRuns) {

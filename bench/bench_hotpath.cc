@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "src/core/decision.h"
 #include "src/graph/builders.h"
 #include "src/insertion/insertion.h"
 #include "src/model/feasibility.h"
@@ -227,6 +228,24 @@ void BenchInsertion(bool smoke, std::vector<std::string>* lines) {
     TimeOp(lines, "build_route_state", stops, ops, 16, [&] {
       const RouteState st = BuildRouteState(sc.route, &sc.ctx);
       if (st.n < 0) std::printf("impossible\n");
+    });
+    // Decision-phase Euclidean lower bound, before/after: the reference
+    // evaluates per-position hypot calls on demand; the production path
+    // gathers the per-request columns once over RouteState::pts. Same
+    // result bit-for-bit (decision_test fuzzes that); only the cost
+    // profile differs.
+    const std::int64_t lb_ops = smoke ? 5'000 : 200'000;
+    TimeOp(lines, "decision_lb_reference", stops, lb_ops, 32, [&] {
+      const double lb = DecisionLowerBoundReference(
+          sc.worker, sc.route, sc.state, sc.probe,
+          sc.ctx.DirectDist(sc.probe.id), sc.graph);
+      if (lb < 0.0) std::printf("impossible\n");
+    });
+    TimeOp(lines, "decision_lb_columns", stops, lb_ops, 32, [&] {
+      const double lb = DecisionLowerBound(
+          sc.worker, sc.route, sc.state, sc.probe,
+          sc.ctx.DirectDist(sc.probe.id), sc.graph);
+      if (lb < 0.0) std::printf("impossible\n");
     });
   }
 }

@@ -1,0 +1,184 @@
+// Pipelined dispatch-engine trajectory bench: the dispatch-window engine
+// swept over window length x thread count x pipeline on/off, recording
+// throughput, latency percentiles and the pipeline stage/occupancy
+// counters (queue depth, backpressure, plan/commit stage time).
+//
+// Writes BENCH_pipeline.json (one JSON object per line, the shared
+// BENCH_JSON schema — every line carries hw_concurrency, num_threads,
+// git_sha and timestamp) into the working directory; the CTest smoke
+// entry runs from the repository root so each PR refreshes the
+// trajectory file, and CI uploads it as an artifact. Determinism gates:
+// for every (window, mode) the deterministic report fields must be
+// bit-identical across thread counts, and the pipelined runs must be
+// ingest-queue-capacity independent.
+//
+// Note: thread counts beyond std::thread::hardware_concurrency (1 in the
+// usual CI container — see the hw_concurrency field) oversubscribe and
+// mainly validate determinism, not speedup; the same goes for the
+// ingest/plan/commit thread overlap itself.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "src/sim/dispatch_window.h"
+
+using namespace urpsm;
+using namespace urpsm::bench;
+
+namespace {
+
+void WriteJsonFile(const char* path, const std::vector<std::string>& lines) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_pipeline: cannot write %s\n", path);
+    return;
+  }
+  for (const std::string& line : lines) std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path, lines.size());
+}
+
+std::string Fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+bool SameResults(const SimReport& a, const SimReport& b) {
+  return a.unified_cost == b.unified_cost &&
+         a.served_requests == b.served_requests &&
+         a.total_distance == b.total_distance &&
+         a.distance_queries == b.distance_queries;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = InitBench(argc, argv);
+  const City city = LoadCity(/*nyc=*/false);
+  Rng rng(7);
+  const Defaults d;
+  const int worker_count = smoke ? 40 : 2 * city.default_workers;
+  const std::vector<Worker> workers =
+      GenerateWorkers(city.graph, worker_count, d.capacity_mean, &rng);
+
+  std::printf("=== Pipelined dispatch (%s, %zu requests, %d workers, "
+              "hardware threads: %u) ===\n\n",
+              city.name.c_str(), city.requests.size(), worker_count,
+              std::thread::hardware_concurrency());
+
+  SimOptions base_options;
+  base_options.wall_limit_seconds = EnvWallLimit();
+
+  std::vector<std::string> lines;
+  const auto record = [&](const SimReport& rep, double window_s,
+                          bool pipeline) {
+    std::vector<std::pair<std::string, std::string>> params = {
+        {"city", city.name},
+        {"window_s", Fmt(window_s)},
+        {"pipeline", pipeline ? "1" : "0"},
+        {"algorithm", rep.algorithm},
+        {"num_threads", std::to_string(rep.num_threads)}};
+    if (pipeline) {
+      const PipelineStats& ps = rep.pipeline;
+      params.emplace_back("occupancy", Fmt(ps.occupancy));
+      params.emplace_back("max_queue_depth",
+                          std::to_string(ps.max_queue_depth));
+      params.emplace_back("backpressure_waits",
+                          std::to_string(ps.backpressure_waits));
+      params.emplace_back("windows", std::to_string(ps.windows));
+      params.emplace_back("plan_ms", Fmt(ps.plan_ms));
+      params.emplace_back("commit_ms", Fmt(ps.commit_ms));
+    }
+    if (smoke) params.emplace_back("smoke", "1");
+    if (rep.timed_out) params.emplace_back("timed_out", "1");
+    const double throughput =
+        rep.wall_seconds > 0.0 ? rep.total_requests / rep.wall_seconds : 0.0;
+    lines.push_back(FormatJsonLine("bench_pipeline", params,
+                                   rep.wall_seconds * 1e3, throughput,
+                                   rep.p50_response_ms, rep.p95_response_ms));
+  };
+
+  const std::vector<double> windows =
+      smoke ? std::vector<double>{6.0} : std::vector<double>{2.0, 6.0, 15.0};
+  const std::vector<int> thread_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+
+  TablePrinter t({"window (s)", "pipeline", "threads", "wall (s)", "req/s",
+                  "occupancy", "unified cost", "served", "identical"});
+  bool all_identical = true;
+  bool any_compared = false;
+  for (double window_s : windows) {
+    for (const bool pipeline : {false, true}) {
+      SimReport ref;
+      bool have_ref = false;
+      for (int threads : thread_counts) {
+        SimOptions options = base_options;
+        options.num_threads = threads;
+        options.batch_window_s = window_s;
+        options.pipeline = pipeline;
+        Simulation sim(&city.graph, city.labels.get(), workers,
+                       &city.requests, options);
+        const SimReport rep = sim.Run(MakeDispatchWindowFactory({}));
+        record(rep, window_s, pipeline);
+        if (!have_ref) {
+          ref = rep;
+          have_ref = true;
+        }
+        const double rps = rep.wall_seconds > 0.0
+                               ? rep.total_requests / rep.wall_seconds
+                               : 0.0;
+        const bool comparable = !rep.timed_out && !ref.timed_out;
+        const bool identical = comparable && SameResults(rep, ref);
+        any_compared = any_compared || comparable;
+        all_identical = all_identical && (identical || !comparable);
+        t.AddRow({Fmt(window_s), pipeline ? "on" : "off",
+                  std::to_string(threads),
+                  TablePrinter::Num(rep.wall_seconds, 2),
+                  TablePrinter::Num(rps, 1),
+                  pipeline ? TablePrinter::Num(rep.pipeline.occupancy, 2)
+                           : std::string("-"),
+                  TablePrinter::Num(rep.unified_cost, 1),
+                  std::to_string(rep.served_requests),
+                  !comparable ? "DNF" : identical ? "YES" : "NO"});
+      }
+      // Queue-capacity independence gate for the pipelined runs: a tiny
+      // queue (heavy backpressure) must not change any result.
+      if (pipeline && have_ref && !ref.timed_out) {
+        SimOptions options = base_options;
+        options.num_threads = thread_counts.back();
+        options.batch_window_s = window_s;
+        options.pipeline = true;
+        options.ingest_capacity = 8;
+        Simulation sim(&city.graph, city.labels.get(), workers,
+                       &city.requests, options);
+        const SimReport rep = sim.Run(MakeDispatchWindowFactory({}));
+        record(rep, window_s, true);
+        if (!rep.timed_out && !SameResults(rep, ref)) {
+          all_identical = false;
+          std::printf("FAIL: capacity=8 diverged at window=%g\n", window_s);
+        }
+      }
+    }
+  }
+  std::printf("%s\n", t.ToString().c_str());
+
+  WriteJsonFile("BENCH_pipeline.json", lines);
+
+  if (!all_identical) {
+    std::printf("FAIL: pipeline results diverged (across thread counts or "
+                "ingest-queue capacities)\n");
+    return 1;
+  }
+  if (!any_compared) {
+    std::printf("FAIL: all runs timed out before the identity gates could "
+                "compare anything — raise URPSM_BENCH_WALL_LIMIT\n");
+    return 1;
+  }
+  std::printf("windows thread-count independent AND pipelined runs "
+              "capacity-independent: YES\n");
+  return 0;
+}

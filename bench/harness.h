@@ -11,8 +11,10 @@
 // per-run kill switch in seconds (default 120; kinetic DNFs are reported
 // as "DNF", matching the paper's 10/20-hour timeout behaviour).
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <functional>
 #include <memory>
 #include <string>
@@ -140,6 +142,59 @@ inline std::vector<std::pair<std::string, PlannerFactory>> AllAlgorithms(
 /// can `grep '^BENCH_JSON ' | cut -c12- > BENCH_<name>.json` without
 /// parsing the human-readable tables. Keys/values are plain ASCII; param
 /// values are emitted as strings to keep the schema uniform.
+/// Short git SHA identifying the tree the bench binary measured, cached
+/// per process: URPSM_GIT_SHA wins (CI can inject the exact commit), then
+/// `git rev-parse --short HEAD` (benches run from the repo root or the
+/// build tree inside it), else "unknown". Attached to every BENCH_JSON
+/// line so the cross-PR perf trajectory is attributable without
+/// consulting git history for file mtimes.
+inline const std::string& GitSha() {
+  static const std::string sha = [] {
+    // Whatever the source, the value is spliced into a JSON string, so
+    // it must pass the same hex-only validation — a malformed
+    // URPSM_GIT_SHA (quotes, refs, whitespace) must not corrupt every
+    // record of the run.
+    const auto sanitize = [](std::string s) {
+      while (!s.empty() &&
+             std::isspace(static_cast<unsigned char>(s.back()))) {
+        s.pop_back();
+      }
+      if (s.empty() || s.size() > 40) return std::string("unknown");
+      for (const char c : s) {
+        if (!std::isxdigit(static_cast<unsigned char>(c))) {
+          return std::string("unknown");
+        }
+      }
+      return s;
+    };
+    if (const char* env = std::getenv("URPSM_GIT_SHA")) {
+      return sanitize(env);
+    }
+    std::string out;
+    if (std::FILE* p = popen("git rev-parse --short HEAD 2>/dev/null", "r")) {
+      char buf[64];
+      if (std::fgets(buf, sizeof(buf), p) != nullptr) out = buf;
+      pclose(p);
+    }
+    return sanitize(std::move(out));
+  }();
+  return sha;
+}
+
+/// ISO-8601 UTC timestamp of the bench process start, cached so every
+/// line of one run carries the same instant (records group per run).
+inline const std::string& RunTimestamp() {
+  static const std::string ts = [] {
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+    return std::string(buf);
+  }();
+  return ts;
+}
+
 /// Renders one BENCH_JSON result line. `p50_ms` / `p95_ms` carry the
 /// per-operation latency distribution (per planned request for the
 /// simulation benches, per query for the oracle benches) so that
@@ -177,6 +232,11 @@ inline std::string FormatJsonLine(
   std::snprintf(tail, sizeof(tail), ",\"hw_concurrency\":%u",
                 std::thread::hardware_concurrency());
   line += tail;
+  // Provenance: which commit produced the number, and when. Every
+  // BENCH_*.json line carries both so the perf trajectory across PRs is
+  // self-describing.
+  line += ",\"git_sha\":\"" + GitSha() + "\"";
+  line += ",\"timestamp\":\"" + RunTimestamp() + "\"";
   line += "}";
   return line;
 }

@@ -39,9 +39,10 @@ WorkerId BatchBaselinePlanner::OnRequest(const Request& r) {
 }
 
 void BatchBaselinePlanner::OnBatch(const std::vector<RequestId>& batch,
-                                   double now) {
+                                   double now, WindowEpoch /*epoch*/) {
   // The simulation owns the windowing on this path; bypass the internal
-  // buffer and plan the window as one batch at its close.
+  // buffer and plan the window as one batch at its close. The baseline
+  // keeps no cross-window state, so the epoch is unused.
   batch_open_ = false;
   buffer_ = batch;
   FlushBatch(now);

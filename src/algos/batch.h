@@ -38,7 +38,8 @@ class BatchBaselinePlanner : public BatchPlanner {
                        int max_group_size = 3);
 
   WorkerId OnRequest(const Request& r) override;
-  void OnBatch(const std::vector<RequestId>& batch, double now) override;
+  void OnBatch(const std::vector<RequestId>& batch, double now,
+               WindowEpoch epoch) override;
   void Finalize(double budget_seconds) override;
   std::string_view name() const override { return "batch"; }
   std::int64_t index_memory_bytes() const override {

@@ -28,6 +28,16 @@ double DecisionLowerBound(const Worker& worker, const Route& route,
                           const RouteState& st, const Request& r, double L,
                           const RoadNetwork& graph);
 
+/// Reference implementation computing every Euclidean bound on demand
+/// with per-position calls into the graph (the pre-column code path).
+/// DecisionLowerBound gathers the same bounds as two flat per-request
+/// columns over RouteState::pts first — identical arithmetic per element,
+/// so the two are bit-identical (asserted by decision_test's fuzz;
+/// bench_hotpath times both as the before/after).
+double DecisionLowerBoundReference(const Worker& worker, const Route& route,
+                                   const RouteState& st, const Request& r,
+                                   double L, const RoadNetwork& graph);
+
 }  // namespace urpsm
 
 #endif  // URPSM_SRC_CORE_DECISION_H_

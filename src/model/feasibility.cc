@@ -45,10 +45,15 @@ void BuildRouteState(const Route& route, PlanningContext* ctx,
   st.ddl.resize(size);
   st.slack.resize(size);
   st.picked.resize(size);
+  st.pts.resize(size);
 
   st.arr[0] = route.anchor_time();
   st.ddl[0] = kInf;
   st.picked[0] = route.OnboardAtAnchor(*ctx);
+  const RoadNetwork& graph = ctx->graph();
+  for (int k = 0; k <= st.n; ++k) {
+    st.pts[static_cast<std::size_t>(k)] = graph.coord(route.VertexAt(k));
+  }
 
   for (int k = 1; k <= st.n; ++k) {
     const auto ks = static_cast<std::size_t>(k);

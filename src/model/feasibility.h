@@ -111,6 +111,12 @@ struct RouteState {
   std::vector<double> ddl;
   std::vector<double> slack;
   std::vector<int> picked;
+  /// pts[k] — coordinate of the vertex at route position k (the flat
+  /// coordinate column the decision phase gathers its per-request
+  /// Euclidean lower bounds from, instead of chasing VertexAt(k) through
+  /// the stop list per position). Rebuilt with the rest of the state, so
+  /// the fleet's per-worker cache amortizes it across requests.
+  std::vector<Point> pts;
 };
 
 /// Builds the auxiliary arrays for `route`. Uses only the route's cached

@@ -19,7 +19,38 @@ FleetShards::FleetShards(const Fleet* fleet, Point lo, Point hi,
   members_.resize(static_cast<std::size_t>(num_shards_));
   mutexes_ = std::make_unique<std::mutex[]>(
       static_cast<std::size_t>(num_shards_));
+  committed_epoch_.assign(static_cast<std::size_t>(num_shards_), 0);
   Rebuild();
+}
+
+void FleetShards::WaitCommitted(int s, std::uint64_t epoch) const {
+  std::unique_lock<std::mutex> lock(epoch_mu_);
+  epoch_cv_.wait(lock, [&] {
+    return committed_epoch_[static_cast<std::size_t>(s)] >= epoch;
+  });
+}
+
+void FleetShards::MarkCommitted(int s, std::uint64_t epoch) {
+  {
+    const std::lock_guard<std::mutex> lock(epoch_mu_);
+    auto& mark = committed_epoch_[static_cast<std::size_t>(s)];
+    if (mark >= epoch) return;
+    mark = epoch;
+  }
+  epoch_cv_.notify_all();
+}
+
+void FleetShards::MarkAllCommitted(std::uint64_t epoch) {
+  {
+    const std::lock_guard<std::mutex> lock(epoch_mu_);
+    for (auto& mark : committed_epoch_) mark = std::max(mark, epoch);
+  }
+  epoch_cv_.notify_all();
+}
+
+std::uint64_t FleetShards::CommittedEpoch(int s) const {
+  const std::lock_guard<std::mutex> lock(epoch_mu_);
+  return committed_epoch_[static_cast<std::size_t>(s)];
 }
 
 int FleetShards::ShardOfPoint(const Point& p) const {

@@ -1,6 +1,8 @@
 #ifndef URPSM_SRC_PARALLEL_FLEET_SHARDS_H_
 #define URPSM_SRC_PARALLEL_FLEET_SHARDS_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -62,6 +64,32 @@ class FleetShards {
   /// Shard of an arbitrary point's region (exposed for tests).
   int ShardOfPoint(const Point& p) const;
 
+  // ---- Cross-window readiness (the pipelined engine's dependency graph).
+  //
+  // Each shard carries the epoch of the last dispatch window whose commit
+  // stage can no longer touch it. The commit stage marks shards as their
+  // last dependent proposal applies (and every shard when the window is
+  // fully committed); the planning stage of the NEXT window blocks in
+  // WaitCommitted before advancing a shard's workers — so window k+1's
+  // per-shard ADVANCE starts as soon as window k released that shard,
+  // not when window k finished globally. (The later filter/decision/
+  // planning phases still need every shard advanced — see the
+  // PipelinedBatchPlanner contract — and the advance iterates shards in
+  // fixed order for determinism, so a late release of a low-numbered
+  // shard serializes the tail.) Epochs start at 0, so waiting on epoch 0
+  // is always satisfied (the non-pipelined OnBatch path relies on that).
+
+  /// Blocks until shard `s` has been released by window `epoch`'s commit
+  /// stage (no-op when already released or epoch == 0).
+  void WaitCommitted(int s, std::uint64_t epoch) const;
+  /// Marks shard `s` as released by window `epoch`. Monotone: a smaller
+  /// epoch than the current mark is ignored.
+  void MarkCommitted(int s, std::uint64_t epoch);
+  /// Marks every shard released by window `epoch` (end of a commit stage).
+  void MarkAllCommitted(std::uint64_t epoch);
+  /// Last epoch shard `s` was released by (locked read; for tests).
+  std::uint64_t CommittedEpoch(int s) const;
+
  private:
   const Fleet* fleet_;
   Point lo_;
@@ -72,6 +100,13 @@ class FleetShards {
   std::vector<int> shard_of_;                // worker id -> shard
   std::vector<std::vector<WorkerId>> members_;  // shard -> worker ids
   std::unique_ptr<std::mutex[]> mutexes_;
+
+  // Epoch tracker state: one mark per shard behind a single mutex — marks
+  // and waits happen at most a few times per shard per window, far off
+  // the per-candidate hot path, so striping would buy nothing.
+  mutable std::mutex epoch_mu_;
+  mutable std::condition_variable epoch_cv_;
+  std::vector<std::uint64_t> committed_epoch_;
 };
 
 }  // namespace urpsm

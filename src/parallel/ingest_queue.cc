@@ -1,0 +1,63 @@
+#include "src/parallel/ingest_queue.h"
+
+#include <algorithm>
+
+namespace urpsm {
+
+IngestQueue::IngestQueue(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+bool IngestQueue::Push(const Arrival& a) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (q_.size() >= capacity_ && !cancelled_) {
+    ++backpressure_waits_;
+    not_full_.wait(lock, [&] { return q_.size() < capacity_ || cancelled_; });
+  }
+  if (cancelled_) return false;
+  q_.push_back(a);
+  ++pushed_;
+  max_depth_ = std::max(max_depth_, q_.size());
+  not_empty_.notify_one();
+  return true;
+}
+
+bool IngestQueue::Pop(Arrival* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_empty_.wait(lock, [&] { return !q_.empty() || closed_ || cancelled_; });
+  if (cancelled_ || q_.empty()) return false;
+  *out = q_.front();
+  q_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void IngestQueue::Close() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_empty_.notify_all();
+}
+
+void IngestQueue::Cancel() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cancelled_ = true;
+  q_.clear();
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t IngestQueue::max_depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+std::int64_t IngestQueue::total_pushed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+std::int64_t IngestQueue::backpressure_waits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return backpressure_waits_;
+}
+
+}  // namespace urpsm

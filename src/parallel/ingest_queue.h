@@ -1,0 +1,84 @@
+#ifndef URPSM_SRC_PARALLEL_INGEST_QUEUE_H_
+#define URPSM_SRC_PARALLEL_INGEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "src/model/types.h"
+
+namespace urpsm {
+
+/// One time-stamped request arrival flowing through the ingest stage.
+struct Arrival {
+  RequestId id = kInvalidRequest;
+  double release_time = 0.0;  // simulated minutes (the request's release)
+  /// Wall-clock enqueue instant, stamped by the producer; the consumer
+  /// derives the per-arrival ingest-stage latency (queue wait) from it.
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+/// Bounded MPSC arrival queue decoupling the ingest stage from the
+/// planning stage of the pipelined dispatch engine.
+///
+/// Producers Push time-stamped arrivals; the single consumer Pops them in
+/// FIFO order and assembles dispatch windows. The queue is *bounded*:
+/// Push blocks while the queue is full (backpressure — arrivals are never
+/// dropped, the producer is slowed instead), which caps the memory an
+/// ingest burst can pin while a window is mid-plan. Close() ends the
+/// stream (Pop drains the remainder, then returns false); Cancel() aborts
+/// it from the consumer side (blocked producers wake and Push returns
+/// false — the wall-limit kill-switch path).
+///
+/// The implementation is a mutex + two condition variables around a
+/// deque: arrivals are tiny and the per-window consumer amortizes any
+/// locking cost over whole batches, so lock-free machinery would buy
+/// nothing here while costing the simple blocking backpressure semantics.
+class IngestQueue {
+ public:
+  explicit IngestQueue(std::size_t capacity);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  /// Enqueues one arrival, blocking while the queue is at capacity.
+  /// Returns false — without enqueuing — once the queue is cancelled.
+  bool Push(const Arrival& a);
+
+  /// Dequeues the oldest arrival, blocking while the queue is empty and
+  /// still open. Returns false when the stream ended: cancelled, or
+  /// closed with nothing left to drain.
+  bool Pop(Arrival* out);
+
+  /// Producer side is done; consumers drain the remainder.
+  void Close();
+  /// Aborts the stream: wakes blocked producers and consumers, Push and
+  /// Pop return false from now on (pending arrivals are discarded).
+  void Cancel();
+
+  std::size_t capacity() const { return capacity_; }
+  /// Deepest the queue ever got (backlog high-water mark).
+  std::size_t max_depth() const;
+  /// Arrivals accepted over the queue's lifetime.
+  std::int64_t total_pushed() const;
+  /// Push calls that had to block on a full queue (backpressure events).
+  std::int64_t backpressure_waits() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<Arrival> q_;
+  bool closed_ = false;
+  bool cancelled_ = false;
+  std::size_t max_depth_ = 0;
+  std::int64_t pushed_ = 0;
+  std::int64_t backpressure_waits_ = 0;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_PARALLEL_INGEST_QUEUE_H_

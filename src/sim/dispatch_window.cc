@@ -1,9 +1,9 @@
 #include "src/sim/dispatch_window.h"
 
 #include <algorithm>
+#include <cassert>
+#include <thread>
 #include <utility>
-
-#include "src/insertion/insertion.h"
 
 namespace urpsm {
 
@@ -32,11 +32,15 @@ DispatchWindowPlanner::~DispatchWindowPlanner() {
 void DispatchWindowPlanner::ForEach(
     std::size_t n, const std::function<void(std::int64_t)>& body) {
   // Purely an execution choice (the per-task work is fixed): tiny task
-  // counts run inline rather than paying the pool wakeup.
+  // counts run inline rather than paying the pool wakeup. Grain stays 1:
+  // the cursor claims indices monotonically, which the per-request
+  // dependency chains rely on (every decision task is claimed — hence
+  // running to completion on some thread — before any planning task is,
+  // so a planning task's bounded wait always terminates).
   const bool worth_fanning =
       pool_ != nullptr && pool_->num_threads() > 1 && n >= 2;
   if (worth_fanning) {
-    pool_->ParallelFor(0, static_cast<std::int64_t>(n), body);
+    pool_->ParallelFor(0, static_cast<std::int64_t>(n), body, /*grain=*/1);
   } else {
     for (std::size_t i = 0; i < n; ++i) body(static_cast<std::int64_t>(i));
   }
@@ -54,19 +58,20 @@ void DispatchWindowPlanner::PlanAndApplySingle(const Request& r, double now) {
   if (candidates.empty()) return;
   for (const WorkerId w : candidates) fleet_->Touch(w, now);
   Proposal p;
-  if (PlanSequential(r, candidates, &p)) {
+  if (PlanSequential(r, candidates, &p, &exact_evaluations_)) {
     fleet_->ApplyInsertion(p.worker, r, p.i, p.j, ctx_->oracle());
   }
 }
 
 bool DispatchWindowPlanner::PlanSequential(
-    const Request& r, const std::vector<WorkerId>& candidates, Proposal* out) {
+    const Request& r, const std::vector<WorkerId>& candidates, Proposal* out,
+    std::int64_t* evals) {
   // Funnels through the one shared sequential scan, so singleton batches
   // and conflict replans can never drift from GreedyDpPlanner::OnRequest.
   const double L = ctx_->DirectDist(r.id);
   InsertionCandidate best;
   const WorkerId best_worker = PlanRequestSequential(
-      ctx_, fleet_, config_, r, L, candidates, &best, &exact_evaluations_);
+      ctx_, fleet_, config_, r, L, candidates, &best, evals);
   if (best_worker == kInvalidWorker) return false;
   out->request = r.id;
   out->worker = best_worker;
@@ -78,29 +83,72 @@ bool DispatchWindowPlanner::PlanSequential(
 }
 
 void DispatchWindowPlanner::OnBatch(const std::vector<RequestId>& batch,
-                                    double now) {
+                                    double now, WindowEpoch epoch) {
   // Singleton fast path (the window = 0 / per-request mode): literally
   // the sequential planner's filter + touch + shared scan, which is what
-  // the bit-identity contract promises anyway.
-  if (batch.size() == 1) {
-    PlanAndApplySingle(ctx_->request(batch.front()), now);
+  // the bit-identity contract promises anyway. The epoch is still
+  // released so a later window's advance gate cannot starve.
+  if (batch.size() <= 1) {
+    if (!batch.empty()) PlanAndApplySingle(ctx_->request(batch.front()), now);
+    shards_->MarkAllCommitted(epoch);
     return;
   }
+  WindowSlot& slot = slots_[epoch % 2];
+  PlanInto(&slot, batch, now, epoch, /*self_advance=*/false);
+  CommitSlot(&slot);
+}
 
-  // ---- 1. Prep (driver): filters, candidates, touches.
-  struct Prep {
-    const Request* r = nullptr;
-    double L = 0.0;
-    std::vector<WorkerId> candidates;
-    std::vector<double> lbs;  // aligned with candidates, kInf = infeasible
-    std::vector<WorkerBound> bounds;
-    std::vector<std::size_t> order;  // scan order into bounds
-    bool alive = false;
-  };
-  std::vector<Prep> preps(batch.size());
+void DispatchWindowPlanner::PlanWindow(const std::vector<RequestId>& batch,
+                                       double now, WindowEpoch epoch) {
+  // The pipelined mode funnels even singleton windows through the full
+  // plan/commit split: PlanAndApplySingle mutates the fleet, which the
+  // planning stage must not do while the previous commit is in flight.
+  PlanInto(&slots_[epoch % 2], batch, now, epoch, /*self_advance=*/true);
+}
+
+void DispatchWindowPlanner::CommitWindow(WindowEpoch epoch) {
+  WindowSlot& slot = slots_[epoch % 2];
+  assert(slot.epoch == epoch && "CommitWindow out of order");
+  CommitSlot(&slot);
+}
+
+void DispatchWindowPlanner::PlanInto(WindowSlot* slot,
+                                     const std::vector<RequestId>& batch,
+                                     double now, WindowEpoch epoch,
+                                     bool self_advance) {
+  const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
+
+  // ---- 1. Advance gate: shard by shard, in fixed shard order, each as
+  // soon as the previous window's commit stage releases it. The fixed
+  // shard-then-worker order keeps every cross-worker accumulation
+  // (committed distance, heap pushes, grid moves) deterministic no matter
+  // how the commit stage interleaves. In the fused (OnBatch) mode the
+  // previous window committed synchronously, so the waits return
+  // immediately and the simulator has already advanced the fleet.
+  const WindowEpoch prev = epoch == 0 ? 0 : epoch - 1;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    shards_->WaitCommitted(static_cast<int>(s), prev);
+    if (self_advance) {
+      for (const WorkerId w : shards_->workers_in(static_cast<int>(s))) {
+        fleet_->AdvanceWorkerTo(w, now);
+      }
+    }
+  }
+
+  slot->epoch = epoch;
+  slot->now = now;
+
+  // ---- 2. Prep: filters, candidates, touches. Prep elements are reused
+  // across the slot's windows (no clear() — that would free every inner
+  // buffer): fields are either overwritten below or explicitly reset,
+  // so shard/lbs/bounds keep their capacity warm on the planning
+  // thread's critical path.
+  std::vector<Prep>& preps = slot->preps;
+  preps.resize(batch.size());
   touched_.assign(static_cast<std::size_t>(fleet_->size()), 0);
   for (std::size_t b = 0; b < batch.size(); ++b) {
     Prep& p = preps[b];
+    p.alive = false;
     p.r = &ctx_->request(batch[b]);
     const Request& r = *p.r;
     p.L = ctx_->DirectDist(r.id);
@@ -118,55 +166,60 @@ void DispatchWindowPlanner::OnBatch(const std::vector<RequestId>& batch,
     }
   }
   // Anchors may have moved while committing due stops; shard membership
-  // reflects the post-touch positions for the rest of the window.
+  // reflects the post-advance positions for the rest of the window. (The
+  // previous window has fully committed by now — the advance gate's last
+  // wait saw every shard released — so no concurrent reader exists.)
   shards_->Rebuild();
 
-  // ---- 2. Decision phase: one task per (request, candidate shard).
-  struct ShardTask {
-    std::size_t req = 0;                     // index into preps
-    std::vector<std::size_t> positions;      // into candidates (phase 2:
-                                             // into order)
-    InsertionCandidate best;                 // phase 2 result
-    std::size_t best_pos = 0;                // scan position of `best`
-    WorkerId best_worker = kInvalidWorker;
-    std::int64_t evals = 0;
-  };
-  const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
-  std::vector<std::vector<std::size_t>> by_shard(shard_count);
-  std::vector<ShardTask> tasks;
-  const auto flush_groups = [&](std::size_t req) {
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      if (by_shard[s].empty()) continue;
-      tasks.push_back({req, std::move(by_shard[s]), {}, 0, kInvalidWorker, 0});
-      by_shard[s].clear();
-    }
-  };
+  // ---- 3+4. Decision + planning as per-request dependency chains: one
+  // ShardTask per (request, candidate shard) serves BOTH passes. The
+  // combined index space is [0, T) decision tasks then [T, 2T) planning
+  // tasks; a planning task spins until its request's decision chain
+  // completed (bounded: all decision tasks are claimed first — see
+  // ForEach). The request's rejection test + scan order run exactly once,
+  // on the thread that finished its last decision task.
+  std::vector<ShardTask>& tasks = slot->tasks;
+  tasks.clear();
+  std::vector<std::vector<std::size_t>>& by_shard = by_shard_;
+  by_shard.resize(shard_count);  // buckets are left empty between windows
   for (std::size_t b = 0; b < preps.size(); ++b) {
     Prep& p = preps[b];
     if (!p.alive) continue;
     p.lbs.assign(p.candidates.size(), kInf);
+    p.shard.resize(p.candidates.size());
+    p.bounds.clear();  // reused element: stale decision arrays from the
+    p.order.clear();   // slot's previous window must not leak in
     for (std::size_t k = 0; k < p.candidates.size(); ++k) {
-      by_shard[static_cast<std::size_t>(shards_->ShardOf(p.candidates[k]))]
-          .push_back(k);
+      const int s = shards_->ShardOf(p.candidates[k]);
+      p.shard[k] = s;
+      by_shard[static_cast<std::size_t>(s)].push_back(k);
     }
-    flush_groups(b);
+    p.task_begin = tasks.size();
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (by_shard[s].empty()) continue;
+      tasks.push_back({b, static_cast<int>(s), std::move(by_shard[s]),
+                       {}, {}, 0, kInvalidWorker, 0});
+      by_shard[s].clear();
+    }
+    p.task_end = tasks.size();
   }
-  ForEach(tasks.size(), [&](std::int64_t t) {
-    ShardTask& task = tasks[static_cast<std::size_t>(t)];
-    Prep& p = preps[task.req];
-    for (const std::size_t k : task.positions) {
-      const WorkerId w = p.candidates[k];
-      const Route& route = fleet_->route(w);
-      const RouteState& st = fleet_->CachedState(w, ctx_);
-      p.lbs[k] = DecisionLowerBound(fleet_->worker(w), route, st, *p.r, p.L,
-                                    ctx_->graph());
-    }
-  });
 
-  // ---- 3. Rejection + scan order (driver), in candidate order — the
-  // same bounds array and permutation the sequential planner derives.
-  for (Prep& p : preps) {
-    if (!p.alive) continue;
+  std::vector<std::atomic<int>> pending(preps.size());
+  std::vector<std::atomic<std::uint8_t>> decided(preps.size());
+  for (std::size_t b = 0; b < preps.size(); ++b) {
+    pending[b].store(0, std::memory_order_relaxed);
+    decided[b].store(preps[b].alive ? 0 : 1, std::memory_order_relaxed);
+  }
+  for (const ShardTask& task : tasks) {
+    pending[task.req].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Rejection + scan order for one request, in candidate order — the
+  // same bounds array and permutation the sequential planner derives —
+  // followed by distributing the scan positions onto the request's shard
+  // tasks (so each planning task walks only its own share of the order).
+  const auto finish_decision = [&](std::size_t b) {
+    Prep& p = preps[b];
     double min_lb = kInf;
     p.bounds.reserve(p.candidates.size());
     for (std::size_t k = 0; k < p.candidates.size(); ++k) {
@@ -176,36 +229,58 @@ void DispatchWindowPlanner::OnBatch(const std::vector<RequestId>& batch,
     }
     if (p.bounds.empty() || p.r->penalty < config_.alpha * min_lb) {
       p.alive = false;  // rejection is final (Def. 5)
-      continue;
+    } else {
+      p.order = AscendingLowerBoundOrder(p.bounds);
+      for (std::size_t pos = 0; pos < p.order.size(); ++pos) {
+        const int s = shards_->ShardOf(p.bounds[p.order[pos]].worker);
+        for (std::size_t t = p.task_begin; t < p.task_end; ++t) {
+          if (tasks[t].shard == s) {
+            tasks[t].plan_positions.push_back(pos);
+            break;
+          }
+        }
+      }
     }
-    p.order = AscendingLowerBoundOrder(p.bounds);
-  }
+    decided[b].store(1, std::memory_order_release);
+  };
 
-  // ---- 4. Planning phase: per (request, shard) exact evaluations in the
-  // global scan order, shard-local Lemma 8 cutoff.
-  tasks.clear();
-  for (std::size_t b = 0; b < preps.size(); ++b) {
-    Prep& p = preps[b];
-    if (!p.alive) continue;
-    for (std::size_t pos = 0; pos < p.order.size(); ++pos) {
-      const WorkerId w = p.bounds[p.order[pos]].worker;
-      by_shard[static_cast<std::size_t>(shards_->ShardOf(w))].push_back(pos);
+  const std::size_t t_count = tasks.size();
+  ForEach(2 * t_count, [&](std::int64_t i) {
+    if (i < static_cast<std::int64_t>(t_count)) {
+      // Decision pass of one (request, shard) task.
+      ShardTask& task = tasks[static_cast<std::size_t>(i)];
+      Prep& p = preps[task.req];
+      for (const std::size_t k : task.members) {
+        const WorkerId w = p.candidates[k];
+        const Route& route = fleet_->route(w);
+        const RouteState& st = fleet_->CachedState(w, ctx_);
+        p.lbs[k] = DecisionLowerBound(fleet_->worker(w), route, st, *p.r, p.L,
+                                      ctx_->graph());
+      }
+      if (pending[task.req].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        finish_decision(task.req);
+      }
+      return;
     }
-    flush_groups(b);
-  }
-  ForEach(tasks.size(), [&](std::int64_t t) {
-    ShardTask& task = tasks[static_cast<std::size_t>(t)];
+    // Planning pass of the matching task: wait for the request's decision
+    // chain, then scan this shard's candidates in the global scan order
+    // with the shard-local Lemma 8 cutoff. The cutoff is lossless (the
+    // epsilon guard never prunes a candidate that could beat or tie this
+    // shard's best), so the cross-shard merge still finds the winner.
+    ShardTask& task = tasks[static_cast<std::size_t>(
+        i - static_cast<std::int64_t>(t_count))];
     const Prep& p = preps[task.req];
-    for (const std::size_t pos : task.positions) {
+    while (decided[task.req].load(std::memory_order_acquire) == 0) {
+      std::this_thread::yield();
+    }
+    if (!p.alive) return;
+    for (const std::size_t pos : task.plan_positions) {
       const std::size_t k = p.order[pos];
-      // Shard-local cutoff: lossless (the epsilon guard never prunes a
-      // candidate that could beat or tie this shard's best), so the
-      // cross-shard merge below still finds the global winner.
+      const WorkerId w = p.bounds[k].worker;
       if (config_.use_pruning && task.best.feasible() &&
           LemmaEightCutoff(task.best.delta, p.bounds[k].lower_bound)) {
         break;
       }
-      const WorkerId w = p.bounds[k].worker;
       ++task.evals;
       const InsertionCandidate cand =
           LinearDpInsertion(fleet_->worker(w), fleet_->route(w),
@@ -219,10 +294,13 @@ void DispatchWindowPlanner::OnBatch(const std::vector<RequestId>& batch,
   });
 
   // ---- Merge winners per request: minimum (delta, scan position) over
-  // shards == the sequential scan's first strict improvement (ties on the
-  // exact cost go to the earliest candidate in the shared scan order).
-  std::vector<Proposal> proposals(preps.size());
-  std::vector<std::size_t> best_pos_of(preps.size(), 0);
+  // shard tasks == the sequential scan's first strict improvement (ties
+  // on the exact cost go to the earliest candidate in the shared scan
+  // order). A lexicographic minimum, so the merge order is immaterial.
+  std::vector<Proposal>& proposals = slot->proposals;
+  proposals.assign(preps.size(), Proposal{});
+  std::vector<std::size_t>& best_pos_of = best_pos_of_;
+  best_pos_of.assign(preps.size(), 0);
   for (const ShardTask& task : tasks) {
     exact_evaluations_ += task.evals;
     if (!task.best.feasible()) continue;
@@ -240,9 +318,9 @@ void DispatchWindowPlanner::OnBatch(const std::vector<RequestId>& batch,
     }
   }
 
-  // ---- 5. Conflict resolution: apply in unified-cost-then-id order.
-  std::vector<std::size_t> accepted;
-  accepted.reserve(preps.size());
+  // ---- Apply order + shard release schedule for the commit stage.
+  std::vector<std::size_t>& accepted = slot->accepted;
+  accepted.clear();
   for (std::size_t b = 0; b < preps.size(); ++b) {
     Prep& p = preps[b];
     if (!p.alive || proposals[b].worker == kInvalidWorker) continue;
@@ -261,26 +339,59 @@ void DispatchWindowPlanner::OnBatch(const std::vector<RequestId>& batch,
               if (pa.delta != pb.delta) return pa.delta < pb.delta;
               return pa.request < pb.request;
             });
-  for (const std::size_t b : accepted) {
-    Proposal& p = proposals[b];
-    const Request& r = *preps[b].r;
+  // A shard is released once the last accepted proposal whose request
+  // could touch it — directly or through a conflict replan over ANY of
+  // its candidates — has retired. Later writes win, so ascending apply
+  // order leaves the maximum index per shard.
+  slot->release_at.assign(shard_count, -1);
+  for (std::size_t idx = 0; idx < accepted.size(); ++idx) {
+    for (const int s : preps[accepted[idx]].shard) {
+      slot->release_at[static_cast<std::size_t>(s)] =
+          static_cast<std::ptrdiff_t>(idx);
+    }
+  }
+}
+
+void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
+  const WindowEpoch epoch = slot->epoch;
+  const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
+  // Shards no accepted proposal can touch are free for the next window
+  // before any apply work happens.
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (slot->release_at[s] < 0) {
+      shards_->MarkCommitted(static_cast<int>(s), epoch);
+    }
+  }
+  std::int64_t evals = 0, replans = 0;
+  for (std::size_t idx = 0; idx < slot->accepted.size(); ++idx) {
+    const std::size_t b = slot->accepted[idx];
+    Proposal& p = slot->proposals[b];
+    const Request& r = *slot->preps[b].r;
     if (fleet_->route(p.worker).version() == p.route_version) {
       // Still the fleet snapshot the proposal was computed against (for
       // this worker): feasibility and delta hold verbatim.
       fleet_->ApplyInsertion(p.worker, r, p.i, p.j, ctx_->oracle());
-      continue;
+    } else {
+      // An earlier (cheaper) batch member took this worker: replan
+      // against the updated fleet. The grid index did not move (Insert
+      // keeps anchors), so the original candidate list is still the
+      // filter's output.
+      ++replans;
+      Proposal replanned;
+      if (PlanSequential(r, slot->preps[b].candidates, &replanned, &evals)) {
+        fleet_->ApplyInsertion(replanned.worker, r, replanned.i, replanned.j,
+                               ctx_->oracle());
+      }
     }
-    // An earlier (cheaper) batch member took this worker: replan against
-    // the updated fleet. The grid index did not move (Insert keeps
-    // anchors), so the original candidate list is still the filter's
-    // output.
-    ++conflict_replans_;
-    Proposal replanned;
-    if (PlanSequential(r, preps[b].candidates, &replanned)) {
-      fleet_->ApplyInsertion(replanned.worker, r, replanned.i, replanned.j,
-                             ctx_->oracle());
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (slot->release_at[s] == static_cast<std::ptrdiff_t>(idx)) {
+        shards_->MarkCommitted(static_cast<int>(s), epoch);
+      }
     }
   }
+  shards_->MarkAllCommitted(epoch);
+  slot->commit_evals += evals;
+  slot->commit_replans += replans;
 }
 
 PlannerFactory MakeDispatchWindowFactory(PlannerConfig config) {

@@ -1,6 +1,7 @@
 #ifndef URPSM_SRC_SIM_DISPATCH_WINDOW_H_
 #define URPSM_SRC_SIM_DISPATCH_WINDOW_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -8,52 +9,65 @@
 #include <vector>
 
 #include "src/core/planner.h"
+#include "src/insertion/insertion.h"
 #include "src/parallel/fleet_shards.h"
 #include "src/parallel/thread_pool.h"
 
 namespace urpsm {
 
 /// Batched dispatch-window engine: pruneGreedyDP lifted from per-request
-/// to per-window planning with *whole-request* parallelism.
+/// to per-window planning with *whole-request* parallelism, and — in the
+/// pipelined driving mode — cross-window per-shard scheduling.
 ///
 /// The simulation buffers every request released within one dispatch
 /// window (SimOptions::batch_window_s) and hands the batch over at the
 /// window close, with the fleet advanced to that instant. The engine then
 /// plans the batch as the paper's assignment problem:
 ///
-///   1. Prep (driver): per request — direct distance, unservability and
-///      radius checks, grid-index candidate filter, Fleet::Touch of every
-///      candidate. Touching mutates fleet + index, so it stays serial.
-///   2. Decision phase (parallel): workers are partitioned into
-///      grid-region shards (FleetShards); one task per (request,
-///      candidate shard) computes that shard's decision lower bounds.
-///      Route-state cache rebuilds serialize on the shard's lock, so
-///      requests sharing candidates are race-free.
-///   3. Rejection + scan order (driver): per request, the bounds merge in
-///      candidate order — exactly the array the sequential planner builds
-///      — and Algo. 4's penalty test plus AscendingLowerBoundOrder run
-///      unchanged.
-///   4. Planning phase (parallel): one task per (request, candidate
-///      shard) evaluates the exact linear-DP insertions of its shard's
-///      candidates in the global scan order with a shard-local Lemma 8
-///      cutoff. The per-request winner is the (delta, scan-position)
-///      minimum over shards — bit-identical to the sequential pruned
-///      scan's first-strict-improvement winner, because the epsilon-
-///      guarded cutoff never prunes a candidate that could beat or tie.
-///   5. Conflict resolution (driver): proposals apply in unified-cost-
-///      then-request-id order. A proposal whose worker's route changed
-///      under it (an earlier batch member won the same worker) is
-///      replanned sequentially against the updated fleet; rejections
-///      stay final (Def. 5).
+///   1. Advance gate (per shard): in the pipelined mode each shard's
+///      workers are advanced to the window close as soon as the previous
+///      window's commit stage releases that shard (FleetShards epoch
+///      marks) — a shard task of window k+1 starts while distant shards
+///      still commit window k. In the windowed mode the simulator has
+///      already advanced the fleet and the gates are trivially open.
+///   2. Prep (planning thread): per request — direct distance,
+///      unservability and radius checks, grid-index candidate filter,
+///      Fleet::Touch of every candidate. Touching mutates fleet + index,
+///      so it stays serial.
+///   3. Decision + planning (parallel, per-request dependency chains):
+///      workers are partitioned into grid-region shards (FleetShards);
+///      one task per (request, candidate shard). A request's planning
+///      tasks start the moment its OWN decision tasks finish — there is
+///      no global phase barrier across requests. The rejection test
+///      (Algo. 4) and AscendingLowerBoundOrder run on whichever thread
+///      completed the request's last decision task; both are pure
+///      functions of the bounds, so the results are schedule-independent.
+///      Planning tasks evaluate the exact linear-DP insertions of their
+///      shard's candidates in the global scan order with a shard-local
+///      Lemma 8 cutoff.
+///   4. Merge (planning thread): the per-request winner is the (delta,
+///      scan-position) minimum over shard tasks — bit-identical to the
+///      sequential pruned scan's first-strict-improvement winner, because
+///      the epsilon-guarded cutoff never prunes a candidate that could
+///      beat or tie, and lexicographic min is merge-order independent.
+///   5. Commit (commit stage): proposals apply in unified-cost-then-
+///      request-id order. A proposal whose worker's route changed under
+///      it (an earlier batch member won the same worker) is replanned
+///      sequentially against the updated fleet; rejections stay final
+///      (Def. 5). As the last proposal (or potential replan) that could
+///      touch a shard retires, the shard is released for the next
+///      window's advance gate.
 ///
-/// Determinism: tasks are pure functions of the frozen fleet, task
-/// decomposition depends only on structural constants (never the thread
-/// count), merges happen in fixed orders on the driver, and conflicts
-/// resolve in a total order — so for any window length the results are
-/// bit-identical across thread counts, and a window of 0 (the simulator
-/// then drives OnRequest per release, i.e. singleton batches at release
-/// time) reproduces the sequential pruneGreedyDP run exactly.
-class DispatchWindowPlanner : public BatchPlanner {
+/// Determinism: tasks are pure functions of the fleet snapshot the
+/// previous commit left behind, task decomposition depends only on
+/// structural constants (never the thread count), merges are
+/// order-independent lexicographic minima, conflicts resolve in a total
+/// order, and the pipelined advance executes in fixed shard-then-worker
+/// order on one thread — so for any window length the results are
+/// bit-identical across thread counts (and across ingest-queue
+/// capacities), and a window of 0 (the simulator then drives OnRequest
+/// per release) reproduces the sequential pruneGreedyDP run exactly.
+class DispatchWindowPlanner : public PipelinedBatchPlanner {
  public:
   /// `pool` is borrowed and may be nullptr (phases then run inline).
   DispatchWindowPlanner(PlanningContext* ctx, Fleet* fleet,
@@ -62,7 +76,14 @@ class DispatchWindowPlanner : public BatchPlanner {
 
   /// Singleton batch at the release time — the window = 0 semantics.
   WorkerId OnRequest(const Request& r) override;
-  void OnBatch(const std::vector<RequestId>& batch, double now) override;
+  /// The windowed (non-pipelined) mode: plan + commit fused on the
+  /// calling thread. Exactly PlanWindow(without self-advance) followed by
+  /// CommitWindow — the pipelined split shares this one implementation.
+  void OnBatch(const std::vector<RequestId>& batch, double now,
+               WindowEpoch epoch) override;
+  void PlanWindow(const std::vector<RequestId>& batch, double now,
+                  WindowEpoch epoch) override;
+  void CommitWindow(WindowEpoch epoch) override;
   std::string_view name() const override {
     return config_.use_pruning ? "windowPruneGreedyDP" : "windowGreedyDP";
   }
@@ -70,12 +91,21 @@ class DispatchWindowPlanner : public BatchPlanner {
     return index_->MemoryBytes();
   }
 
-  /// Exact linear-DP evaluations performed. Thread-count independent for
-  /// a fixed window length (the task decomposition is structural).
-  std::int64_t exact_evaluations() const { return exact_evaluations_; }
+  /// Exact linear-DP evaluations performed (including commit-stage
+  /// replans). Thread-count independent for a fixed window length (the
+  /// task decomposition is structural). Read only after the run
+  /// quiesced — the commit stage contributes while a window is in flight.
+  std::int64_t exact_evaluations() const {
+    return exact_evaluations_ + slots_[0].commit_evals +
+           slots_[1].commit_evals;
+  }
   /// Proposals that lost their worker to an earlier batch member and went
-  /// through the sequential replanning path.
-  std::int64_t conflict_replans() const { return conflict_replans_; }
+  /// through the sequential replanning path. Quiescent read, as above.
+  std::int64_t conflict_replans() const {
+    return slots_[0].commit_replans + slots_[1].commit_replans;
+  }
+  /// The engine's shard partition (epoch marks are inspectable in tests).
+  const FleetShards& shards() const { return *shards_; }
 
  private:
   /// A request's chosen insertion against a fleet snapshot, keyed by the
@@ -89,15 +119,79 @@ class DispatchWindowPlanner : public BatchPlanner {
     std::uint64_t route_version = 0;
   };
 
+  /// Per-request window state (filter output + decision arrays).
+  struct Prep {
+    const Request* r = nullptr;
+    double L = 0.0;
+    std::vector<WorkerId> candidates;
+    std::vector<int> shard;   // aligned with candidates: ShardOf(candidate)
+    std::vector<double> lbs;  // aligned with candidates, kInf = infeasible
+    std::vector<WorkerBound> bounds;
+    std::vector<std::size_t> order;  // scan order into bounds
+    std::size_t task_begin = 0;      // this request's tasks: [begin, end)
+    std::size_t task_end = 0;
+    bool alive = false;
+  };
+
+  /// One (request, shard) task — the unit of BOTH the decision and the
+  /// planning pass (same structural decomposition, so the planning pass
+  /// scans exactly the candidates whose bounds this task produced).
+  struct ShardTask {
+    std::size_t req = 0;                 // index into preps
+    int shard = 0;
+    std::vector<std::size_t> members;    // candidate positions in shard
+    /// This shard's scan positions (into the request's order), ascending;
+    /// distributed by the request's rejection/ordering step so each
+    /// planning task walks only its own share of the scan.
+    std::vector<std::size_t> plan_positions;
+    InsertionCandidate best;             // planning result
+    std::size_t best_pos = 0;            // scan position of `best`
+    WorkerId best_worker = kInvalidWorker;
+    std::int64_t evals = 0;
+  };
+
+  /// One dispatch window in flight. Two slots double-buffer the pipeline:
+  /// while window k's slot sits in the commit stage, window k+1 plans
+  /// into the other. Slot reuse is safe without further synchronization
+  /// because PlanWindow(k+2)'s advance gate cannot open before window
+  /// k+1 — and therefore window k, whose slot it reuses — fully
+  /// committed.
+  struct WindowSlot {
+    WindowEpoch epoch = 0;
+    double now = 0.0;
+    std::vector<Prep> preps;
+    std::vector<ShardTask> tasks;
+    std::vector<Proposal> proposals;
+    std::vector<std::size_t> accepted;  // apply order (cost, then id)
+    /// Per shard: index into `accepted` after whose retirement the shard
+    /// can be released to the next window (-1 = untouched, release at
+    /// commit start).
+    std::vector<std::ptrdiff_t> release_at;
+    // Commit-stage counters, cumulative over the slot's lifetime
+    // (written by the commit thread; read quiescently).
+    std::int64_t commit_evals = 0;
+    std::int64_t commit_replans = 0;
+  };
+
   /// Runs body over [0, n) on the pool when attached, inline otherwise.
   void ForEach(std::size_t n, const std::function<void(std::int64_t)>& body);
   /// Full sequential pruneGreedyDP pass for one request against the
   /// *current* fleet (conflict replanning). Returns false on rejection.
+  /// DP evaluations are counted into *evals (commit-stage callers pass
+  /// their slot counter, the planning thread passes its own).
   bool PlanSequential(const Request& r, const std::vector<WorkerId>& candidates,
-                      Proposal* out);
+                      Proposal* out, std::int64_t* evals);
   /// The window = 0 / singleton-batch path: filter + touch + the shared
   /// sequential scan + apply. No shard rebuild, no task machinery.
   void PlanAndApplySingle(const Request& r, double now);
+  /// Stages 1-4: fills `slot` with this window's proposals. With
+  /// `self_advance`, runs the per-shard advance gate (pipelined mode);
+  /// without, the fleet is already at `now` and only the epoch waits
+  /// (trivially satisfied in the fused mode) remain.
+  void PlanInto(WindowSlot* slot, const std::vector<RequestId>& batch,
+                double now, WindowEpoch epoch, bool self_advance);
+  /// Stage 5 on `slot`, releasing shards as their dependents retire.
+  void CommitSlot(WindowSlot* slot);
 
   PlanningContext* ctx_;
   Fleet* fleet_;
@@ -105,14 +199,20 @@ class DispatchWindowPlanner : public BatchPlanner {
   ThreadPool* pool_;
   std::unique_ptr<GridIndex> index_;
   std::unique_ptr<FleetShards> shards_;
-  std::int64_t exact_evaluations_ = 0;
-  std::int64_t conflict_replans_ = 0;
-  std::vector<std::uint8_t> touched_;  // per-window scratch, worker-indexed
+  std::int64_t exact_evaluations_ = 0;  // planning-thread evaluations
+  // Per-window scratch, planning-thread only (buffers stay warm across
+  // windows; the atomic chain counters are rebuilt per window inside
+  // PlanInto — they need fresh initialization stores anyway).
+  std::vector<std::uint8_t> touched_;               // worker-indexed
+  std::vector<std::vector<std::size_t>> by_shard_;  // shard-indexed
+  std::vector<std::size_t> best_pos_of_;            // request-indexed
+  WindowSlot slots_[2];
 };
 
 /// DispatchWindowPlanner on the simulation's pool; the windowed twin of
 /// pruneGreedyDP. Drive it with SimOptions::batch_window_s > 0 for real
-/// windows, or 0 for the bit-identical per-request mode.
+/// windows (plus SimOptions::pipeline for the three-stage pipelined
+/// loop), or 0 for the bit-identical per-request mode.
 PlannerFactory MakeDispatchWindowFactory(PlannerConfig config);
 
 }  // namespace urpsm

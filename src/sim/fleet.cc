@@ -98,6 +98,14 @@ void Fleet::Touch(WorkerId w, double t) {
   if (rt.empty() && rt.anchor_time() < t) rt.set_anchor_time(t);
 }
 
+void Fleet::AdvanceWorkerTo(WorkerId w, double t) {
+  const std::unique_lock<std::mutex> lock = MaybeLockShard(w);
+  Route& rt = routes_[static_cast<std::size_t>(w)];
+  while (!rt.empty() && rt.anchor_time() + rt.leg_costs().front() <= t) {
+    CommitFront(w);
+  }
+}
+
 void Fleet::ApplyInsertion(WorkerId w, const Request& r, int i, int j,
                            DistanceOracle* oracle) {
   const std::unique_lock<std::mutex> shard_lock = MaybeLockShard(w);

@@ -85,6 +85,17 @@ class Fleet {
   /// and, if idle, moves its clock forward to `t`.
   void Touch(WorkerId w, double t);
 
+  /// Commits worker `w`'s stops due at or before `t` — Touch without the
+  /// idle-clock bump, i.e. exactly worker `w`'s share of AdvanceTo(t).
+  /// The pipelined dispatch engine advances the fleet through this, shard
+  /// by shard, instead of the driver-only heap walk: per-worker advance
+  /// results are independent of each other, so a fixed shard-then-worker
+  /// call order reproduces AdvanceTo's end state deterministically while
+  /// individual shards advance as the previous window releases them.
+  /// Shard-locked like Touch; safe to interleave with commit-stage
+  /// mutations of workers in other shards.
+  void AdvanceWorkerTo(WorkerId w, double t);
+
   /// Applies an insertion (pickup after position i, drop-off after j) to
   /// worker `w`'s route and records the assignment.
   void ApplyInsertion(WorkerId w, const Request& r, int i, int j,

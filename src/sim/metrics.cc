@@ -16,6 +16,8 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
   avg.num_threads = reports.front().num_threads;
   const double n = static_cast<double>(reports.size());
   double served = 0.0, processed = 0.0, queries = 0.0, index_mem = 0.0;
+  double pl_windows = 0.0, pl_ingested = 0.0, pl_overlapped = 0.0,
+         pl_backpressure = 0.0;
   for (const SimReport& r : reports) {
     served += r.served_requests;
     processed += r.processed_requests;
@@ -34,6 +36,22 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
     avg.mean_pickup_wait_min += r.mean_pickup_wait_min / n;
     avg.mean_detour_ratio += r.mean_detour_ratio / n;
     avg.makespan_min = std::max(avg.makespan_min, r.makespan_min);
+    // Pipeline stage counters: means for the rates/totals, max for the
+    // backlog high-water mark (a depth mean would hide the worst burst).
+    // Integer counters accumulate below and round ONCE after the loop —
+    // rounding each term would collapse small counts (3 runs of
+    // windows = 1 would average to 0).
+    avg.pipeline.enabled = avg.pipeline.enabled || r.pipeline.enabled;
+    pl_windows += r.pipeline.windows;
+    pl_ingested += static_cast<double>(r.pipeline.ingested);
+    pl_overlapped += static_cast<double>(r.pipeline.overlapped_arrivals);
+    pl_backpressure += static_cast<double>(r.pipeline.backpressure_waits);
+    avg.pipeline.occupancy += r.pipeline.occupancy / n;
+    avg.pipeline.max_queue_depth =
+        std::max(avg.pipeline.max_queue_depth, r.pipeline.max_queue_depth);
+    avg.pipeline.ingest_wait_ms += r.pipeline.ingest_wait_ms / n;
+    avg.pipeline.plan_ms += r.pipeline.plan_ms / n;
+    avg.pipeline.commit_ms += r.pipeline.commit_ms / n;
   }
   avg.avg_response_ms = avg.response_stats.mean();
   avg.p50_response_ms = avg.response_stats.Percentile(50);
@@ -44,6 +62,13 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
   avg.distance_queries = static_cast<std::int64_t>(std::llround(queries / n));
   avg.index_memory_bytes =
       static_cast<std::int64_t>(std::llround(index_mem / n));
+  avg.pipeline.windows = static_cast<int>(std::lround(pl_windows / n));
+  avg.pipeline.ingested =
+      static_cast<std::int64_t>(std::llround(pl_ingested / n));
+  avg.pipeline.overlapped_arrivals =
+      static_cast<std::int64_t>(std::llround(pl_overlapped / n));
+  avg.pipeline.backpressure_waits =
+      static_cast<std::int64_t>(std::llround(pl_backpressure / n));
   return avg;
 }
 

@@ -11,6 +11,36 @@
 
 namespace urpsm {
 
+/// Occupancy and per-stage counters of the pipelined dispatch engine
+/// (SimOptions::pipeline). All zeros when the run used the lock-step
+/// windowed or per-request loop.
+struct PipelineStats {
+  bool enabled = false;
+  /// Dispatch windows planned (== the last window epoch).
+  int windows = 0;
+  /// Arrivals accepted by the ingest queue (== total_requests unless the
+  /// run timed out; the queue never drops — backpressure blocks instead).
+  std::int64_t ingested = 0;
+  /// Arrivals the ingest stage accepted while a window was mid-plan or
+  /// mid-commit — the overlap the pipeline exists to create.
+  std::int64_t overlapped_arrivals = 0;
+  /// overlapped_arrivals / ingested: 0 = fully lock-step, 1 = ingest
+  /// never had to wait for the planner between windows.
+  double occupancy = 0.0;
+  /// Ingest-queue backlog high-water mark (bounded by
+  /// SimOptions::ingest_capacity).
+  std::int64_t max_queue_depth = 0;
+  /// Push calls that blocked on a full queue (backpressure events).
+  std::int64_t backpressure_waits = 0;
+  /// Per-stage totals: time arrivals spent queued (ingest), wall time in
+  /// PlanWindow (plan), wall time in CommitWindow (commit). plan+commit
+  /// overlap in real time across consecutive windows, so their sum can
+  /// exceed the run's wall_seconds.
+  double ingest_wait_ms = 0.0;
+  double plan_ms = 0.0;
+  double commit_ms = 0.0;
+};
+
 /// One simulation run's results: the three headline metrics of the paper's
 /// evaluation (unified cost, served rate, response time; Sec. 6.1) plus
 /// the supporting counters it also reports (distance queries saved by the
@@ -51,6 +81,10 @@ struct SimReport {
   double mean_pickup_wait_min = 0.0;   // pickup time - release, served only
   double mean_detour_ratio = 0.0;      // (dropoff-pickup) / dis(o,d), served
   double makespan_min = 0.0;           // completion time of the last dropoff
+
+  /// Pipelined-engine stage/occupancy counters (zeros unless
+  /// SimOptions::pipeline drove the run).
+  PipelineStats pipeline;
 };
 
 /// Averages the numeric fields of several runs of the same algorithm

@@ -1,6 +1,7 @@
 #ifndef URPSM_SRC_SIM_SIMULATOR_H_
 #define URPSM_SRC_SIM_SIMULATOR_H_
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -39,6 +40,21 @@ struct SimOptions {
   /// DispatchWindowPlanner guarantees that mode is bit-identical to the
   /// sequential pruneGreedyDP run at every thread count.
   double batch_window_s = 0.0;
+  /// Pipelined three-stage engine (ingest → plan → commit). Requires
+  /// batch_window_s > 0 and a planner implementing PipelinedBatchPlanner
+  /// (the dispatch-window engine); otherwise the option is ignored and
+  /// the lock-step windowed loop runs. With pipelining, the driver thread
+  /// keeps accepting and time-stamping arrivals for window k+1 while
+  /// window k is still being planned, and window k+1's per-shard work
+  /// starts as window k's commit stage releases each shard. Results are
+  /// thread-count and queue-capacity independent for a fixed window size
+  /// (SimReport deterministic fields; wall-clock stats vary run to run).
+  bool pipeline = false;
+  /// Ingest-queue capacity (arrivals buffered ahead of planning) when
+  /// pipeline is on. The queue is bounded: a full queue blocks the
+  /// producer (backpressure) rather than dropping arrivals, so this caps
+  /// backlog memory without affecting any planning result.
+  std::size_t ingest_capacity = 4096;
 };
 
 /// Event-driven day simulation (Sec. 6.1): requests are replayed in
@@ -70,6 +86,15 @@ class Simulation {
   bool request_served(RequestId id) const;
 
  private:
+  // The three event loops Run dispatches between. Each processes the
+  // request stream, mutates the loop-specific SimReport fields
+  // (processed_requests, response samples, timed_out, pipeline stats) and
+  // returns the planning wall time consumed — the Finalize budget and
+  // kill-switch accounting are shared by all three.
+  double RunPerRequest(RoutePlanner* planner, SimReport* report);
+  double RunWindowed(BatchPlanner* batcher, SimReport* report);
+  double RunPipelined(PipelinedBatchPlanner* planner, SimReport* report);
+
   const RoadNetwork* graph_;
   DistanceOracle* oracle_;
   std::vector<Worker> workers_;

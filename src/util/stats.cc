@@ -5,46 +5,101 @@
 
 namespace urpsm {
 
+namespace {
+
+/// splitmix64: tiny, fast, and statistically fine for reservoir slot
+/// selection. Seeded with a fixed constant so retained sets — and with
+/// them AverageReports percentiles — are reproducible.
+constexpr std::uint64_t kReservoirSeed = 0x9e3779b97f4a7c15ULL;
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+StatsAccumulator::StatsAccumulator(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)),
+      rng_state_(kReservoirSeed) {}
+
+void StatsAccumulator::Offer(double x, std::uint64_t weight) {
+  weight_ += weight;
+  if (samples_.size() < capacity_) {
+    samples_.push_back(x);
+    sorted_valid_ = false;
+    return;
+  }
+  // Algorithm R: keep the newcomer with probability capacity/weight_,
+  // evicting a uniformly random slot. With weight > 1 the newcomer
+  // stands in for `weight` stream elements, so it competes at the
+  // weighted stream position — an approximation that is exact for
+  // weight == 1 and keeps merged reservoirs near-uniform otherwise.
+  const std::uint64_t slot = SplitMix64(&rng_state_) % weight_;
+  if (slot < capacity_ * weight) {
+    samples_[static_cast<std::size_t>(slot % capacity_)] = x;
+    sorted_valid_ = false;
+  }
+}
+
 void StatsAccumulator::Add(double x) {
-  samples_.push_back(x);
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
   sum_ += x;
-  sorted_ = false;
+  Offer(x, 1);
 }
 
 void StatsAccumulator::Merge(const StatsAccumulator& other) {
-  // Self-merge would insert from a vector being reallocated.
-  const std::size_t n = other.samples_.size();
-  samples_.reserve(samples_.size() + n);
-  for (std::size_t i = 0; i < n; ++i) samples_.push_back(other.samples_[i]);
+  // Self-merge would iterate a vector being mutated.
+  if (&other == this) return;
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
   sum_ += other.sum_;
-  sorted_ = false;
+  // Each retained sample represents an equal share of the other side's
+  // full stream (weight 1 while `other` never overflowed its cap).
+  const std::size_t retained = other.samples_.size();
+  const std::uint64_t base = other.count_ / retained;
+  const std::uint64_t extra = other.count_ % retained;  // spread remainder
+  for (std::size_t i = 0; i < retained; ++i) {
+    Offer(other.samples_[i], base + (i < extra ? 1 : 0));
+  }
 }
 
 double StatsAccumulator::mean() const {
-  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
-double StatsAccumulator::min() const {
-  if (samples_.empty()) return 0.0;
-  return *std::min_element(samples_.begin(), samples_.end());
-}
+double StatsAccumulator::min() const { return count_ == 0 ? 0.0 : min_; }
 
-double StatsAccumulator::max() const {
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
-}
+double StatsAccumulator::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double StatsAccumulator::Percentile(double p) const {
   if (samples_.empty()) return 0.0;
-  if (!sorted_) {
-    std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+  if (!sorted_valid_) {
+    sorted_ = samples_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
   }
-  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
   const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
   const double frac = rank - static_cast<double>(lo);
-  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
 }  // namespace urpsm

@@ -7,33 +7,85 @@
 
 namespace urpsm {
 
-/// Online accumulator for scalar samples: count/mean/min/max plus exact
-/// percentiles (samples are retained). Used by the simulator to report
-/// response-time distributions the way the paper's Figures 3–7 do.
+/// Online accumulator for scalar samples: count/sum/mean/min/max are
+/// exact; percentiles come from a *capped reservoir* of retained samples.
+/// Used by the simulator to report response-time distributions the way
+/// the paper's Figures 3–7 do.
+///
+/// Memory bound: at most `capacity` samples are ever retained
+/// (kDefaultCapacity = 64Ki doubles = 512 KiB), so million-request runs —
+/// and multi-run pooling on top of them — no longer grow without limit.
+/// Below the cap the reservoir holds every sample and percentiles are
+/// exact; above it, uniform reservoir sampling (Algorithm R) keeps each
+/// seen sample retained with equal probability, so percentile estimates
+/// stay unbiased with error O(1/sqrt(capacity)).
+///
+/// Determinism: the reservoir's replacement decisions come from a
+/// splitmix64 stream seeded by a fixed constant at construction — the
+/// same Add/Merge sequence always yields the same retained set, so
+/// AverageReports percentiles are reproducible run to run.
 class StatsAccumulator {
  public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit StatsAccumulator(std::size_t capacity = kDefaultCapacity);
+
   void Add(double x);
-  /// Adds every sample of `other` (pooling, not averaging): percentiles of
-  /// the merged accumulator are percentiles of the union of the two sample
-  /// sets. This is how multi-run reports aggregate latency distributions —
-  /// an average of per-run percentiles is not a percentile of anything.
+  /// Adds every *retained* sample of `other` (pooling, not averaging):
+  /// while the combined accumulator stays under its cap this is exact
+  /// pooling — percentiles of the merge are percentiles of the union of
+  /// the sample sets. Once capped, each of `other`'s retained samples
+  /// stands in for other.count()/other.samples().size() originals: it is
+  /// fed through the reservoir with that weight, keeping the merged
+  /// reservoir an (approximately) uniform sample of the pooled stream.
+  /// The approximation is deterministic but not merge-order invariant,
+  /// and a weighted sample can hold at most one slot — so merging runs
+  /// of wildly unequal sizes can over-represent a small early run, by at
+  /// most its retained count / capacity in absolute slot share (e.g. a
+  /// 100-sample run merged before a 1M-sample run holds <=100 of 64Ki
+  /// slots — ~0.15% — where ~0.01% would be proportional). For same-
+  /// order-of-magnitude runs (the AverageReports use: repetitions of one
+  /// setting) the skew is negligible; an exactly mergeable sketch
+  /// (t-digest/KLL) is the ROADMAP follow-up. An average of per-run
+  /// percentiles is not a percentile of anything — this is how
+  /// multi-run reports aggregate latency distributions.
   void Merge(const StatsAccumulator& other);
 
-  std::size_t count() const { return samples_.size(); }
+  /// Samples ever Added/Merged (NOT the retained count — see samples()).
+  std::size_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const;
+  /// Exact min/max over ALL seen samples (tracked online; the reservoir
+  /// may have evicted the extremes).
   double min() const;
   double max() const;
-  /// Exact p-th percentile, p in [0, 100]. Returns 0 when empty.
+  /// p-th percentile of the retained reservoir, p in [0, 100]. Exact
+  /// while count() <= capacity; an unbiased estimate beyond. Returns 0
+  /// when empty.
   double Percentile(double p) const;
-  /// The retained samples. Order is unspecified (percentile queries sort
-  /// the backing array in place).
+  /// The retained samples, in reservoir order (insertion order until the
+  /// cap, replacement order after). At most capacity() entries.
   const std::vector<double>& samples() const { return samples_; }
+  std::size_t capacity() const { return capacity_; }
 
  private:
-  mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  /// Reservoir step for one sample that stands in for `weight` originals.
+  void Offer(double x, std::uint64_t weight);
+
+  std::size_t capacity_;
+  std::size_t count_ = 0;      // all samples seen
+  std::uint64_t weight_ = 0;   // weighted stream position (== count_ until
+                               // a weighted Merge happens)
   double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t rng_state_;    // deterministic seed, fixed at construction
+  std::vector<double> samples_;
+  // Sorted scratch for percentile queries, rebuilt lazily: sorting
+  // samples_ in place would permute the reservoir's slot meaning and make
+  // the retained set depend on when Percentile was called.
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
 };
 
 }  // namespace urpsm

@@ -89,5 +89,53 @@ TEST_F(DecisionTest, TighterForCloserWorkers) {
             DecisionLowerBound(worker_, far_rt, far_st, r, L, env_.graph()));
 }
 
+TEST(DecisionColumnTest, ColumnPathBitIdenticalToReferenceFuzz) {
+  // The column-gathered DecisionLowerBound vs the on-demand reference on
+  // random routes/requests, including tight deadlines (exercising the
+  // gather cutoff) and capacity pressure: results must be EXACTLY equal —
+  // this bound feeds the engine determinism contract, so even an ulp of
+  // drift between the paths would be a bug.
+  TestEnv env(MakeGridGraph(12, 12, 0.7));
+  Rng rng(97);
+  Worker worker{0, 0, 3};
+  Route route(0, 0.0);
+  int compared = 0, finite = 0, cutoff_hit = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    if (iter % 5 == 0 && route.size() < 24) {
+      // Grow the route through a real insertion so schedules stay valid.
+      const VertexId o = rng.UniformInt(0, 143);
+      VertexId d = rng.UniformInt(0, 143);
+      if (d == o) d = (d + 1) % 144;
+      const Request grow = env.AddRequest(o, d, 0.0, 1e9, 10.0, 1);
+      const InsertionCandidate c = LinearDpInsertion(
+          worker, route, BuildRouteState(route, env.ctx()), grow, env.ctx());
+      if (c.feasible()) route.Insert(grow, c.i, c.j, env.oracle());
+    }
+    const VertexId o = rng.UniformInt(0, 143);
+    VertexId d = rng.UniformInt(0, 143);
+    if (d == o) d = (d + 1) % 144;
+    // Mix loose, tight and hopeless deadlines.
+    const double deadline =
+        iter % 3 == 0 ? rng.Uniform(0.5, 20.0) : rng.Uniform(20.0, 1e4);
+    const Request probe =
+        env.AddRequest(o, d, 0.0, deadline, 10.0, rng.UniformInt(1, 3));
+    const RouteState st = BuildRouteState(route, env.ctx());
+    const double L = env.ctx()->DirectDist(probe.id);
+    const double fast =
+        DecisionLowerBound(worker, route, st, probe, L, env.graph());
+    const double ref =
+        DecisionLowerBoundReference(worker, route, st, probe, L, env.graph());
+    EXPECT_EQ(fast, ref) << "iter " << iter << " n=" << st.n;
+    ++compared;
+    if (fast < kInf) ++finite;
+    if (!st.arr.empty() && st.arr[static_cast<std::size_t>(st.n)] > deadline) {
+      ++cutoff_hit;  // gather stopped before the end of the route
+    }
+  }
+  EXPECT_EQ(compared, 400);
+  EXPECT_GT(finite, 50);     // the fuzz really exercised feasible bounds
+  EXPECT_GT(cutoff_hit, 20);  // ...and the deadline-cutoff gather
+}
+
 }  // namespace
 }  // namespace urpsm

@@ -222,7 +222,8 @@ void CheckInvariantsAfterEveryWindow(double penalty_factor) {
       ++next;
     }
     fleet.AdvanceTo(window_end);
-    planner.OnBatch(batch, window_end);
+    planner.OnBatch(batch, window_end,
+                    static_cast<WindowEpoch>(windows + 1));
     ++windows;
     const InvariantReport inv =
         VerifyInvariants(fleet, requests, /*mid_run=*/true);
@@ -258,7 +259,7 @@ TEST(DispatchWindowConflictTest, SecondRequestReplansOntoUpdatedRoute) {
   const Request r2 = env.AddRequest(29, 31, 0.0, 1e9, 1e9);
   DispatchWindowPlanner planner(env.ctx(), &fleet, PlannerConfig{},
                                 /*pool=*/nullptr);
-  planner.OnBatch({r1.id, r2.id}, 0.0);
+  planner.OnBatch({r1.id, r2.id}, 0.0, /*epoch=*/1);
   EXPECT_EQ(fleet.AssignedWorker(r1.id), 0);
   EXPECT_EQ(fleet.AssignedWorker(r2.id), 0);
   EXPECT_EQ(planner.conflict_replans(), 1);

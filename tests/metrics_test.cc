@@ -13,7 +13,7 @@ namespace {
 
 TEST(AverageReportsTest, SingleReportIsIdentityOnMeans) {
   SimReport r;
-  r.algorithm = "x";
+  r.algorithm = std::string("x");
   r.total_requests = 10;
   r.served_requests = 7;
   r.served_rate = 0.7;
@@ -28,7 +28,7 @@ TEST(AverageReportsTest, SingleReportIsIdentityOnMeans) {
 
 TEST(AverageReportsTest, MeansAndMaxes) {
   SimReport a, b;
-  a.algorithm = b.algorithm = "x";
+  a.algorithm = b.algorithm = std::string("x");
   a.total_requests = b.total_requests = 100;
   a.served_requests = 60;
   b.served_requests = 80;
@@ -54,7 +54,7 @@ TEST(AverageReportsTest, PercentilesArePooledNotAveraged) {
   // (1 + 100) / 2 = 50.5 ms — a latency that 15 of the 20 pooled samples
   // beat. The pooled p50 must come from the merged sample set.
   SimReport a, b;
-  a.algorithm = b.algorithm = "x";
+  a.algorithm = b.algorithm = std::string("x");
   a.total_requests = b.total_requests = 10;
   for (int i = 0; i < 9; ++i) a.response_stats.Add(1.0);
   a.response_stats.Add(1000.0);

@@ -1,0 +1,343 @@
+// Tests for the pipelined dispatch engine: IngestQueue semantics
+// (FIFO, backpressure, close/cancel), pipelined-on thread-count and
+// queue-capacity independence, a saturation run where ingest outpaces
+// planning (occupancy > 0, backpressure engaged, exact accounting, no
+// drops), manually driven PlanWindow/CommitWindow epoch bookkeeping, and
+// a pipelined fuzz workload (run under tsan by the tsan preset).
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/parallel/ingest_queue.h"
+#include "src/shortest/hub_labels.h"
+#include "src/sim/dispatch_window.h"
+#include "src/sim/metrics.h"
+#include "src/sim/simulator.h"
+#include "src/workload/city.h"
+#include "src/workload/requests.h"
+#include "tests/test_util.h"
+
+namespace urpsm {
+namespace {
+
+// ------------------------------------------------------------ IngestQueue
+
+TEST(IngestQueueTest, FifoOrderAndStats) {
+  IngestQueue q(16);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Push({i, static_cast<double>(i), {}}));
+  }
+  EXPECT_EQ(q.total_pushed(), 5);
+  EXPECT_EQ(q.max_depth(), 5u);
+  Arrival a;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.Pop(&a));
+    EXPECT_EQ(a.id, i);
+    EXPECT_EQ(a.release_time, static_cast<double>(i));
+  }
+  q.Close();
+  EXPECT_FALSE(q.Pop(&a));  // closed and drained
+  EXPECT_EQ(q.backpressure_waits(), 0);
+}
+
+TEST(IngestQueueTest, BackpressureBlocksProducerUntilPop) {
+  IngestQueue q(2);
+  ASSERT_TRUE(q.Push({0, 0.0, {}}));
+  ASSERT_TRUE(q.Push({1, 1.0, {}}));
+  std::atomic<bool> third_pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.Push({2, 2.0, {}}));  // must block until a Pop
+    third_pushed.store(true);
+  });
+  // Deterministic hand-off: the backpressure counter increments *before*
+  // the producer blocks, so waiting for it guarantees the producer really
+  // hit the full queue before the consumer frees a slot.
+  while (q.backpressure_waits() == 0) std::this_thread::yield();
+  EXPECT_FALSE(third_pushed.load());
+  Arrival a;
+  ASSERT_TRUE(q.Pop(&a));
+  EXPECT_EQ(a.id, 0);
+  producer.join();
+  EXPECT_TRUE(third_pushed.load());
+  EXPECT_EQ(q.backpressure_waits(), 1);
+  ASSERT_TRUE(q.Pop(&a));
+  EXPECT_EQ(a.id, 1);
+  ASSERT_TRUE(q.Pop(&a));
+  EXPECT_EQ(a.id, 2);
+  EXPECT_EQ(q.max_depth(), 2u);  // bounded: never exceeded capacity
+}
+
+TEST(IngestQueueTest, CancelWakesBlockedProducerAndConsumer) {
+  IngestQueue q(1);
+  ASSERT_TRUE(q.Push({0, 0.0, {}}));
+  std::thread producer([&] {
+    EXPECT_FALSE(q.Push({1, 1.0, {}}));  // blocked, then cancelled
+  });
+  // Same handshake as above: once the backpressure counter ticks, the
+  // producer is committed to the full-queue wait, so Cancel provably
+  // wakes a *blocked* push (no consumer races the slot free).
+  while (q.backpressure_waits() == 0) std::this_thread::yield();
+  q.Cancel();
+  producer.join();
+  Arrival a;
+  EXPECT_FALSE(q.Pop(&a));             // cancelled: pending data discarded
+  EXPECT_FALSE(q.Push({2, 2.0, {}}));  // and the stream stays dead
+
+  // A consumer blocked on an EMPTY queue must wake on Cancel too.
+  IngestQueue q2(1);
+  std::thread consumer([&] {
+    Arrival b;
+    EXPECT_FALSE(q2.Pop(&b));
+  });
+  q2.Cancel();
+  consumer.join();
+}
+
+// ------------------------------------------- pipelined determinism
+
+struct WorkloadRun {
+  SimReport report;
+  std::vector<bool> served;
+};
+
+WorkloadRun RunOnce(const RoadNetwork& graph, DistanceOracle* oracle,
+                    const std::vector<Worker>& workers,
+                    const std::vector<Request>& requests, int num_threads,
+                    double batch_window_s, bool pipeline,
+                    std::size_t ingest_capacity = 4096) {
+  SimOptions options;
+  options.num_threads = num_threads;
+  options.batch_window_s = batch_window_s;
+  options.pipeline = pipeline;
+  options.ingest_capacity = ingest_capacity;
+  Simulation sim(&graph, oracle, workers, &requests, options);
+  WorkloadRun run;
+  run.report = sim.Run(MakeDispatchWindowFactory({}));
+  run.served = sim.served();
+  return run;
+}
+
+// Bit-identical on every deterministic field (wall-clock response-time
+// and pipeline-occupancy stats are inherently run-dependent, excluded).
+void ExpectIdentical(const WorkloadRun& a, const WorkloadRun& b,
+                     const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.report.served_requests, b.report.served_requests);
+  EXPECT_EQ(a.report.unified_cost, b.report.unified_cost);
+  EXPECT_EQ(a.report.total_distance, b.report.total_distance);
+  EXPECT_EQ(a.report.penalty_sum, b.report.penalty_sum);
+  EXPECT_EQ(a.report.mean_pickup_wait_min, b.report.mean_pickup_wait_min);
+  EXPECT_EQ(a.report.mean_detour_ratio, b.report.mean_detour_ratio);
+  EXPECT_EQ(a.report.makespan_min, b.report.makespan_min);
+  EXPECT_EQ(a.report.distance_queries, b.report.distance_queries);
+  EXPECT_EQ(a.served, b.served);
+}
+
+class PipelineDeterminismTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PipelineDeterminismTest, ThreadCountIndependent) {
+  const double penalty_factor = GetParam();
+  const RoadNetwork graph = MakeChengduLike(0.05, 2);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  Rng rng(41);
+  RequestParams rp;
+  rp.count = 220;
+  rp.duration_min = 200.0;
+  rp.penalty_factor = penalty_factor;
+  rp.seed = 43;
+  const std::vector<Request> requests =
+      GenerateRequests(graph, rp, &labels, &rng);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 12, 4.0, &rng);
+
+  for (double window_s : {2.0, 15.0}) {
+    const WorkloadRun base = RunOnce(graph, &labels, workers, requests, 1,
+                                     window_s, /*pipeline=*/true);
+    ASSERT_GT(base.report.served_requests, 0);
+    ASSERT_TRUE(base.report.pipeline.enabled);
+    EXPECT_EQ(base.report.pipeline.ingested,
+              static_cast<std::int64_t>(requests.size()));
+    EXPECT_EQ(base.report.processed_requests, base.report.total_requests);
+    for (int threads : {2, 4, 8}) {
+      const WorkloadRun run = RunOnce(graph, &labels, workers, requests,
+                                      threads, window_s, /*pipeline=*/true);
+      ExpectIdentical(base, run, "window=" + std::to_string(window_s) +
+                                     " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST_P(PipelineDeterminismTest, QueueCapacityIndependent) {
+  // The ingest-queue bound only paces the producer; it must not leak into
+  // any planning result — a tiny queue (heavy backpressure) and an
+  // effectively unbounded one give bit-identical runs.
+  const double penalty_factor = GetParam();
+  const RoadNetwork graph = MakeChengduLike(0.05, 2);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  Rng rng(47);
+  RequestParams rp;
+  rp.count = 180;
+  rp.duration_min = 120.0;
+  rp.penalty_factor = penalty_factor;
+  rp.seed = 53;
+  const std::vector<Request> requests =
+      GenerateRequests(graph, rp, &labels, &rng);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 10, 4.0, &rng);
+
+  const WorkloadRun wide = RunOnce(graph, &labels, workers, requests, 4, 6.0,
+                                   /*pipeline=*/true, /*capacity=*/4096);
+  const WorkloadRun narrow = RunOnce(graph, &labels, workers, requests, 4, 6.0,
+                                     /*pipeline=*/true, /*capacity=*/8);
+  ExpectIdentical(wide, narrow, "capacity 4096 vs 8");
+  EXPECT_LE(narrow.report.pipeline.max_queue_depth, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, PipelineDeterminismTest,
+                         ::testing::Values(10.0,   // default penalties
+                                           1.7,    // rejection-heavy
+                                           30.0),  // accept-heavy
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           if (info.param < 5.0) return "RejectionHeavy";
+                           return info.param > 20.0 ? "AcceptHeavy"
+                                                    : "DefaultPenalties";
+                         });
+
+// --------------------------------------------------- saturation
+
+TEST(PipelineSaturationTest, IngestOutpacesPlanningWithoutDrops) {
+  // Dense arrivals + a small queue: the replaying producer outruns the
+  // planner, so the queue fills (backpressure engages) and arrivals keep
+  // being accepted while windows are mid-plan (occupancy > 0). Nothing
+  // may be dropped: every request is ingested, planned and accounted.
+  const RoadNetwork graph = MakeChengduLike(0.05, 4);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  Rng rng(59);
+  RequestParams rp;
+  rp.count = 600;
+  rp.duration_min = 90.0;  // ~40 requests per 6-second window
+  rp.penalty_factor = 10.0;
+  rp.seed = 61;
+  const std::vector<Request> requests =
+      GenerateRequests(graph, rp, &labels, &rng);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 30, 4.0, &rng);
+
+  SimOptions options;
+  options.num_threads = 2;
+  options.batch_window_s = 6.0;
+  options.pipeline = true;
+  options.ingest_capacity = 16;
+  Simulation sim(&graph, &labels, workers, &requests, options);
+  const SimReport rep = sim.Run(MakeDispatchWindowFactory({}));
+
+  const PipelineStats& ps = rep.pipeline;
+  ASSERT_TRUE(ps.enabled);
+  EXPECT_EQ(ps.ingested, static_cast<std::int64_t>(requests.size()));
+  EXPECT_EQ(rep.processed_requests, rep.total_requests);
+  EXPECT_FALSE(rep.timed_out);
+  EXPECT_GT(ps.windows, 10);
+  EXPECT_GT(ps.backpressure_waits, 0);
+  EXPECT_GT(ps.overlapped_arrivals, 0);
+  EXPECT_GT(ps.occupancy, 0.0);
+  EXPECT_LE(ps.max_queue_depth, 16);
+  EXPECT_GT(ps.plan_ms, 0.0);
+  // Latency samples cover exactly the processed requests.
+  EXPECT_EQ(rep.response_stats.count(),
+            static_cast<std::size_t>(rep.processed_requests));
+
+  const InvariantReport inv = VerifyInvariants(sim.fleet(), requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+// ------------------------------------- manual epochs / shard release
+
+TEST(PipelineEpochTest, PlanCommitSplitReleasesShardsPerEpoch) {
+  const RoadNetwork graph = MakeChengduLike(0.05, 3);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  Rng rng(67);
+  RequestParams rp;
+  rp.count = 80;
+  rp.duration_min = 60.0;
+  rp.penalty_factor = 10.0;
+  rp.seed = 71;
+  const std::vector<Request> requests =
+      GenerateRequests(graph, rp, &labels, &rng);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 8, 4.0, &rng);
+
+  Fleet fleet(workers, &graph);
+  PlanningContext ctx(&graph, &labels, &requests);
+  DispatchWindowPlanner planner(&ctx, &fleet, PlannerConfig{},
+                                /*pool=*/nullptr);
+
+  const double window_min = 6.0 / 60.0;
+  std::size_t next = 0;
+  WindowEpoch epoch = 0;
+  while (next < requests.size()) {
+    const double window_end = requests[next].release_time + window_min;
+    std::vector<RequestId> batch;
+    while (next < requests.size() &&
+           requests[next].release_time < window_end) {
+      batch.push_back(requests[next].id);
+      ++next;
+    }
+    ++epoch;
+    // The pipelined split, driven by hand on one thread: plan (which
+    // self-advances the fleet shard by shard), then commit.
+    planner.PlanWindow(batch, window_end, epoch);
+    planner.CommitWindow(epoch);
+    for (int s = 0; s < planner.shards().num_shards(); ++s) {
+      EXPECT_EQ(planner.shards().CommittedEpoch(s), epoch);
+    }
+    const InvariantReport inv =
+        VerifyInvariants(fleet, requests, /*mid_run=*/true);
+    ASSERT_TRUE(inv.ok) << "after epoch " << epoch << ": " << inv.violation;
+  }
+  ASSERT_GT(epoch, 3u);
+  fleet.FinishAll();
+  const InvariantReport inv = VerifyInvariants(fleet, requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
+// ------------------------------------------------- pipelined fuzz
+
+TEST(PipelineFuzzTest, RandomWorkloadsMatchSingleThreadedPipeline) {
+  // Several random workloads through the full three-stage engine at
+  // 4 threads vs the 1-thread pipelined reference: results must match
+  // bit-for-bit and the fleet must stay invariant-clean. Run under tsan
+  // by the tsan preset — the advance-gate / commit-stage overlap is
+  // exactly what it probes.
+  for (const int seed : {3, 17}) {
+    const RoadNetwork graph = MakeChengduLike(0.05, seed);
+    HubLabelOracle labels = HubLabelOracle::Build(graph);
+    Rng rng(100 + seed);
+    RequestParams rp;
+    rp.count = 150;
+    rp.duration_min = 100.0;
+    rp.penalty_factor = (seed % 2 == 0) ? 2.5 : 12.0;
+    rp.seed = 200 + seed;
+    const std::vector<Request> requests =
+        GenerateRequests(graph, rp, &labels, &rng);
+    const std::vector<Worker> workers = GenerateWorkers(graph, 9, 4.0, &rng);
+
+    const WorkloadRun base = RunOnce(graph, &labels, workers, requests, 1,
+                                     4.0, /*pipeline=*/true, /*capacity=*/32);
+    const WorkloadRun run = RunOnce(graph, &labels, workers, requests, 4,
+                                    4.0, /*pipeline=*/true, /*capacity=*/32);
+    ExpectIdentical(base, run, "seed=" + std::to_string(seed));
+
+    SimOptions options;
+    options.num_threads = 4;
+    options.batch_window_s = 4.0;
+    options.pipeline = true;
+    options.ingest_capacity = 32;
+    Simulation sim(&graph, &labels, workers, &requests, options);
+    sim.Run(MakeDispatchWindowFactory({}));
+    const InvariantReport inv = VerifyInvariants(sim.fleet(), requests);
+    EXPECT_TRUE(inv.ok) << "seed " << seed << ": " << inv.violation;
+  }
+}
+
+}  // namespace
+}  // namespace urpsm

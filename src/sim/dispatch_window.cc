@@ -231,14 +231,20 @@ void DispatchWindowPlanner::PlanInto(WindowSlot* slot,
       p.alive = false;  // rejection is final (Def. 5)
     } else {
       p.order = AscendingLowerBoundOrder(p.bounds);
+      // The request's tasks were created in ascending shard order, so the
+      // owning task is a binary search away (every scanned candidate's
+      // shard has one — task creation covered all candidate shards).
+      const auto t_begin =
+          tasks.begin() + static_cast<std::ptrdiff_t>(p.task_begin);
+      const auto t_end =
+          tasks.begin() + static_cast<std::ptrdiff_t>(p.task_end);
       for (std::size_t pos = 0; pos < p.order.size(); ++pos) {
         const int s = shards_->ShardOf(p.bounds[p.order[pos]].worker);
-        for (std::size_t t = p.task_begin; t < p.task_end; ++t) {
-          if (tasks[t].shard == s) {
-            tasks[t].plan_positions.push_back(pos);
-            break;
-          }
-        }
+        const auto it = std::lower_bound(
+            t_begin, t_end, s,
+            [](const ShardTask& task, int shard) { return task.shard < shard; });
+        assert(it != t_end && it->shard == s);
+        it->plan_positions.push_back(pos);
       }
     }
     decided[b].store(1, std::memory_order_release);

@@ -48,9 +48,15 @@ void Fleet::AttachIndex(GridIndex* index) {
 void Fleet::AttachShards(FleetShards* shards) { shards_ = shards; }
 
 void Fleet::PushHeap(WorkerId w) {
+  if (!heap_enabled_) return;
   const Route& rt = routes_[static_cast<std::size_t>(w)];
   if (rt.empty()) return;
   heap_.push({rt.anchor_time() + rt.leg_costs().front(), w, rt.version()});
+}
+
+void Fleet::DisableArrivalHeap() {
+  heap_enabled_ = false;
+  heap_ = {};
 }
 
 void Fleet::CommitFront(WorkerId w) {

@@ -110,6 +110,14 @@ class Fleet {
   /// Commits all remaining stops (end of simulation).
   void FinishAll();
 
+  /// Drops the arrival heap and stops feeding it: commits no longer push
+  /// entries, and AdvanceTo becomes a no-op. The pipelined engine calls
+  /// this before its stages start — it advances the fleet exclusively
+  /// through AdvanceWorkerTo, so heap entries would accumulate for the
+  /// whole run with no consumer (three pushes per served request).
+  /// Irreversible for this Fleet; must not be combined with AdvanceTo.
+  void DisableArrivalHeap();
+
   /// Worker assigned to a request, or kInvalidWorker.
   WorkerId AssignedWorker(RequestId r) const;
   /// Recorded pickup / drop-off times (kInf when the event never happened).
@@ -163,6 +171,7 @@ class Fleet {
   const RoadNetwork* graph_;
   GridIndex* index_ = nullptr;
   FleetShards* shards_ = nullptr;  // non-null => shard-safe mode
+  bool heap_enabled_ = true;       // false => per-worker advance only
   std::mutex commit_mu_;           // guards cross-shard commit state
   std::vector<Route> routes_;
   std::vector<StateCacheEntry> state_cache_;  // slot w ↔ routes_[w]

@@ -261,6 +261,10 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
   // The report fields the stages write are disjoint, and the main thread
   // reads them only after joining both stages.
   const double window_min = options_.batch_window_s / 60.0;
+  // This mode advances the fleet per worker (PlanWindow's shard-by-shard
+  // advance gate); nothing ever pops the driver-loop arrival heap, so
+  // stop feeding it or it grows by every committed stop for the whole run.
+  fleet_->DisableArrivalHeap();
   PipelineStats& ps = report->pipeline;
   ps.enabled = true;
   IngestQueue queue(options_.ingest_capacity);
@@ -304,11 +308,16 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
     };
     std::vector<RequestId> batch;
     Arrival pending;
+    // Queue wait is sampled at Pop time: the arrival that closes window k
+    // parks in `pending` across PlanWindow(k), and charging it at the top
+    // of window k+1 would bill the whole planning stage as ingest wait.
+    double pending_wait_ms = 0.0;
     bool has_pending = false;
     WindowEpoch epoch = 0;
     for (;;) {
       if (!has_pending) {
         if (!queue.Pop(&pending)) break;  // stream closed and drained
+        pending_wait_ms = queued_ms(pending);
         has_pending = true;
       }
       if (SecondsSince(engine_t0) > options_.wall_limit_seconds) {
@@ -323,7 +332,7 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
       const double window_end = pending.release_time + window_min;
       batch.clear();
       batch.push_back(pending.id);
-      ps.ingest_wait_ms += queued_ms(pending);
+      ps.ingest_wait_ms += pending_wait_ms;
       has_pending = false;
       // A window closes when an arrival beyond it shows up or the stream
       // ends — streaming form of RunWindowed's release-order scan, so the
@@ -335,6 +344,7 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
           ps.ingest_wait_ms += queued_ms(a);
         } else {
           pending = a;
+          pending_wait_ms = queued_ms(a);
           has_pending = true;
           break;
         }

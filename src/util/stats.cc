@@ -26,18 +26,18 @@ StatsAccumulator::StatsAccumulator(std::size_t capacity)
       rng_state_(kReservoirSeed) {}
 
 void StatsAccumulator::Offer(double x, std::uint64_t weight) {
-  weight_ += weight;
+  count_ += weight;
   if (samples_.size() < capacity_) {
     samples_.push_back(x);
     sorted_valid_ = false;
     return;
   }
-  // Algorithm R: keep the newcomer with probability capacity/weight_,
+  // Algorithm R: keep the newcomer with probability capacity/count_,
   // evicting a uniformly random slot. With weight > 1 the newcomer
   // stands in for `weight` stream elements, so it competes at the
   // weighted stream position — an approximation that is exact for
   // weight == 1 and keeps merged reservoirs near-uniform otherwise.
-  const std::uint64_t slot = SplitMix64(&rng_state_) % weight_;
+  const std::uint64_t slot = SplitMix64(&rng_state_) % count_;
   if (slot < capacity_ * weight) {
     samples_[static_cast<std::size_t>(slot % capacity_)] = x;
     sorted_valid_ = false;
@@ -52,7 +52,6 @@ void StatsAccumulator::Add(double x) {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
-  ++count_;
   sum_ += x;
   Offer(x, 1);
 }
@@ -68,10 +67,10 @@ void StatsAccumulator::Merge(const StatsAccumulator& other) {
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
-  count_ += other.count_;
   sum_ += other.sum_;
   // Each retained sample represents an equal share of the other side's
-  // full stream (weight 1 while `other` never overflowed its cap).
+  // full stream (weight 1 while `other` never overflowed its cap); the
+  // offered weights sum to other.count_, so count_ pools exactly.
   const std::size_t retained = other.samples_.size();
   const std::uint64_t base = other.count_ / retained;
   const std::uint64_t extra = other.count_ % retained;  // spread remainder

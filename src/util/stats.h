@@ -69,13 +69,13 @@ class StatsAccumulator {
   std::size_t capacity() const { return capacity_; }
 
  private:
-  /// Reservoir step for one sample that stands in for `weight` originals.
+  /// Reservoir step for one sample that stands in for `weight` originals;
+  /// advances count_ by `weight` (the stream position the replacement
+  /// probability competes at).
   void Offer(double x, std::uint64_t weight);
 
   std::size_t capacity_;
-  std::size_t count_ = 0;      // all samples seen
-  std::uint64_t weight_ = 0;   // weighted stream position (== count_ until
-                               // a weighted Merge happens)
+  std::size_t count_ = 0;      // all samples seen; advanced by Offer
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;

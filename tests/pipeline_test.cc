@@ -251,6 +251,54 @@ TEST(PipelineSaturationTest, IngestOutpacesPlanningWithoutDrops) {
   EXPECT_TRUE(inv.ok) << inv.violation;
 }
 
+// --------------------------------------------------- wall-limit timeout
+
+TEST(PipelineTimeoutTest, KillSwitchDrainsAndJoinsWithoutHang) {
+  // A zero wall budget trips the plan stage's kill switch on the very
+  // first arrival: the producer (blocked on the tiny full queue) must be
+  // woken by Cancel, the committer must still receive its stop sentinel,
+  // and both joins must return — the run ends timed-out with every
+  // request rejected (DNF) and exact accounting, instead of hanging.
+  const RoadNetwork graph = MakeChengduLike(0.05, 5);
+  HubLabelOracle labels = HubLabelOracle::Build(graph);
+  Rng rng(73);
+  RequestParams rp;
+  rp.count = 300;
+  rp.duration_min = 90.0;
+  rp.penalty_factor = 10.0;
+  rp.seed = 79;
+  const std::vector<Request> requests =
+      GenerateRequests(graph, rp, &labels, &rng);
+  const std::vector<Worker> workers = GenerateWorkers(graph, 10, 4.0, &rng);
+
+  SimOptions options;
+  options.num_threads = 2;
+  options.batch_window_s = 6.0;
+  options.pipeline = true;
+  options.ingest_capacity = 4;  // producer must block before the cancel
+  options.wall_limit_seconds = 0.0;
+  Simulation sim(&graph, &labels, workers, &requests, options);
+  const SimReport rep = sim.Run(MakeDispatchWindowFactory({}));
+
+  EXPECT_TRUE(rep.timed_out);
+  const PipelineStats& ps = rep.pipeline;
+  ASSERT_TRUE(ps.enabled);
+  // The kill switch fires before any window is planned, so nothing is
+  // processed and ingest stops early (well short of the request table).
+  EXPECT_EQ(ps.windows, 0);
+  EXPECT_EQ(rep.processed_requests, 0);
+  EXPECT_EQ(rep.response_stats.count(), 0u);
+  EXPECT_LT(ps.ingested, static_cast<std::int64_t>(requests.size()));
+  // DNF accounting: every request is rejected and billed its penalty.
+  EXPECT_EQ(rep.served_requests, 0);
+  double penalty_sum = 0.0;
+  for (const Request& r : requests) penalty_sum += r.penalty;
+  EXPECT_DOUBLE_EQ(rep.penalty_sum, penalty_sum);
+
+  const InvariantReport inv = VerifyInvariants(sim.fleet(), requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+}
+
 // ------------------------------------- manual epochs / shard release
 
 TEST(PipelineEpochTest, PlanCommitSplitReleasesShardsPerEpoch) {

@@ -4,9 +4,10 @@
 //
 // Writes BENCH_dispatch.json (one JSON object per line, the shared
 // BENCH_JSON schema — every line carries hw_concurrency and num_threads)
-// into the working directory; the CTest smoke entry runs from the
-// repository root so each PR refreshes the trajectory file, and CI
-// uploads it as an artifact. Two gates: window = 0 must reproduce the
+// via the shared trajectory writer: full runs refresh the tracked
+// repo-root file, smoke runs are redirected to the build tree
+// (BENCH_smoke_dispatch.json) so the CTest smoke entry can never corrupt
+// the full-run trajectory. Two gates: window = 0 must reproduce the
 // sequential pruneGreedyDP results bit-for-bit at every thread count,
 // and every real window must be bit-identical across thread counts
 // (the engine's determinism contract).
@@ -27,17 +28,6 @@ using namespace urpsm;
 using namespace urpsm::bench;
 
 namespace {
-
-void WriteJsonFile(const char* path, const std::vector<std::string>& lines) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_dispatch_window: cannot write %s\n", path);
-    return;
-  }
-  for (const std::string& line : lines) std::fprintf(f, "%s\n", line.c_str());
-  std::fclose(f);
-  std::printf("wrote %s (%zu records)\n", path, lines.size());
-}
 
 std::string Fmt(double v) {
   char buf[32];
@@ -150,7 +140,7 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", t.ToString().c_str());
 
-  WriteJsonFile("BENCH_dispatch.json", lines);
+  WriteTrajectory("dispatch", smoke, lines);
 
   if (!all_identical) {
     std::printf("FAIL: dispatch results diverged (window=0 vs sequential "

@@ -6,9 +6,10 @@
 // builds, times the two hot paths with the shared harness, and *writes*
 // `BENCH_oracle.json` and `BENCH_insertion.json` (one JSON object per
 // line, same schema as the BENCH_JSON stdout lines, including per-op
-// p50/p95 latency) into the working directory. The CTest smoke entry runs
-// it from the repository root, so every PR refreshes the perf trajectory
-// files; CI uploads them as artifacts.
+// p50/p95 latency) via the shared trajectory writer: full runs refresh
+// the tracked repo-root files, while the CTest smoke entry is redirected
+// to the build tree (BENCH_smoke_*.json) so smoke-sized records can never
+// corrupt the full-run trajectories CI uploads as artifacts.
 
 #include <chrono>
 #include <cstdio>
@@ -35,17 +36,6 @@ using Clock = std::chrono::steady_clock;
 
 double MsSince(Clock::time_point t0) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
-
-void WriteJsonFile(const char* path, const std::vector<std::string>& lines) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_hotpath: cannot write %s\n", path);
-    return;
-  }
-  for (const std::string& line : lines) std::fprintf(f, "%s\n", line.c_str());
-  std::fclose(f);
-  std::printf("wrote %s (%zu records)\n", path, lines.size());
 }
 
 bool g_smoke = false;  // set once in main, before any Record call
@@ -258,9 +248,9 @@ int main(int argc, char** argv) {
   urpsm::bench::g_smoke = smoke;
   std::vector<std::string> oracle_lines;
   urpsm::bench::BenchOracle(smoke, &oracle_lines);
-  urpsm::bench::WriteJsonFile("BENCH_oracle.json", oracle_lines);
+  urpsm::bench::WriteTrajectory("oracle", smoke, oracle_lines);
   std::vector<std::string> insertion_lines;
   urpsm::bench::BenchInsertion(smoke, &insertion_lines);
-  urpsm::bench::WriteJsonFile("BENCH_insertion.json", insertion_lines);
+  urpsm::bench::WriteTrajectory("insertion", smoke, insertion_lines);
   return 0;
 }

@@ -1,15 +1,17 @@
 // Pipelined dispatch-engine trajectory bench: the dispatch-window engine
-// swept over window length x thread count x pipeline on/off, recording
-// throughput, latency percentiles and the pipeline stage/occupancy
-// counters (queue depth, backpressure, plan/commit stage time).
+// swept over window length x thread count x pipeline on/off x slot-ring
+// depth, recording throughput, latency percentiles and the pipeline
+// stage/occupancy counters (queue depth, backpressure, plan/commit stage
+// time, speculation hits/misses).
 //
 // Writes BENCH_pipeline.json (one JSON object per line, the shared
 // BENCH_JSON schema — every line carries hw_concurrency, num_threads,
-// git_sha and timestamp) into the working directory; the CTest smoke
-// entry runs from the repository root so each PR refreshes the
-// trajectory file, and CI uploads it as an artifact. Determinism gates:
-// for every (window, mode) the deterministic report fields must be
-// bit-identical across thread counts, and the pipelined runs must be
+// git_sha and timestamp) via the shared trajectory writer: full runs
+// refresh the tracked repo-root file, smoke runs are redirected to the
+// build tree (BENCH_smoke_pipeline.json) so the CTest smoke entry can
+// never corrupt the full-run trajectory. Determinism gates: for every
+// (window, mode) the deterministic report fields must be bit-identical
+// across thread counts AND ring depths, and the pipelined runs must be
 // ingest-queue-capacity independent.
 //
 // Note: thread counts beyond std::thread::hardware_concurrency (1 in the
@@ -20,6 +22,7 @@
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/harness.h"
@@ -29,17 +32,6 @@ using namespace urpsm;
 using namespace urpsm::bench;
 
 namespace {
-
-void WriteJsonFile(const char* path, const std::vector<std::string>& lines) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_pipeline: cannot write %s\n", path);
-    return;
-  }
-  for (const std::string& line : lines) std::fprintf(f, "%s\n", line.c_str());
-  std::fclose(f);
-  std::printf("wrote %s (%zu records)\n", path, lines.size());
-}
 
 std::string Fmt(double v) {
   char buf[32];
@@ -84,6 +76,7 @@ int main(int argc, char** argv) {
         {"num_threads", std::to_string(rep.num_threads)}};
     if (pipeline) {
       const PipelineStats& ps = rep.pipeline;
+      params.emplace_back("depth", std::to_string(ps.depth));
       params.emplace_back("occupancy", Fmt(ps.occupancy));
       params.emplace_back("max_queue_depth",
                           std::to_string(ps.max_queue_depth));
@@ -92,6 +85,10 @@ int main(int argc, char** argv) {
       params.emplace_back("windows", std::to_string(ps.windows));
       params.emplace_back("plan_ms", Fmt(ps.plan_ms));
       params.emplace_back("commit_ms", Fmt(ps.commit_ms));
+      params.emplace_back("speculation_hits",
+                          std::to_string(ps.speculation_hits));
+      params.emplace_back("speculation_misses",
+                          std::to_string(ps.speculation_misses));
     }
     if (smoke) params.emplace_back("smoke", "1");
     if (rep.timed_out) params.emplace_back("timed_out", "1");
@@ -106,71 +103,92 @@ int main(int argc, char** argv) {
       smoke ? std::vector<double>{6.0} : std::vector<double>{2.0, 6.0, 15.0};
   const std::vector<int> thread_counts =
       smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  // The depth axis: the classic double buffer at the full thread sweep,
+  // deeper (speculating) rings at the sweep's endpoints — enough to gate
+  // depth-independence without tripling the bench's wall time.
+  std::vector<std::pair<int, int>> pipe_combos;  // (depth, threads)
+  for (int threads : thread_counts) pipe_combos.emplace_back(2, threads);
+  for (int depth : smoke ? std::vector<int>{4} : std::vector<int>{3, 4}) {
+    pipe_combos.emplace_back(depth, thread_counts.front());
+    pipe_combos.emplace_back(depth, thread_counts.back());
+  }
 
-  TablePrinter t({"window (s)", "pipeline", "threads", "wall (s)", "req/s",
-                  "occupancy", "unified cost", "served", "identical"});
+  TablePrinter t({"window (s)", "pipeline", "depth", "threads", "wall (s)",
+                  "req/s", "occupancy", "unified cost", "served",
+                  "identical"});
   bool all_identical = true;
   bool any_compared = false;
+  const auto run_one = [&](double window_s, bool pipeline, int depth,
+                           int threads, SimReport* ref, bool* have_ref) {
+    SimOptions options = base_options;
+    options.num_threads = threads;
+    options.batch_window_s = window_s;
+    options.pipeline = pipeline;
+    options.pipeline_depth = depth;
+    Simulation sim(&city.graph, city.labels.get(), workers, &city.requests,
+                   options);
+    const SimReport rep = sim.Run(MakeDispatchWindowFactory({}));
+    record(rep, window_s, pipeline);
+    if (!*have_ref) {
+      *ref = rep;
+      *have_ref = true;
+    }
+    const double rps = rep.wall_seconds > 0.0
+                           ? rep.total_requests / rep.wall_seconds
+                           : 0.0;
+    const bool comparable = !rep.timed_out && !ref->timed_out;
+    const bool identical = comparable && SameResults(rep, *ref);
+    any_compared = any_compared || comparable;
+    all_identical = all_identical && (identical || !comparable);
+    t.AddRow({Fmt(window_s), pipeline ? "on" : "off",
+              pipeline ? std::to_string(depth) : std::string("-"),
+              std::to_string(threads), TablePrinter::Num(rep.wall_seconds, 2),
+              TablePrinter::Num(rps, 1),
+              pipeline ? TablePrinter::Num(rep.pipeline.occupancy, 2)
+                       : std::string("-"),
+              TablePrinter::Num(rep.unified_cost, 1),
+              std::to_string(rep.served_requests),
+              !comparable ? "DNF" : identical ? "YES" : "NO"});
+  };
   for (double window_s : windows) {
-    for (const bool pipeline : {false, true}) {
+    {  // lock-step windowed loop: thread-count identity only
       SimReport ref;
       bool have_ref = false;
       for (int threads : thread_counts) {
-        SimOptions options = base_options;
-        options.num_threads = threads;
-        options.batch_window_s = window_s;
-        options.pipeline = pipeline;
-        Simulation sim(&city.graph, city.labels.get(), workers,
-                       &city.requests, options);
-        const SimReport rep = sim.Run(MakeDispatchWindowFactory({}));
-        record(rep, window_s, pipeline);
-        if (!have_ref) {
-          ref = rep;
-          have_ref = true;
-        }
-        const double rps = rep.wall_seconds > 0.0
-                               ? rep.total_requests / rep.wall_seconds
-                               : 0.0;
-        const bool comparable = !rep.timed_out && !ref.timed_out;
-        const bool identical = comparable && SameResults(rep, ref);
-        any_compared = any_compared || comparable;
-        all_identical = all_identical && (identical || !comparable);
-        t.AddRow({Fmt(window_s), pipeline ? "on" : "off",
-                  std::to_string(threads),
-                  TablePrinter::Num(rep.wall_seconds, 2),
-                  TablePrinter::Num(rps, 1),
-                  pipeline ? TablePrinter::Num(rep.pipeline.occupancy, 2)
-                           : std::string("-"),
-                  TablePrinter::Num(rep.unified_cost, 1),
-                  std::to_string(rep.served_requests),
-                  !comparable ? "DNF" : identical ? "YES" : "NO"});
+        run_one(window_s, /*pipeline=*/false, 2, threads, &ref, &have_ref);
       }
-      // Queue-capacity independence gate for the pipelined runs: a tiny
-      // queue (heavy backpressure) must not change any result.
-      if (pipeline && have_ref && !ref.timed_out) {
-        SimOptions options = base_options;
-        options.num_threads = thread_counts.back();
-        options.batch_window_s = window_s;
-        options.pipeline = true;
-        options.ingest_capacity = 8;
-        Simulation sim(&city.graph, city.labels.get(), workers,
-                       &city.requests, options);
-        const SimReport rep = sim.Run(MakeDispatchWindowFactory({}));
-        record(rep, window_s, true);
-        if (!rep.timed_out && !SameResults(rep, ref)) {
-          all_identical = false;
-          std::printf("FAIL: capacity=8 diverged at window=%g\n", window_s);
-        }
+    }
+    // Pipelined: thread-count AND ring-depth identity against one ref.
+    SimReport ref;
+    bool have_ref = false;
+    for (const auto& [depth, threads] : pipe_combos) {
+      run_one(window_s, /*pipeline=*/true, depth, threads, &ref, &have_ref);
+    }
+    // Queue-capacity independence gate for the pipelined runs: a tiny
+    // queue (heavy backpressure) must not change any result.
+    if (have_ref && !ref.timed_out) {
+      SimOptions options = base_options;
+      options.num_threads = thread_counts.back();
+      options.batch_window_s = window_s;
+      options.pipeline = true;
+      options.ingest_capacity = 8;
+      Simulation sim(&city.graph, city.labels.get(), workers, &city.requests,
+                     options);
+      const SimReport rep = sim.Run(MakeDispatchWindowFactory({}));
+      record(rep, window_s, true);
+      if (!rep.timed_out && !SameResults(rep, ref)) {
+        all_identical = false;
+        std::printf("FAIL: capacity=8 diverged at window=%g\n", window_s);
       }
     }
   }
   std::printf("%s\n", t.ToString().c_str());
 
-  WriteJsonFile("BENCH_pipeline.json", lines);
+  WriteTrajectory("pipeline", smoke, lines);
 
   if (!all_identical) {
-    std::printf("FAIL: pipeline results diverged (across thread counts or "
-                "ingest-queue capacities)\n");
+    std::printf("FAIL: pipeline results diverged (across thread counts, "
+                "ring depths or ingest-queue capacities)\n");
     return 1;
   }
   if (!any_compared) {
@@ -179,6 +197,6 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("windows thread-count independent AND pipelined runs "
-              "capacity-independent: YES\n");
+              "depth- and capacity-independent: YES\n");
   return 0;
 }

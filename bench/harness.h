@@ -251,6 +251,61 @@ inline void EmitJsonLine(
                              p95_ms).c_str());
 }
 
+/// Where the trajectory for `stem` goes. Full runs write the tracked
+/// repo-root file `BENCH_<stem>.json` (the CTest entries run the benches
+/// from the repository root). Smoke runs are REDIRECTED to
+/// `<URPSM_BENCH_OUT_DIR or .>/BENCH_smoke_<stem>.json` — the CTest
+/// smoke entries set URPSM_BENCH_OUT_DIR to the build tree, so a
+/// smoke-sized refresh can never overwrite a tracked full-run
+/// trajectory (which is exactly how the repo-root files were corrupted
+/// before: every `ctest -L bench_smoke` run from the repo root clobbered
+/// the full-run sweeps with millisecond smoke records).
+inline std::string TrajectoryPath(const std::string& stem, bool smoke) {
+  if (!smoke) return "BENCH_" + stem + ".json";
+  const char* dir = std::getenv("URPSM_BENCH_OUT_DIR");
+  const std::string base =
+      (dir != nullptr && *dir != '\0') ? std::string(dir) : std::string(".");
+  return base + "/BENCH_smoke_" + stem + ".json";
+}
+
+/// Writes one trajectory file (one JSON object per line). Second line of
+/// defense behind TrajectoryPath's redirection: a smoke run that somehow
+/// resolves to a tracked-trajectory path — `BENCH_*.json` with no
+/// directory component and no `smoke` in the filename — is refused
+/// outright rather than written, so the tracked full-run files cannot be
+/// corrupted even by a caller that builds its own path.
+inline void WriteTrajectoryFile(const std::string& path, bool smoke,
+                                const std::vector<std::string>& lines) {
+  if (smoke) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string file =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    if (slash == std::string::npos && file.rfind("BENCH_", 0) == 0 &&
+        file.find("smoke") == std::string::npos) {
+      std::fprintf(stderr,
+                   "bench harness: REFUSING smoke-mode write to tracked "
+                   "trajectory %s (smoke runs go to BENCH_smoke_*.json)\n",
+                   path.c_str());
+      return;
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench harness: cannot write %s\n", path.c_str());
+    return;
+  }
+  for (const std::string& line : lines) std::fprintf(f, "%s\n", line.c_str());
+  std::fclose(f);
+  std::printf("wrote %s (%zu records)\n", path.c_str(), lines.size());
+}
+
+/// Convenience: resolve the path for `stem` (with smoke redirection) and
+/// write the lines there.
+inline void WriteTrajectory(const std::string& stem, bool smoke,
+                            const std::vector<std::string>& lines) {
+  WriteTrajectoryFile(TrajectoryPath(stem, smoke), smoke, lines);
+}
+
 /// EmitJsonLine for one simulation run: wall time in ms, throughput in
 /// requests planned per second of total wall time, and the per-request
 /// planning-latency percentiles. The run's thread count rides along in

@@ -49,17 +49,27 @@ WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
                                double L,
                                const std::vector<WorkerId>& candidates,
                                InsertionCandidate* best_out,
-                               std::int64_t* exact_evaluations) {
+                               std::int64_t* exact_evaluations,
+                               const SpecCapture* spec) {
   // Phase 1 — decision (Algo. 4): per-worker lower bounds, no new queries.
   // Route states come from the fleet's per-worker cache (keyed on
   // Route::version): a worker whose route did not change since the last
   // request reuses its arrays instead of re-deriving them.
+  // With a SpecCapture, each access additionally holds the worker's
+  // stripe lock (a commit stage may be mutating the fleet concurrently)
+  // and records the version it read.
   std::vector<WorkerBound> bounds;
   bounds.reserve(candidates.size());
   double min_lb = kInf;
   for (const WorkerId w : candidates) {
+    std::unique_lock<std::mutex> spec_lock;
+    if (spec != nullptr) {
+      spec_lock = fleet->LockWorker(w);
+      spec->versions->push_back({w, fleet->route(w).version()});
+    }
     const Route& route = fleet->route(w);
-    const RouteState& st = fleet->CachedState(w, ctx);
+    const RouteState& st = spec != nullptr ? fleet->CachedStateLocked(w, ctx)
+                                           : fleet->CachedState(w, ctx);
     const double lb =
         DecisionLowerBound(fleet->worker(w), route, st, r, L, ctx->graph());
     if (lb == kInf) continue;  // provably infeasible for this worker
@@ -85,10 +95,18 @@ WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
     const WorkerId w = bounds[k].worker;
     if (exact_evaluations != nullptr) ++*exact_evaluations;
     // The fleet is frozen between Touch and ApplyInsertion, so this hits
-    // the state cache warmed by the decision phase.
-    const InsertionCandidate cand =
-        LinearDpInsertion(fleet->worker(w), fleet->route(w),
-                          fleet->CachedState(w, ctx), r, ctx);
+    // the state cache warmed by the decision phase. (Speculative scans
+    // have no freeze — the stripe lock keeps the read consistent, and a
+    // mutation between the phases shows up as a version bump that fails
+    // commit-time validation.)
+    std::unique_lock<std::mutex> spec_lock;
+    if (spec != nullptr) spec_lock = fleet->LockWorker(w);
+    const InsertionCandidate cand = LinearDpInsertion(
+        fleet->worker(w), fleet->route(w),
+        spec != nullptr ? fleet->CachedStateLocked(w, ctx)
+                        : fleet->CachedState(w, ctx),
+        r, ctx);
+    spec_lock = {};
     // Strict improvement only: ties on the exact cost go to the earliest
     // worker in the scan order. Together with the epsilon-guarded cutoff
     // above (which never prunes a potential tie, only strictly worse

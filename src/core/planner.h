@@ -82,14 +82,23 @@ class BatchPlanner : public RoutePlanner {
 /// stage (committing stops due by the window close) is gated on the
 /// commit stage's shard-readiness marks instead of a global barrier, so
 /// shards advance for window k+1 while window k's commit tail is still
-/// applying elsewhere. Candidate filtering and the decision/planning
-/// phases still start only after every shard advanced — any worker's
-/// committed stop can move its grid anchor into any request's radius, so
-/// a per-request filter gate would need a displacement bound (ROADMAP
-/// follow-up). CommitWindow calls are issued strictly in epoch order
-/// from a single thread, and OnBatch must remain exactly PlanWindow +
-/// CommitWindow fused (one implementation of the planning logic, so the
-/// windowed and pipelined loops cannot drift).
+/// applying elsewhere. A request's candidate filtering is gated per
+/// shard too, on a worker-displacement bound: workers of a shard whose
+/// tile sits farther from the request origin than its candidate radius
+/// plus the shard's maximum displacement (v_max times the oldest member
+/// anchor's lag) provably cannot enter the filter's grid cells, so the
+/// filter runs as soon as the shards within that ball advanced — the
+/// global advance barrier is gone. With pipeline depth k > 2, a window
+/// whose predecessor is still committing is planned *speculatively*
+/// against the live fleet (per-candidate route versions captured under
+/// the mutex stripes); its commit stage re-advances, re-filters and
+/// keeps each request's speculative proposal only when its candidate
+/// list and every captured version still hold, replanning the diverged
+/// rest — so results are identical at every depth. CommitWindow calls
+/// are issued strictly in epoch order from a single thread, and OnBatch
+/// must remain exactly PlanWindow + CommitWindow fused (one
+/// implementation of the planning logic, so the windowed and pipelined
+/// loops cannot drift).
 class PipelinedBatchPlanner : public BatchPlanner {
  public:
   /// Plans window `epoch` (close time `now`). Unlike OnBatch, the fleet
@@ -103,6 +112,14 @@ class PipelinedBatchPlanner : public BatchPlanner {
   /// proposal (or potential replan) retires. Commit-thread only; called
   /// once per planned window, in epoch order.
   virtual void CommitWindow(WindowEpoch epoch) = 0;
+  /// Sizes the window-slot ring before the pipelined loop starts (depth
+  /// >= 2; depth 2 reproduces the classic double buffer, larger depths
+  /// enable speculative planning). Must not be called mid-run.
+  virtual void ConfigurePipeline(int depth) { (void)depth; }
+  /// Speculatively planned requests whose proposals survived commit-time
+  /// validation / had to be replanned. Quiescent reads (after the run).
+  virtual std::int64_t speculation_hits() const { return 0; }
+  virtual std::int64_t speculation_misses() const { return 0; }
 };
 
 /// Builds the planner under test once the simulation has wired up the
@@ -199,12 +216,25 @@ std::vector<WorkerId> FilterCandidates(PlanningContext* ctx,
 /// time; `L` is the request's direct distance. Returns kInvalidWorker on
 /// rejection, else the chosen worker with `*best` filled. Each linear-DP
 /// evaluation increments *exact_evaluations when non-null.
+/// Speculative-evaluation capture for PlanRequestSequential: when
+/// non-null, every candidate access (decision bound and DP insertion)
+/// runs under the worker's Fleet::LockWorker stripe — the fleet may be
+/// mutated concurrently by a commit stage — and the route version seen
+/// at bound time is recorded per candidate into `versions`. Versions
+/// only ever grow, so "every recorded version still current at commit
+/// time" proves the whole speculative scan read exactly the state a
+/// fresh scan would read.
+struct SpecCapture {
+  std::vector<std::pair<WorkerId, std::uint64_t>>* versions = nullptr;
+};
+
 WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
                                const PlannerConfig& config, const Request& r,
                                double L,
                                const std::vector<WorkerId>& candidates,
                                InsertionCandidate* best,
-                               std::int64_t* exact_evaluations);
+                               std::int64_t* exact_evaluations,
+                               const SpecCapture* spec = nullptr);
 
 }  // namespace urpsm
 

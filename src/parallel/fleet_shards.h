@@ -15,23 +15,31 @@ namespace urpsm {
 
 /// Spatial partition of the fleet for whole-request parallel planning:
 /// the road network's bounding box is covered by a coarse grid of region
-/// cells, regions map onto a fixed set of shards, and every worker belongs
-/// to the shard of the region its route anchor lies in.
+/// cells, the region grid is split into a fixed set of contiguous
+/// rectangular tiles (one per shard), and every worker belongs to the
+/// shard of the tile its route anchor lies in.
 ///
-/// Each shard carries its own mutex. The dispatch-window engine hands out
-/// one task per (request, candidate shard), and the Fleet — once shards
-/// are attached via Fleet::AttachShards — serializes per-worker mutations
-/// and route-state cache rebuilds on the owning shard's lock, so requests
-/// planned concurrently can touch overlapping candidate sets without
-/// racing.
+/// The tiles are contiguous — unlike a scattered cells-modulo-shards
+/// mapping — so each shard covers one bounded rectangle of the map. That
+/// is what makes the deep pipeline's displacement gate non-degenerate: a
+/// request's candidate workers can only come from shards whose tile lies
+/// within its candidate radius plus a worker-displacement bound, so its
+/// filtering can start as soon as THOSE shards advanced instead of
+/// waiting for the global advance barrier (see TileDistanceKm /
+/// MaxDisplacementKm and the DispatchWindowPlanner contract).
+///
+/// Worker mutations are serialized on a mutex *stripe* keyed by worker id
+/// (mutex_of) — deliberately independent of the tile assignment, so a
+/// Rebuild on the commit thread can never re-home a worker's lock while a
+/// speculative planner holds it.
 ///
 /// The shard count and region size are structural constants of the run:
 /// they never depend on the thread count, so the task decomposition (and
 /// with it every deterministic planning result) is identical for any pool
 /// size. Shard membership is refreshed by Rebuild(), which the engine
-/// calls once per window after the driver thread has committed due stops;
-/// between Rebuilds the worker->shard map is immutable and may be read
-/// concurrently.
+/// calls once per window after the committing thread has advanced the
+/// fleet; between Rebuilds the worker->shard map is immutable and may be
+/// read concurrently.
 class FleetShards {
  public:
   static constexpr int kDefaultShards = 16;
@@ -43,45 +51,63 @@ class FleetShards {
   FleetShards(const Fleet* fleet, Point lo, Point hi, double region_km,
               int num_shards = kDefaultShards);
 
-  /// Reassigns every worker to the shard of its current anchor region.
-  /// Driver-thread only; must not run concurrently with anything that
-  /// reads the assignment (planning phases, locked Fleet mutations).
+  /// Reassigns every worker to the shard of its current anchor tile and
+  /// records each shard's minimum member anchor time (the displacement
+  /// bound's baseline). Single-writer only; must not run concurrently
+  /// with anything that reads the assignment (planning phases that call
+  /// ShardOf / workers_in / MaxDisplacementKm).
   void Rebuild();
 
   int num_shards() const { return num_shards_; }
   int ShardOf(WorkerId w) const {
     return shard_of_[static_cast<std::size_t>(w)];
   }
-  std::mutex& mutex(int shard) {
-    return mutexes_[static_cast<std::size_t>(shard)];
+  /// Mutex stripe of worker `w` — keyed by worker id, NOT by the tile
+  /// assignment, so the lock map is stable across Rebuilds. Distinct
+  /// workers may share a stripe; one worker always maps to one mutex.
+  std::mutex& mutex_of(WorkerId w) {
+    return mutexes_[static_cast<std::size_t>(w) %
+                    static_cast<std::size_t>(num_shards_)];
   }
-  std::mutex& mutex_of(WorkerId w) { return mutex(ShardOf(w)); }
   /// Workers currently assigned to `shard`, in worker-id order.
   const std::vector<WorkerId>& workers_in(int shard) const {
     return members_[static_cast<std::size_t>(shard)];
   }
 
-  /// Shard of an arbitrary point's region (exposed for tests).
+  /// Shard of an arbitrary point's tile (exposed for tests).
   int ShardOfPoint(const Point& p) const;
+
+  /// Euclidean distance (km) from `p` to shard `s`'s tile rectangle
+  /// (0 when inside). The rectangle covers every region cell of the tile,
+  /// so every member anchor recorded by the last Rebuild lies within it.
+  double TileDistanceKm(int s, const Point& p) const;
+
+  /// Upper bound (km) on how far any member of shard `s` can sit from its
+  /// last-Rebuild anchor once the fleet is advanced to `now`: a worker
+  /// moves at most v_max * (now - anchor_time), and anchor times only
+  /// grow after the Rebuild snapshot. Empty shards bound 0.
+  double MaxDisplacementKm(int s, double now) const;
 
   // ---- Cross-window readiness (the pipelined engine's dependency graph).
   //
   // Each shard carries the epoch of the last dispatch window whose commit
   // stage can no longer touch it. The commit stage marks shards as their
   // last dependent proposal applies (and every shard when the window is
-  // fully committed); the planning stage of the NEXT window blocks in
-  // WaitCommitted before advancing a shard's workers — so window k+1's
-  // per-shard ADVANCE starts as soon as window k released that shard,
-  // not when window k finished globally. (The later filter/decision/
-  // planning phases still need every shard advanced — see the
-  // PipelinedBatchPlanner contract — and the advance iterates shards in
-  // fixed order for determinism, so a late release of a low-numbered
-  // shard serializes the tail.) Epochs start at 0, so waiting on epoch 0
-  // is always satisfied (the non-pipelined OnBatch path relies on that).
+  // fully committed); the planning stage of a later window blocks in
+  // WaitCommitted before advancing a shard's workers — so a window's
+  // per-shard ADVANCE starts as soon as the previous window released that
+  // shard, not when it finished globally. Epochs start at 0, so waiting
+  // on epoch 0 is always satisfied (the non-pipelined OnBatch path relies
+  // on that).
 
   /// Blocks until shard `s` has been released by window `epoch`'s commit
   /// stage (no-op when already released or epoch == 0).
   void WaitCommitted(int s, std::uint64_t epoch) const;
+  /// Non-blocking probe of WaitCommitted's condition.
+  bool TryCommitted(int s, std::uint64_t epoch) const;
+  /// Whether EVERY shard has been released by window `epoch` — the deep
+  /// pipeline's exact-vs-speculative probe (one lock, no waiting).
+  bool AllCommittedAtLeast(std::uint64_t epoch) const;
   /// Marks shard `s` as released by window `epoch`. Monotone: a smaller
   /// epoch than the current mark is ignored.
   void MarkCommitted(int s, std::uint64_t epoch);
@@ -96,9 +122,16 @@ class FleetShards {
   double region_km_;
   int cells_x_ = 0;
   int cells_y_ = 0;
+  int tiles_x_ = 0;  // tile grid: tiles_x_ * tiles_y_ == num_shards_
+  int tiles_y_ = 0;
   int num_shards_ = 0;
   std::vector<int> shard_of_;                // worker id -> shard
   std::vector<std::vector<WorkerId>> members_;  // shard -> worker ids
+  /// Tile rectangles in km ({min, max} per shard), fixed at construction.
+  std::vector<Point> tile_min_;
+  std::vector<Point> tile_max_;
+  /// Minimum member anchor time at the last Rebuild (kInf when empty).
+  std::vector<double> min_anchor_time_;
   std::unique_ptr<std::mutex[]> mutexes_;
 
   // Epoch tracker state: one mark per shard behind a single mutex — marks

@@ -14,8 +14,14 @@ std::vector<VertexId> DijkstraOracle::Path(VertexId u, VertexId v) {
   return DijkstraPath(*graph_, u, v);
 }
 
+thread_local std::int64_t* CachedOracle::bill_sink_ = nullptr;
+
 double CachedOracle::Distance(VertexId u, VertexId v) {
-  ++query_count_;
+  if (bill_sink_ != nullptr) {
+    ++*bill_sink_;
+  } else {
+    ++query_count_;
+  }
   if (u == v) return 0.0;
   // The network is undirected: canonicalize the key.
   const std::pair<VertexId, VertexId> key =

@@ -93,7 +93,33 @@ class CachedOracle : public DistanceOracle {
   std::int64_t cache_misses() const { return cache_.misses(); }
   DistanceOracle* inner() { return inner_; }
 
+  /// Redirects this thread's Distance billing away from query_count_ and
+  /// into `*sink` for the scope's lifetime. The speculative planning
+  /// stage bills each request's queries to a private sink: a speculation
+  /// HIT re-bills them via AddBilled (the queries a non-speculative run
+  /// would have made), a MISS drops them — so the reported query count is
+  /// depth- and timing-independent. Cache contents still warm either way.
+  class BillingScope {
+   public:
+    explicit BillingScope(std::int64_t* sink) : prev_(bill_sink_) {
+      bill_sink_ = sink;
+    }
+    ~BillingScope() { bill_sink_ = prev_; }
+    BillingScope(const BillingScope&) = delete;
+    BillingScope& operator=(const BillingScope&) = delete;
+
+   private:
+    std::int64_t* prev_;
+  };
+
+  /// Adds `n` sink-billed queries back onto the global counter.
+  void AddBilled(std::int64_t n) {
+    query_count_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
+  static thread_local std::int64_t* bill_sink_;
+
   struct KeyHash {
     std::size_t operator()(const std::pair<VertexId, VertexId>& k) const {
       return std::hash<std::int64_t>()(

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <thread>
 #include <utility>
 
@@ -11,7 +12,7 @@ DispatchWindowPlanner::DispatchWindowPlanner(PlanningContext* ctx,
                                              Fleet* fleet,
                                              PlannerConfig config,
                                              ThreadPool* pool)
-    : ctx_(ctx), fleet_(fleet), config_(config), pool_(pool) {
+    : ctx_(ctx), fleet_(fleet), config_(config), pool_(pool), slots_(2) {
   Point lo, hi;
   ctx_->graph().BoundingBox(&lo, &hi);
   index_ = std::make_unique<GridIndex>(lo, hi, config_.grid_cell_km);
@@ -23,24 +24,42 @@ DispatchWindowPlanner::DispatchWindowPlanner(PlanningContext* ctx,
   shards_ = std::make_unique<FleetShards>(fleet_, lo, hi,
                                           4.0 * config_.grid_cell_km);
   fleet_->AttachShards(shards_.get());
+  commit_heads_ = std::vector<std::atomic<std::size_t>>(
+      static_cast<std::size_t>(shards_->num_shards()));
+  // Speculative query billing needs the cache layer; without it the
+  // speculative path still produces identical assignments, only the
+  // reported query count would include abandoned speculative work.
+  billing_ = dynamic_cast<CachedOracle*>(ctx_->oracle());
 }
 
 DispatchWindowPlanner::~DispatchWindowPlanner() {
   fleet_->AttachShards(nullptr);
 }
 
-void DispatchWindowPlanner::ForEach(
-    std::size_t n, const std::function<void(std::int64_t)>& body) {
+void DispatchWindowPlanner::ConfigurePipeline(int depth) {
+  depth_ = std::max(2, depth);
+  pipelined_ = true;
+  // The ring is rebuilt, not resized: WindowSlot carries an atomic and is
+  // deliberately non-movable, and no window is in flight here.
+  slots_ = std::vector<WindowSlot>(static_cast<std::size_t>(depth_));
+  if (commit_pool_ == nullptr && pool_ != nullptr &&
+      pool_->num_threads() > 1) {
+    commit_pool_ = std::make_unique<ThreadPool>(pool_->num_threads());
+  }
+}
+
+void DispatchWindowPlanner::ForEachOn(
+    ThreadPool* pool, std::size_t n,
+    const std::function<void(std::int64_t)>& body) {
   // Purely an execution choice (the per-task work is fixed): tiny task
   // counts run inline rather than paying the pool wakeup. Grain stays 1:
-  // the cursor claims indices monotonically, which the per-request
-  // dependency chains rely on (every decision task is claimed — hence
-  // running to completion on some thread — before any planning task is,
-  // so a planning task's bounded wait always terminates).
+  // the cursor claims indices monotonically, which the commit stage's
+  // ticket waits rely on (a task only ever waits on smaller indices, all
+  // claimed — hence running to completion on some thread — before it).
   const bool worth_fanning =
-      pool_ != nullptr && pool_->num_threads() > 1 && n >= 2;
+      pool != nullptr && pool->num_threads() > 1 && n >= 2;
   if (worth_fanning) {
-    pool_->ParallelFor(0, static_cast<std::int64_t>(n), body, /*grain=*/1);
+    pool->ParallelFor(0, static_cast<std::int64_t>(n), body, /*grain=*/1);
   } else {
     for (std::size_t i = 0; i < n; ++i) body(static_cast<std::int64_t>(i));
   }
@@ -65,20 +84,29 @@ void DispatchWindowPlanner::PlanAndApplySingle(const Request& r, double now) {
 
 bool DispatchWindowPlanner::PlanSequential(
     const Request& r, const std::vector<WorkerId>& candidates, Proposal* out,
-    std::int64_t* evals) {
-  // Funnels through the one shared sequential scan, so singleton batches
-  // and conflict replans can never drift from GreedyDpPlanner::OnRequest.
+    std::int64_t* evals, const SpecCapture* spec) {
+  // Funnels through the one shared sequential scan, so batch planning,
+  // speculative planning, singleton batches and conflict replans can
+  // never drift from GreedyDpPlanner::OnRequest.
   const double L = ctx_->DirectDist(r.id);
   InsertionCandidate best;
   const WorkerId best_worker = PlanRequestSequential(
-      ctx_, fleet_, config_, r, L, candidates, &best, evals);
+      ctx_, fleet_, config_, r, L, candidates, &best, evals, spec);
   if (best_worker == kInvalidWorker) return false;
   out->request = r.id;
   out->worker = best_worker;
   out->delta = best.delta;
   out->i = best.i;
   out->j = best.j;
-  out->route_version = fleet_->route(best_worker).version();
+  if (spec != nullptr) {
+    // The fleet is live under a speculative scan: the version stamp must
+    // be read under the worker's stripe. (It is overwritten with the
+    // then-current version if the proposal survives validation.)
+    const std::unique_lock<std::mutex> lock = fleet_->LockWorker(best_worker);
+    out->route_version = fleet_->route(best_worker).version();
+  } else {
+    out->route_version = fleet_->route(best_worker).version();
+  }
   return true;
 }
 
@@ -93,8 +121,8 @@ void DispatchWindowPlanner::OnBatch(const std::vector<RequestId>& batch,
     shards_->MarkAllCommitted(epoch);
     return;
   }
-  WindowSlot& slot = slots_[epoch % 2];
-  PlanInto(&slot, batch, now, epoch, /*self_advance=*/false);
+  WindowSlot& slot = slots_[epoch % static_cast<WindowEpoch>(depth_)];
+  PlanExact(&slot, batch, now, epoch, /*self_advance=*/false);
   CommitSlot(&slot);
 }
 
@@ -103,59 +131,102 @@ void DispatchWindowPlanner::PlanWindow(const std::vector<RequestId>& batch,
   // The pipelined mode funnels even singleton windows through the full
   // plan/commit split: PlanAndApplySingle mutates the fleet, which the
   // planning stage must not do while the previous commit is in flight.
-  PlanInto(&slots_[epoch % 2], batch, now, epoch, /*self_advance=*/true);
+  WindowSlot& slot = slots_[epoch % static_cast<WindowEpoch>(depth_)];
+  // Exact-vs-speculative probe: with the classic double buffer there is
+  // nothing to decide (the advance gate waits for window e-1 anyway);
+  // deeper rings plan exactly when the previous window already fully
+  // committed — the probe races the commit tail, but BOTH outcomes
+  // produce identical results (a speculative window whose fleet never
+  // changes validates clean), so the race is benign for determinism.
+  const bool exact = depth_ <= 2 || epoch <= 1 ||
+                     shards_->AllCommittedAtLeast(epoch - 1);
+  if (exact) {
+    PlanExact(&slot, batch, now, epoch, /*self_advance=*/true);
+  } else {
+    PlanSpeculative(&slot, batch, now, epoch);
+  }
 }
 
 void DispatchWindowPlanner::CommitWindow(WindowEpoch epoch) {
-  WindowSlot& slot = slots_[epoch % 2];
+  WindowSlot& slot = slots_[epoch % static_cast<WindowEpoch>(depth_)];
   assert(slot.epoch == epoch && "CommitWindow out of order");
   CommitSlot(&slot);
 }
 
-void DispatchWindowPlanner::PlanInto(WindowSlot* slot,
-                                     const std::vector<RequestId>& batch,
-                                     double now, WindowEpoch epoch,
-                                     bool self_advance) {
+void DispatchWindowPlanner::PlanExact(WindowSlot* slot,
+                                      const std::vector<RequestId>& batch,
+                                      double now, WindowEpoch epoch,
+                                      bool self_advance) {
   const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
 
-  // ---- 1. Advance gate: shard by shard, in fixed shard order, each as
-  // soon as the previous window's commit stage releases it. The fixed
-  // shard-then-worker order keeps every cross-worker accumulation
-  // (committed distance, heap pushes, grid moves) deterministic no matter
-  // how the commit stage interleaves. In the fused (OnBatch) mode the
-  // previous window committed synchronously, so the waits return
-  // immediately and the simulator has already advanced the fleet.
-  const WindowEpoch prev = epoch == 0 ? 0 : epoch - 1;
-  for (std::size_t s = 0; s < shard_count; ++s) {
-    shards_->WaitCommitted(static_cast<int>(s), prev);
-    if (self_advance) {
-      for (const WorkerId w : shards_->workers_in(static_cast<int>(s))) {
-        fleet_->AdvanceWorkerTo(w, now);
+  // ---- 0. Slot-free gate: the ring slot was last used by window
+  // epoch - depth_, whose commit must have fully retired before any slot
+  // field is rewritten. (The fused mode commits synchronously and the
+  // waits return immediately.)
+  if (epoch > static_cast<WindowEpoch>(depth_)) {
+    const WindowEpoch freed = epoch - static_cast<WindowEpoch>(depth_);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards_->WaitCommitted(static_cast<int>(s), freed);
+    }
+  }
+  assert(slot->state.load(std::memory_order_relaxed) == SlotState::kFree);
+  slot->state.store(SlotState::kFilling, std::memory_order_relaxed);
+  slot->epoch = epoch;
+  slot->now = now;
+  slot->speculative = false;
+
+  // ---- 1. Request headers + displacement gate masks. Prep elements are
+  // reused across the slot's windows (no clear() — that would free every
+  // inner buffer): fields are either overwritten below or explicitly
+  // reset, keeping capacity warm on the planning thread's critical path.
+  std::vector<Prep>& preps = slot->preps;
+  preps.resize(batch.size());
+  touched_.assign(static_cast<std::size_t>(fleet_->size()), 0);
+  // The per-shard gate needs one bit per shard; wider partitions fall
+  // back to the full advance barrier (structurally deterministic either
+  // way — the mask is a pure function of request and Rebuild snapshot).
+  const bool gated = self_advance && shard_count <= 64;
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    Prep& p = preps[b];
+    p.alive = false;
+    p.prepped = false;
+    p.planned = false;
+    p.required_mask = 0;
+    p.r = &ctx_->request(batch[b]);
+    p.L = ctx_->DirectDist(p.r->id);
+    if (!gated) continue;
+    // Planning happens at the window close: the shared filter's ideal-
+    // service deadline test runs against `now`, not the release time.
+    const double radius = CandidateRadiusKm(*p.r, p.L, now);
+    if (now + p.L > p.r->deadline || radius < 0.0) continue;  // filter = {}
+    // The filter reads the grid cells within `rings` of the origin cell
+    // (rings = floor(radius / g) + 1), i.e. points within
+    // sqrt(2) * (radius + 2g) of the origin. Shard s can place a worker
+    // (any index position it held since the last Rebuild) inside that
+    // rectangle only if its tile lies within the rectangle bound plus
+    // the shard's maximum member displacement — everything farther is
+    // provably invisible to this request's filter.
+    const Point origin = ctx_->graph().coord(p.r->origin);
+    const double reach =
+        std::sqrt(2.0) * (radius + 2.0 * config_.grid_cell_km);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      if (shards_->TileDistanceKm(static_cast<int>(s), origin) <=
+          reach + shards_->MaxDisplacementKm(static_cast<int>(s), now)) {
+        p.required_mask |= std::uint64_t{1} << s;
       }
     }
   }
 
-  slot->epoch = epoch;
-  slot->now = now;
-
-  // ---- 2. Prep: filters, candidates, touches. Prep elements are reused
-  // across the slot's windows (no clear() — that would free every inner
-  // buffer): fields are either overwritten below or explicitly reset,
-  // so shard/lbs/bounds keep their capacity warm on the planning
-  // thread's critical path.
-  std::vector<Prep>& preps = slot->preps;
-  preps.resize(batch.size());
-  touched_.assign(static_cast<std::size_t>(fleet_->size()), 0);
-  for (std::size_t b = 0; b < batch.size(); ++b) {
+  // Filter + touch of one request; runs as soon as its required shards
+  // advanced. Touching never commits stops here — every candidate's
+  // shard is required, hence already advanced to `now` — so the touch
+  // order across requests is immaterial (per-worker idle anchor bumps,
+  // first touch wins).
+  const auto prep_one = [&](std::size_t b) {
     Prep& p = preps[b];
-    p.alive = false;
-    p.r = &ctx_->request(batch[b]);
-    const Request& r = *p.r;
-    p.L = ctx_->DirectDist(r.id);
-    // Planning happens at the window close: the shared filter's ideal-
-    // service deadline test runs against `now`, not the release time.
-    p.candidates = FilterCandidates(ctx_, *index_, r, p.L, now);
-    if (p.candidates.empty()) continue;
+    p.prepped = true;
+    p.candidates = FilterCandidates(ctx_, *index_, *p.r, p.L, now);
+    if (p.candidates.empty()) return;
     p.alive = true;
     for (const WorkerId w : p.candidates) {
       auto& flag = touched_[static_cast<std::size_t>(w)];
@@ -164,6 +235,40 @@ void DispatchWindowPlanner::PlanInto(WindowSlot* slot,
         fleet_->Touch(w, now);
       }
     }
+  };
+
+  // ---- 2. Advance gate: shard by shard, in fixed shard order, each as
+  // soon as the previous window's commit stage releases it. The fixed
+  // shard-then-worker order keeps every cross-worker accumulation
+  // (committed distance, heap pushes, grid moves) deterministic no matter
+  // how the commit stage interleaves. Requests prep the moment their
+  // required-shard mask is covered by the advanced prefix — the former
+  // global advance barrier survives only for requests that genuinely
+  // need every shard. In the fused (OnBatch) mode the previous window
+  // committed synchronously, so the waits return immediately and the
+  // simulator has already advanced the fleet.
+  const WindowEpoch prev = epoch == 0 ? 0 : epoch - 1;
+  if (self_advance) {
+    std::uint64_t advanced = 0;
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards_->WaitCommitted(static_cast<int>(s), prev);
+      for (const WorkerId w : shards_->workers_in(static_cast<int>(s))) {
+        fleet_->AdvanceWorkerTo(w, now);
+      }
+      if (!gated) continue;
+      if (s < 64) advanced |= std::uint64_t{1} << s;
+      for (std::size_t b = 0; b < preps.size(); ++b) {
+        Prep& p = preps[b];
+        if (!p.prepped && (p.required_mask & ~advanced) == 0) prep_one(b);
+      }
+    }
+  } else {
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards_->WaitCommitted(static_cast<int>(s), prev);
+    }
+  }
+  for (std::size_t b = 0; b < preps.size(); ++b) {
+    if (!preps[b].prepped) prep_one(b);
   }
   // Anchors may have moved while committing due stops; shard membership
   // reflects the post-advance positions for the rest of the window. (The
@@ -171,172 +276,177 @@ void DispatchWindowPlanner::PlanInto(WindowSlot* slot,
   // wait saw every shard released — so no concurrent reader exists.)
   shards_->Rebuild();
 
-  // ---- 3+4. Decision + planning as per-request dependency chains: one
-  // ShardTask per (request, candidate shard) serves BOTH passes. The
-  // combined index space is [0, T) decision tasks then [T, 2T) planning
-  // tasks; a planning task spins until its request's decision chain
-  // completed (bounded: all decision tasks are claimed first — see
-  // ForEach). The request's rejection test + scan order run exactly once,
-  // on the thread that finished its last decision task.
-  std::vector<ShardTask>& tasks = slot->tasks;
-  tasks.clear();
-  std::vector<std::vector<std::size_t>>& by_shard = by_shard_;
-  by_shard.resize(shard_count);  // buckets are left empty between windows
-  for (std::size_t b = 0; b < preps.size(); ++b) {
-    Prep& p = preps[b];
-    if (!p.alive) continue;
-    p.lbs.assign(p.candidates.size(), kInf);
-    p.shard.resize(p.candidates.size());
-    p.bounds.clear();  // reused element: stale decision arrays from the
-    p.order.clear();   // slot's previous window must not leak in
-    for (std::size_t k = 0; k < p.candidates.size(); ++k) {
-      const int s = shards_->ShardOf(p.candidates[k]);
-      p.shard[k] = s;
-      by_shard[static_cast<std::size_t>(s)].push_back(k);
-    }
-    p.task_begin = tasks.size();
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      if (by_shard[s].empty()) continue;
-      tasks.push_back({b, static_cast<int>(s), std::move(by_shard[s]),
-                       {}, {}, 0, kInvalidWorker, 0});
-      by_shard[s].clear();
-    }
-    p.task_end = tasks.size();
-  }
-
-  std::vector<std::atomic<int>> pending(preps.size());
-  std::vector<std::atomic<std::uint8_t>> decided(preps.size());
-  for (std::size_t b = 0; b < preps.size(); ++b) {
-    pending[b].store(0, std::memory_order_relaxed);
-    decided[b].store(preps[b].alive ? 0 : 1, std::memory_order_relaxed);
-  }
-  for (const ShardTask& task : tasks) {
-    pending[task.req].fetch_add(1, std::memory_order_relaxed);
-  }
-
-  // Rejection + scan order for one request, in candidate order — the
-  // same bounds array and permutation the sequential planner derives —
-  // followed by distributing the scan positions onto the request's shard
-  // tasks (so each planning task walks only its own share of the order).
-  const auto finish_decision = [&](std::size_t b) {
-    Prep& p = preps[b];
-    double min_lb = kInf;
-    p.bounds.reserve(p.candidates.size());
-    for (std::size_t k = 0; k < p.candidates.size(); ++k) {
-      if (p.lbs[k] == kInf) continue;
-      p.bounds.push_back({p.candidates[k], p.lbs[k]});
-      min_lb = std::min(min_lb, p.lbs[k]);
-    }
-    if (p.bounds.empty() || p.r->penalty < config_.alpha * min_lb) {
-      p.alive = false;  // rejection is final (Def. 5)
-    } else {
-      p.order = AscendingLowerBoundOrder(p.bounds);
-      // The request's tasks were created in ascending shard order, so the
-      // owning task is a binary search away (every scanned candidate's
-      // shard has one — task creation covered all candidate shards).
-      const auto t_begin =
-          tasks.begin() + static_cast<std::ptrdiff_t>(p.task_begin);
-      const auto t_end =
-          tasks.begin() + static_cast<std::ptrdiff_t>(p.task_end);
-      for (std::size_t pos = 0; pos < p.order.size(); ++pos) {
-        const int s = shards_->ShardOf(p.bounds[p.order[pos]].worker);
-        const auto it = std::lower_bound(
-            t_begin, t_end, s,
-            [](const ShardTask& task, int shard) { return task.shard < shard; });
-        assert(it != t_end && it->shard == s);
-        it->plan_positions.push_back(pos);
-      }
-    }
-    decided[b].store(1, std::memory_order_release);
-  };
-
-  const std::size_t t_count = tasks.size();
-  ForEach(2 * t_count, [&](std::int64_t i) {
-    if (i < static_cast<std::int64_t>(t_count)) {
-      // Decision pass of one (request, shard) task.
-      ShardTask& task = tasks[static_cast<std::size_t>(i)];
-      Prep& p = preps[task.req];
-      for (const std::size_t k : task.members) {
-        const WorkerId w = p.candidates[k];
-        const Route& route = fleet_->route(w);
-        const RouteState& st = fleet_->CachedState(w, ctx_);
-        p.lbs[k] = DecisionLowerBound(fleet_->worker(w), route, st, *p.r, p.L,
-                                      ctx_->graph());
-      }
-      if (pending[task.req].fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        finish_decision(task.req);
-      }
-      return;
-    }
-    // Planning pass of the matching task: wait for the request's decision
-    // chain, then scan this shard's candidates in the global scan order
-    // with the shard-local Lemma 8 cutoff. The cutoff is lossless (the
-    // epsilon guard never prunes a candidate that could beat or tie this
-    // shard's best), so the cross-shard merge still finds the winner.
-    ShardTask& task = tasks[static_cast<std::size_t>(
-        i - static_cast<std::int64_t>(t_count))];
-    const Prep& p = preps[task.req];
-    while (decided[task.req].load(std::memory_order_acquire) == 0) {
-      std::this_thread::yield();
-    }
-    if (!p.alive) return;
-    for (const std::size_t pos : task.plan_positions) {
-      const std::size_t k = p.order[pos];
-      const WorkerId w = p.bounds[k].worker;
-      if (config_.use_pruning && task.best.feasible() &&
-          LemmaEightCutoff(task.best.delta, p.bounds[k].lower_bound)) {
-        break;
-      }
-      ++task.evals;
-      const InsertionCandidate cand =
-          LinearDpInsertion(fleet_->worker(w), fleet_->route(w),
-                            fleet_->CachedState(w, ctx_), *p.r, ctx_);
-      if (cand.feasible() && cand.delta < task.best.delta) {
-        task.best = cand;
-        task.best_pos = pos;
-        task.best_worker = w;
-      }
-    }
-  });
-
-  // ---- Merge winners per request: minimum (delta, scan position) over
-  // shard tasks == the sequential scan's first strict improvement (ties
-  // on the exact cost go to the earliest candidate in the shared scan
-  // order). A lexicographic minimum, so the merge order is immaterial.
+  // ---- 3. Planning: one task per request, the shared sequential
+  // decision+planning scan against the frozen fleet. Requests are
+  // mutually independent here, so the winners are schedule-independent;
+  // evaluation counts are accumulated serially afterwards.
+  slot->state.store(SlotState::kPlanning, std::memory_order_relaxed);
   std::vector<Proposal>& proposals = slot->proposals;
   proposals.assign(preps.size(), Proposal{});
-  std::vector<std::size_t>& best_pos_of = best_pos_of_;
-  best_pos_of.assign(preps.size(), 0);
-  for (const ShardTask& task : tasks) {
-    exact_evaluations_ += task.evals;
-    if (!task.best.feasible()) continue;
-    Proposal& p = proposals[task.req];
-    const bool wins =
-        p.worker == kInvalidWorker || task.best.delta < p.delta ||
-        (task.best.delta == p.delta && task.best_pos < best_pos_of[task.req]);
-    if (wins) {
-      p.request = preps[task.req].r->id;
-      p.worker = task.best_worker;
-      p.delta = task.best.delta;
-      p.i = task.best.i;
-      p.j = task.best.j;
-      best_pos_of[task.req] = task.best_pos;
-    }
+  ForEach(preps.size(), [&](std::int64_t i) {
+    const auto b = static_cast<std::size_t>(i);
+    Prep& p = preps[b];
+    if (!p.alive) return;
+    p.evals = 0;
+    p.planned = PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals);
+  });
+  for (const Prep& p : preps) {
+    if (p.alive) exact_evaluations_ += p.evals;
   }
 
-  // ---- Apply order + shard release schedule for the commit stage.
+  BuildAcceptSchedule(slot);
+}
+
+void DispatchWindowPlanner::PlanSpeculative(
+    WindowSlot* slot, const std::vector<RequestId>& batch, double now,
+    WindowEpoch epoch) {
+  const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
+  // Slot-free gate, as in PlanExact — the speculative path has no
+  // advance gate to imply it.
+  if (epoch > static_cast<WindowEpoch>(depth_)) {
+    const WindowEpoch freed = epoch - static_cast<WindowEpoch>(depth_);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      shards_->WaitCommitted(static_cast<int>(s), freed);
+    }
+  }
+  assert(slot->state.load(std::memory_order_relaxed) == SlotState::kFree);
+  slot->state.store(SlotState::kFilling, std::memory_order_relaxed);
+  slot->epoch = epoch;
+  slot->now = now;
+  slot->speculative = true;
+
+  // ---- Provisional prep against the live fleet: no advance, no touch,
+  // no Rebuild — those are the committing thread's to perform. The
+  // filter runs under the commit lock, which serializes it against the
+  // grid moves of concurrently committing stops.
+  std::vector<Prep>& preps = slot->preps;
+  preps.resize(batch.size());
+  for (std::size_t b = 0; b < batch.size(); ++b) {
+    Prep& p = preps[b];
+    p.prepped = true;
+    p.planned = false;
+    p.required_mask = 0;
+    p.r = &ctx_->request(batch[b]);
+    p.L = ctx_->DirectDist(p.r->id);  // memoized once; globally billed
+    {
+      const std::unique_lock<std::mutex> lock = fleet_->LockCommitState();
+      p.candidates = FilterCandidates(ctx_, *index_, *p.r, p.L, now);
+    }
+    p.alive = !p.candidates.empty();
+  }
+
+  // ---- Speculative planning: per-candidate accesses under the mutex
+  // stripes with route versions captured; distance queries billed to the
+  // request's private sink (re-billed only if the speculation survives).
+  slot->state.store(SlotState::kPlanning, std::memory_order_relaxed);
+  std::vector<Proposal>& proposals = slot->proposals;
+  proposals.assign(preps.size(), Proposal{});
+  ForEach(preps.size(), [&](std::int64_t i) {
+    const auto b = static_cast<std::size_t>(i);
+    Prep& p = preps[b];
+    if (!p.alive) return;
+    p.evals = 0;
+    p.spec_queries = 0;
+    p.spec_versions.clear();
+    const SpecCapture capture{&p.spec_versions};
+    if (billing_ != nullptr) {
+      const CachedOracle::BillingScope scope(&p.spec_queries);
+      p.planned =
+          PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals, &capture);
+    } else {
+      p.planned =
+          PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals, &capture);
+    }
+  });
+  // No accept schedule yet: commit-time validation re-derives candidates
+  // and versions, then builds it from the surviving proposals.
+}
+
+void DispatchWindowPlanner::ValidateSpeculative(WindowSlot* slot) {
+  const double now = slot->now;
+  const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
+  std::vector<Prep>& preps = slot->preps;
+
+  // The committing thread is the only committer and window epoch-1 fully
+  // retired before CommitWindow(epoch) was called, so the full advance
+  // runs without epoch waits — in the same fixed shard-then-worker order
+  // the exact path uses, producing the identical commit-event stream.
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    for (const WorkerId w : shards_->workers_in(static_cast<int>(s))) {
+      fleet_->AdvanceWorkerTo(w, now);
+    }
+  }
+  // Fresh filter + touch, exactly as a non-speculative prep would run
+  // (batch order, first touch wins). Touches commit nothing — everything
+  // just advanced — so this only bumps idle anchors, which shows up as a
+  // version change on any speculatively-read candidate it affects.
+  touched_.assign(static_cast<std::size_t>(fleet_->size()), 0);
+  for (Prep& p : preps) {
+    p.fresh = FilterCandidates(ctx_, *index_, *p.r, p.L, now);
+    for (const WorkerId w : p.fresh) {
+      auto& flag = touched_[static_cast<std::size_t>(w)];
+      if (flag == 0) {
+        flag = 1;
+        fleet_->Touch(w, now);
+      }
+    }
+  }
+  shards_->Rebuild();
+
+  // Hit = the speculative scan provably read what a fresh scan would
+  // read: same candidate list, and every captured route version still
+  // current (versions only grow — any mutation in between, including the
+  // idle bumps above, fails the check). Misses replan from scratch
+  // against the now-advanced fleet; their sink-billed queries are
+  // dropped, the replan bills globally like any exact scan.
+  std::int64_t replan_evals = 0;
+  for (std::size_t b = 0; b < preps.size(); ++b) {
+    Prep& p = preps[b];
+    bool hit = p.fresh == p.candidates;
+    if (hit) {
+      for (const auto& [w, version] : p.spec_versions) {
+        if (fleet_->route(w).version() != version) {
+          hit = false;
+          break;
+        }
+      }
+    }
+    if (hit) {
+      if (p.alive) {
+        ++spec_hits_;
+        slot->commit_evals += p.evals;
+        if (billing_ != nullptr) billing_->AddBilled(p.spec_queries);
+      }
+      // Dead on both sides: nothing was speculated, nothing to validate.
+      continue;
+    }
+    ++spec_misses_;
+    p.candidates = p.fresh;
+    p.alive = !p.candidates.empty();
+    p.planned = false;
+    slot->proposals[b] = Proposal{};
+    if (p.alive) {
+      p.planned = PlanSequential(*p.r, p.candidates, &slot->proposals[b],
+                                 &replan_evals);
+    }
+  }
+  slot->commit_evals += replan_evals;
+
+  BuildAcceptSchedule(slot);
+}
+
+void DispatchWindowPlanner::BuildAcceptSchedule(WindowSlot* slot) {
+  const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
+  std::vector<Prep>& preps = slot->preps;
+  std::vector<Proposal>& proposals = slot->proposals;
+
+  // ---- Apply order: unified cost (= alpha * delta), then request id.
+  // The exact-reject ablation already ran inside the shared scan
+  // (planned = false), so acceptance is just "a proposal exists".
   std::vector<std::size_t>& accepted = slot->accepted;
   accepted.clear();
   for (std::size_t b = 0; b < preps.size(); ++b) {
-    Prep& p = preps[b];
-    if (!p.alive || proposals[b].worker == kInvalidWorker) continue;
-    if (config_.exact_reject_check &&
-        p.r->penalty < config_.alpha * proposals[b].delta) {
-      continue;
-    }
-    proposals[b].route_version =
-        fleet_->route(proposals[b].worker).version();
-    accepted.push_back(b);
+    if (preps[b].alive && preps[b].planned) accepted.push_back(b);
   }
   std::sort(accepted.begin(), accepted.end(),
             [&](std::size_t a, std::size_t b) {
@@ -345,13 +455,34 @@ void DispatchWindowPlanner::PlanInto(WindowSlot* slot,
               if (pa.delta != pb.delta) return pa.delta < pb.delta;
               return pa.request < pb.request;
             });
-  // A shard is released once the last accepted proposal whose request
-  // could touch it — directly or through a conflict replan over ANY of
-  // its candidates — has retired. Later writes win, so ascending apply
-  // order leaves the maximum index per shard.
+
+  // ---- Shard footprints + sequence tickets + release schedule. A
+  // proposal's footprint is the (deduplicated, ascending) shard set of
+  // its candidates — the workers its apply may read (replan) or write.
+  // Ticket seq s/k gates apply order per shard; the shard is released
+  // once the last accepted proposal whose request could touch it —
+  // directly or through a conflict replan over ANY of its candidates —
+  // has retired. Membership is post-Rebuild, so footprints stay valid
+  // until the next window's Rebuild, which cannot run before this
+  // window's commit fully retires.
   slot->release_at.assign(shard_count, -1);
+  slot->footprints.resize(accepted.size());
+  shard_flag_.assign(shard_count, 0);
+  shard_seq_.assign(shard_count, 0);
   for (std::size_t idx = 0; idx < accepted.size(); ++idx) {
-    for (const int s : preps[accepted[idx]].shard) {
+    auto& footprint = slot->footprints[idx];
+    footprint.clear();
+    for (const WorkerId w : preps[accepted[idx]].candidates) {
+      const int s = shards_->ShardOf(w);
+      if (shard_flag_[static_cast<std::size_t>(s)] == 0) {
+        shard_flag_[static_cast<std::size_t>(s)] = 1;
+        footprint.push_back({s, 0});
+      }
+    }
+    std::sort(footprint.begin(), footprint.end());
+    for (auto& [s, seq] : footprint) {
+      seq = shard_seq_[static_cast<std::size_t>(s)]++;
+      shard_flag_[static_cast<std::size_t>(s)] = 0;
       slot->release_at[static_cast<std::size_t>(s)] =
           static_cast<std::ptrdiff_t>(idx);
     }
@@ -359,6 +490,10 @@ void DispatchWindowPlanner::PlanInto(WindowSlot* slot,
 }
 
 void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
+  assert(slot->state.load(std::memory_order_relaxed) == SlotState::kPlanning);
+  slot->state.store(SlotState::kCommitting, std::memory_order_relaxed);
+  if (slot->speculative) ValidateSpeculative(slot);
+
   const WindowEpoch epoch = slot->epoch;
   const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
   // Shards no accepted proposal can touch are free for the next window
@@ -368,11 +503,35 @@ void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
       shards_->MarkCommitted(static_cast<int>(s), epoch);
     }
   }
-  std::int64_t evals = 0, replans = 0;
-  for (std::size_t idx = 0; idx < slot->accepted.size(); ++idx) {
+
+  // ---- Parallel footprint-ordered apply. Per shard, tickets retire in
+  // sequence; a proposal waits until it holds the head ticket of EVERY
+  // footprint shard, so any two proposals sharing a shard apply in the
+  // accepted (cost, id) order while disjoint ones overlap. That makes
+  // the parallel apply serial-equivalent: a replan triggered by a stale
+  // route version reads only candidates inside its own footprint, whose
+  // state is exactly what the serial loop would have left. Deadlock-free
+  // with grain-1 monotone claiming — a task only waits on smaller
+  // indices, and the smallest unretired index never waits.
+  const std::size_t n = slot->accepted.size();
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    commit_heads_[s].store(0, std::memory_order_relaxed);
+  }
+  apply_evals_.assign(n, 0);
+  apply_replans_.assign(n, 0);
+  ThreadPool* commit_exec = pipelined_ ? commit_pool_.get() : pool_;
+  ForEachOn(commit_exec, n, [&](std::int64_t i) {
+    const auto idx = static_cast<std::size_t>(i);
     const std::size_t b = slot->accepted[idx];
     Proposal& p = slot->proposals[b];
     const Request& r = *slot->preps[b].r;
+    const auto& footprint = slot->footprints[idx];
+    for (const auto& [s, seq] : footprint) {
+      while (commit_heads_[static_cast<std::size_t>(s)].load(
+                 std::memory_order_acquire) != seq) {
+        std::this_thread::yield();
+      }
+    }
     if (fleet_->route(p.worker).version() == p.route_version) {
       // Still the fleet snapshot the proposal was computed against (for
       // this worker): feasibility and delta hold verbatim.
@@ -382,22 +541,31 @@ void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
       // against the updated fleet. The grid index did not move (Insert
       // keeps anchors), so the original candidate list is still the
       // filter's output.
-      ++replans;
+      apply_replans_[idx] = 1;
       Proposal replanned;
-      if (PlanSequential(r, slot->preps[b].candidates, &replanned, &evals)) {
+      if (PlanSequential(r, slot->preps[b].candidates, &replanned,
+                         &apply_evals_[idx])) {
         fleet_->ApplyInsertion(replanned.worker, r, replanned.i, replanned.j,
                                ctx_->oracle());
       }
     }
-    for (std::size_t s = 0; s < shard_count; ++s) {
-      if (slot->release_at[s] == static_cast<std::ptrdiff_t>(idx)) {
-        shards_->MarkCommitted(static_cast<int>(s), epoch);
+    for (const auto& [s, seq] : footprint) {
+      commit_heads_[static_cast<std::size_t>(s)].store(
+          seq + 1, std::memory_order_release);
+    }
+    for (const auto& [s, seq] : footprint) {
+      if (slot->release_at[static_cast<std::size_t>(s)] ==
+          static_cast<std::ptrdiff_t>(idx)) {
+        shards_->MarkCommitted(s, epoch);
       }
     }
+  });
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    slot->commit_evals += apply_evals_[idx];
+    slot->commit_replans += apply_replans_[idx];
   }
   shards_->MarkAllCommitted(epoch);
-  slot->commit_evals += evals;
-  slot->commit_replans += replans;
+  slot->state.store(SlotState::kFree, std::memory_order_relaxed);
 }
 
 PlannerFactory MakeDispatchWindowFactory(PlannerConfig config) {

@@ -6,67 +6,85 @@
 #include <functional>
 #include <memory>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/core/planner.h"
 #include "src/insertion/insertion.h"
 #include "src/parallel/fleet_shards.h"
 #include "src/parallel/thread_pool.h"
+#include "src/shortest/oracle.h"
 
 namespace urpsm {
 
 /// Batched dispatch-window engine: pruneGreedyDP lifted from per-request
-/// to per-window planning with *whole-request* parallelism, and — in the
-/// pipelined driving mode — cross-window per-shard scheduling.
+/// to per-window planning with whole-request parallelism and — in the
+/// pipelined driving mode — a k-slot window ring with speculative
+/// planning and parallel shard-footprint commits.
 ///
 /// The simulation buffers every request released within one dispatch
 /// window (SimOptions::batch_window_s) and hands the batch over at the
-/// window close, with the fleet advanced to that instant. The engine then
-/// plans the batch as the paper's assignment problem:
+/// window close. One window then flows through:
 ///
 ///   1. Advance gate (per shard): in the pipelined mode each shard's
 ///      workers are advanced to the window close as soon as the previous
 ///      window's commit stage releases that shard (FleetShards epoch
-///      marks) — a shard task of window k+1 starts while distant shards
-///      still commit window k. In the windowed mode the simulator has
-///      already advanced the fleet and the gates are trivially open.
-///   2. Prep (planning thread): per request — direct distance,
-///      unservability and radius checks, grid-index candidate filter,
-///      Fleet::Touch of every candidate. Touching mutates fleet + index,
-///      so it stays serial.
-///   3. Decision + planning (parallel, per-request dependency chains):
-///      workers are partitioned into grid-region shards (FleetShards);
-///      one task per (request, candidate shard). A request's planning
-///      tasks start the moment its OWN decision tasks finish — there is
-///      no global phase barrier across requests. The rejection test
-///      (Algo. 4) and AscendingLowerBoundOrder run on whichever thread
-///      completed the request's last decision task; both are pure
-///      functions of the bounds, so the results are schedule-independent.
-///      Planning tasks evaluate the exact linear-DP insertions of their
-///      shard's candidates in the global scan order with a shard-local
-///      Lemma 8 cutoff.
-///   4. Merge (planning thread): the per-request winner is the (delta,
-///      scan-position) minimum over shard tasks — bit-identical to the
-///      sequential pruned scan's first-strict-improvement winner, because
-///      the epsilon-guarded cutoff never prunes a candidate that could
-///      beat or tie, and lexicographic min is merge-order independent.
-///   5. Commit (commit stage): proposals apply in unified-cost-then-
-///      request-id order. A proposal whose worker's route changed under
-///      it (an earlier batch member won the same worker) is replanned
-///      sequentially against the updated fleet; rejections stay final
-///      (Def. 5). As the last proposal (or potential replan) that could
-///      touch a shard retires, the shard is released for the next
+///      marks), always in fixed shard-then-worker order on one thread so
+///      every cross-worker accumulation (committed distance, heap pushes,
+///      grid moves) is deterministic. In the windowed mode the simulator
+///      has already advanced the fleet and the gates are trivially open.
+///   2. Prep: per request — direct distance, unservability and radius
+///      checks, grid-index candidate filter, Fleet::Touch of every
+///      candidate (first touch wins). In the pipelined mode a request's
+///      prep is gated per shard on a worker-displacement bound: shard s
+///      is *required* only if its tile rectangle lies within the
+///      request's filter read rectangle inflated by the shard's maximum
+///      member displacement (v_max times the oldest anchor's lag since
+///      the last Rebuild) — workers of any other shard provably cannot
+///      appear in the filter's grid cells, so the request preps as soon
+///      as its required shards advanced instead of waiting for the
+///      global advance barrier.
+///   3. Planning (parallel, one task per request): the shared sequential
+///      decision+planning scan (PlanRequestSequential) against the
+///      frozen fleet. Requests are independent against a frozen
+///      snapshot, so the per-request winners are schedule-independent.
+///   4. Commit: proposals apply in unified-cost-then-request-id order.
+///      Proposals with disjoint *shard footprints* (the candidate
+///      shards) apply concurrently on the commit pool: each accepted
+///      proposal holds a per-shard sequence ticket and retires in ticket
+///      order per shard, so two proposals sharing any shard apply in the
+///      global order while disjoint ones overlap. A proposal whose
+///      worker's route changed under it (an earlier batch member won the
+///      same worker) is replanned sequentially against the updated
+///      fleet; rejections stay final (Def. 5). As the last proposal that
+///      could touch a shard retires, the shard is released for the next
 ///      window's advance gate.
 ///
-/// Determinism: tasks are pure functions of the fleet snapshot the
-/// previous commit left behind, task decomposition depends only on
-/// structural constants (never the thread count), merges are
-/// order-independent lexicographic minima, conflicts resolve in a total
-/// order, and the pipelined advance executes in fixed shard-then-worker
-/// order on one thread — so for any window length the results are
-/// bit-identical across thread counts (and across ingest-queue
-/// capacities), and a window of 0 (the simulator then drives OnRequest
-/// per release) reproduces the sequential pruneGreedyDP run exactly.
+/// Deep pipeline (ConfigurePipeline depth k > 2): window e+1 may close
+/// while window e is still committing. When the probe "every shard
+/// released by window e" fails, window e+1 is planned *speculatively*
+/// against the live fleet — candidate filtering under the commit lock,
+/// every candidate access under its mutex stripe with the route version
+/// recorded. Its commit stage first re-advances and re-filters exactly
+/// like a non-speculative window, then keeps each request's speculative
+/// proposal only if its candidate list is unchanged and every recorded
+/// version is still current (speculation hit), replanning the diverged
+/// rest (miss) — versions only grow, so a clean check proves the
+/// speculative scan read exactly what a fresh scan would have. Distance
+/// queries made on the speculative path are billed to a private sink
+/// and re-billed only on a hit, so reported query counts are
+/// depth-independent.
+///
+/// Determinism: planning is pure against the fleet snapshot the
+/// previous commit left behind (or validated to be so), decompositions
+/// depend only on structural constants (never the thread count),
+/// conflicts resolve in a total order, the parallel commit is
+/// serial-equivalent by the per-shard tickets, and the advance executes
+/// in fixed shard-then-worker order on one thread — so for any window
+/// length the results are bit-identical across thread counts, ingest
+/// capacities and pipeline depths, and a window of 0 (the simulator
+/// then drives OnRequest per release) reproduces the sequential
+/// pruneGreedyDP run exactly.
 class DispatchWindowPlanner : public PipelinedBatchPlanner {
  public:
   /// `pool` is borrowed and may be nullptr (phases then run inline).
@@ -84,6 +102,11 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   void PlanWindow(const std::vector<RequestId>& batch, double now,
                   WindowEpoch epoch) override;
   void CommitWindow(WindowEpoch epoch) override;
+  /// Sizes the slot ring (depth >= 2; 2 = the classic double buffer) and
+  /// switches the commit stage onto its own pool. Not mid-run.
+  void ConfigurePipeline(int depth) override;
+  std::int64_t speculation_hits() const override { return spec_hits_; }
+  std::int64_t speculation_misses() const override { return spec_misses_; }
   std::string_view name() const override {
     return config_.use_pruning ? "windowPruneGreedyDP" : "windowGreedyDP";
   }
@@ -92,20 +115,25 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   }
 
   /// Exact linear-DP evaluations performed (including commit-stage
-  /// replans). Thread-count independent for a fixed window length (the
-  /// task decomposition is structural). Read only after the run
-  /// quiesced — the commit stage contributes while a window is in flight.
+  /// replans), summed over the whole slot ring. Thread-count independent
+  /// for a fixed window length. Read only after the run quiesced — the
+  /// commit stage contributes while a window is in flight.
   std::int64_t exact_evaluations() const {
-    return exact_evaluations_ + slots_[0].commit_evals +
-           slots_[1].commit_evals;
+    std::int64_t total = exact_evaluations_;
+    for (const WindowSlot& slot : slots_) total += slot.commit_evals;
+    return total;
   }
   /// Proposals that lost their worker to an earlier batch member and went
-  /// through the sequential replanning path. Quiescent read, as above.
+  /// through the sequential replanning path (speculation misses are
+  /// counted separately). Quiescent read, summed over the ring.
   std::int64_t conflict_replans() const {
-    return slots_[0].commit_replans + slots_[1].commit_replans;
+    std::int64_t total = 0;
+    for (const WindowSlot& slot : slots_) total += slot.commit_replans;
+    return total;
   }
   /// The engine's shard partition (epoch marks are inspectable in tests).
   const FleetShards& shards() const { return *shards_; }
+  int pipeline_depth() const { return depth_; }
 
  private:
   /// A request's chosen insertion against a fleet snapshot, keyed by the
@@ -119,50 +147,53 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
     std::uint64_t route_version = 0;
   };
 
-  /// Per-request window state (filter output + decision arrays).
+  /// Per-request window state (filter output + speculation capture).
   struct Prep {
     const Request* r = nullptr;
     double L = 0.0;
+    /// Shards whose advance must precede this request's prep (bit per
+    /// shard; only meaningful on the self-advancing exact path).
+    std::uint64_t required_mask = 0;
     std::vector<WorkerId> candidates;
-    std::vector<int> shard;   // aligned with candidates: ShardOf(candidate)
-    std::vector<double> lbs;  // aligned with candidates, kInf = infeasible
-    std::vector<WorkerBound> bounds;
-    std::vector<std::size_t> order;  // scan order into bounds
-    std::size_t task_begin = 0;      // this request's tasks: [begin, end)
-    std::size_t task_end = 0;
-    bool alive = false;
+    /// Commit-time re-filter output (speculative windows only).
+    std::vector<WorkerId> fresh;
+    /// (worker, route version) per candidate access of the speculative
+    /// scan; all current at commit time <=> the scan was clean.
+    std::vector<std::pair<WorkerId, std::uint64_t>> spec_versions;
+    std::int64_t evals = 0;         // this request's DP evaluations
+    std::int64_t spec_queries = 0;  // sink-billed speculative queries
+    bool alive = false;             // candidates non-empty, not rejected
+    bool prepped = false;           // filter + touch ran (gated loop)
+    bool planned = false;           // proposal holds a chosen insertion
   };
 
-  /// One (request, shard) task — the unit of BOTH the decision and the
-  /// planning pass (same structural decomposition, so the planning pass
-  /// scans exactly the candidates whose bounds this task produced).
-  struct ShardTask {
-    std::size_t req = 0;                 // index into preps
-    int shard = 0;
-    std::vector<std::size_t> members;    // candidate positions in shard
-    /// This shard's scan positions (into the request's order), ascending;
-    /// distributed by the request's rejection/ordering step so each
-    /// planning task walks only its own share of the scan.
-    std::vector<std::size_t> plan_positions;
-    InsertionCandidate best;             // planning result
-    std::size_t best_pos = 0;            // scan position of `best`
-    WorkerId best_worker = kInvalidWorker;
-    std::int64_t evals = 0;
+  /// Slot lifecycle; purely diagnostic ordering (the epoch marks are the
+  /// real synchronization), asserted at each stage boundary.
+  enum class SlotState : std::uint8_t {
+    kFree,
+    kFilling,
+    kPlanning,
+    kCommitting,
   };
 
-  /// One dispatch window in flight. Two slots double-buffer the pipeline:
-  /// while window k's slot sits in the commit stage, window k+1 plans
-  /// into the other. Slot reuse is safe without further synchronization
-  /// because PlanWindow(k+2)'s advance gate cannot open before window
-  /// k+1 — and therefore window k, whose slot it reuses — fully
-  /// committed.
+  /// One dispatch window in flight. The ring holds `depth_` slots:
+  /// window e plans into slot e % depth_, which is reusable because the
+  /// planning stage never starts before window e - depth_ fully
+  /// committed (the exact path's advance gate implies it; the
+  /// speculative path waits for it explicitly).
   struct WindowSlot {
     WindowEpoch epoch = 0;
     double now = 0.0;
+    bool speculative = false;
+    std::atomic<SlotState> state{SlotState::kFree};
     std::vector<Prep> preps;
-    std::vector<ShardTask> tasks;
     std::vector<Proposal> proposals;
     std::vector<std::size_t> accepted;  // apply order (cost, then id)
+    /// Per accepted proposal: its shard footprint as (shard, sequence
+    /// ticket) pairs, ascending by shard. The parallel commit retires
+    /// footprints in ticket order per shard — proposals sharing a shard
+    /// serialize, disjoint ones overlap.
+    std::vector<std::vector<std::pair<int, std::size_t>>> footprints;
     /// Per shard: index into `accepted` after whose retirement the shard
     /// can be released to the next window (-1 = untouched, release at
     /// commit start).
@@ -173,24 +204,44 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
     std::int64_t commit_replans = 0;
   };
 
-  /// Runs body over [0, n) on the pool when attached, inline otherwise.
-  void ForEach(std::size_t n, const std::function<void(std::int64_t)>& body);
+  /// Runs body over [0, n) on `pool` when attached, inline otherwise.
+  void ForEachOn(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::int64_t)>& body);
+  void ForEach(std::size_t n, const std::function<void(std::int64_t)>& body) {
+    ForEachOn(pool_, n, body);
+  }
   /// Full sequential pruneGreedyDP pass for one request against the
   /// *current* fleet (conflict replanning). Returns false on rejection.
-  /// DP evaluations are counted into *evals (commit-stage callers pass
-  /// their slot counter, the planning thread passes its own).
+  /// DP evaluations are counted into *evals. With `spec`, candidate
+  /// accesses run under the mutex stripes with versions captured (the
+  /// speculative planning path).
   bool PlanSequential(const Request& r, const std::vector<WorkerId>& candidates,
-                      Proposal* out, std::int64_t* evals);
+                      Proposal* out, std::int64_t* evals,
+                      const SpecCapture* spec = nullptr);
   /// The window = 0 / singleton-batch path: filter + touch + the shared
-  /// sequential scan + apply. No shard rebuild, no task machinery.
+  /// sequential scan + apply. No shard rebuild, no footprint machinery.
   void PlanAndApplySingle(const Request& r, double now);
-  /// Stages 1-4: fills `slot` with this window's proposals. With
-  /// `self_advance`, runs the per-shard advance gate (pipelined mode);
-  /// without, the fleet is already at `now` and only the epoch waits
-  /// (trivially satisfied in the fused mode) remain.
-  void PlanInto(WindowSlot* slot, const std::vector<RequestId>& batch,
-                double now, WindowEpoch epoch, bool self_advance);
-  /// Stage 5 on `slot`, releasing shards as their dependents retire.
+  /// Stages 1-3 of a non-speculative window: advance gate (when
+  /// `self_advance`; with displacement-gated preps interleaved), prep,
+  /// Rebuild, parallel per-request planning, then BuildAcceptSchedule.
+  void PlanExact(WindowSlot* slot, const std::vector<RequestId>& batch,
+                 double now, WindowEpoch epoch, bool self_advance);
+  /// Speculative planning of one window against the live fleet: filter
+  /// under the commit lock, per-request scans under the mutex stripes
+  /// with versions captured and queries sink-billed. No accept schedule
+  /// yet — commit-time validation builds it.
+  void PlanSpeculative(WindowSlot* slot, const std::vector<RequestId>& batch,
+                       double now, WindowEpoch epoch);
+  /// Commit-time validation of a speculative slot: advance everything in
+  /// the fixed order, re-filter, keep clean proposals (hit) and replan
+  /// diverged requests (miss), then BuildAcceptSchedule.
+  void ValidateSpeculative(WindowSlot* slot);
+  /// Accept filter + (delta, request) sort + shard footprints with
+  /// sequence tickets + per-shard release schedule. Requires shard
+  /// membership to be current (post-Rebuild).
+  void BuildAcceptSchedule(WindowSlot* slot);
+  /// Stage 4 on `slot`: validation when speculative, then the parallel
+  /// footprint-ordered apply, releasing shards as dependents retire.
   void CommitSlot(WindowSlot* slot);
 
   PlanningContext* ctx_;
@@ -199,20 +250,35 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   ThreadPool* pool_;
   std::unique_ptr<GridIndex> index_;
   std::unique_ptr<FleetShards> shards_;
+  /// The simulation's oracle when it is a CachedOracle (speculative query
+  /// billing); nullptr otherwise — speculation then bills globally, which
+  /// only perturbs the query count, never results.
+  CachedOracle* billing_ = nullptr;
+  int depth_ = 2;           // slot-ring size
+  bool pipelined_ = false;  // ConfigurePipeline ran (split driving mode)
+  /// Commit-stage pool: the planning thread owns pool_, so the commit
+  /// thread fans out on its own pool (ThreadPool is single-submitter).
+  std::unique_ptr<ThreadPool> commit_pool_;
   std::int64_t exact_evaluations_ = 0;  // planning-thread evaluations
-  // Per-window scratch, planning-thread only (buffers stay warm across
-  // windows; the atomic chain counters are rebuilt per window inside
-  // PlanInto — they need fresh initialization stores anyway).
-  std::vector<std::uint8_t> touched_;               // worker-indexed
-  std::vector<std::vector<std::size_t>> by_shard_;  // shard-indexed
-  std::vector<std::size_t> best_pos_of_;            // request-indexed
-  WindowSlot slots_[2];
+  std::int64_t spec_hits_ = 0;          // commit-thread only
+  std::int64_t spec_misses_ = 0;        // commit-thread only
+  // Scratch buffers. touched_ serves whichever thread preps a window
+  // (planning thread for exact windows, commit thread for speculative
+  // validation — never both at once); the rest are commit-stage only.
+  std::vector<std::uint8_t> touched_;         // worker-indexed
+  std::vector<std::uint8_t> shard_flag_;      // footprint dedup
+  std::vector<std::size_t> shard_seq_;        // next ticket per shard
+  std::vector<std::atomic<std::size_t>> commit_heads_;  // retired tickets
+  std::vector<std::int64_t> apply_evals_;     // per accepted index
+  std::vector<std::int64_t> apply_replans_;   // per accepted index
+  std::vector<WindowSlot> slots_;
 };
 
 /// DispatchWindowPlanner on the simulation's pool; the windowed twin of
 /// pruneGreedyDP. Drive it with SimOptions::batch_window_s > 0 for real
 /// windows (plus SimOptions::pipeline for the three-stage pipelined
-/// loop), or 0 for the bit-identical per-request mode.
+/// loop and SimOptions::pipeline_depth for the deep ring), or 0 for the
+/// bit-identical per-request mode.
 PlannerFactory MakeDispatchWindowFactory(PlannerConfig config);
 
 }  // namespace urpsm

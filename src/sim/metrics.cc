@@ -17,7 +17,7 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
   const double n = static_cast<double>(reports.size());
   double served = 0.0, processed = 0.0, queries = 0.0, index_mem = 0.0;
   double pl_windows = 0.0, pl_ingested = 0.0, pl_overlapped = 0.0,
-         pl_backpressure = 0.0;
+         pl_backpressure = 0.0, pl_spec_hits = 0.0, pl_spec_misses = 0.0;
   for (const SimReport& r : reports) {
     served += r.served_requests;
     processed += r.processed_requests;
@@ -52,6 +52,11 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
     avg.pipeline.ingest_wait_ms += r.pipeline.ingest_wait_ms / n;
     avg.pipeline.plan_ms += r.pipeline.plan_ms / n;
     avg.pipeline.commit_ms += r.pipeline.commit_ms / n;
+    // The ring size is a run parameter, not a measurement: repeats share
+    // it, so max just propagates it (and flags mixed-depth pools).
+    avg.pipeline.depth = std::max(avg.pipeline.depth, r.pipeline.depth);
+    pl_spec_hits += static_cast<double>(r.pipeline.speculation_hits);
+    pl_spec_misses += static_cast<double>(r.pipeline.speculation_misses);
   }
   avg.avg_response_ms = avg.response_stats.mean();
   avg.p50_response_ms = avg.response_stats.Percentile(50);
@@ -69,6 +74,10 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
       static_cast<std::int64_t>(std::llround(pl_overlapped / n));
   avg.pipeline.backpressure_waits =
       static_cast<std::int64_t>(std::llround(pl_backpressure / n));
+  avg.pipeline.speculation_hits =
+      static_cast<std::int64_t>(std::llround(pl_spec_hits / n));
+  avg.pipeline.speculation_misses =
+      static_cast<std::int64_t>(std::llround(pl_spec_misses / n));
   return avg;
 }
 

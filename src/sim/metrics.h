@@ -39,6 +39,14 @@ struct PipelineStats {
   double ingest_wait_ms = 0.0;
   double plan_ms = 0.0;
   double commit_ms = 0.0;
+  /// Window-slot ring size of the run (SimOptions::pipeline_depth; 0 when
+  /// the pipeline was off).
+  int depth = 0;
+  /// Speculatively planned requests that survived commit-time validation
+  /// (hits) or had to be replanned (misses). Both stay 0 at depth 2 —
+  /// the double buffer never speculates.
+  std::int64_t speculation_hits = 0;
+  std::int64_t speculation_misses = 0;
 };
 
 /// One simulation run's results: the three headline metrics of the paper's

@@ -33,10 +33,12 @@ struct CommitJob {
   bool stop = false;         // sentinel: planning stage is done
 };
 
-/// Unbounded FIFO between the planning and commit threads. Depth never
-/// exceeds ~1 in practice: PlanWindow(k+1)'s advance gate cannot fully
-/// open before CommitWindow(k) retires, so the planning stage
-/// self-throttles against the commit stage.
+/// Unbounded FIFO between the planning and commit threads. Depth is
+/// bounded by the planner's slot ring (SimOptions::pipeline_depth): at
+/// depth 2 PlanWindow(k+1)'s advance gate cannot fully open before
+/// CommitWindow(k) retires, and deeper rings run ahead speculatively
+/// until window k - depth's slot is still unreleased — so the planning
+/// stage always self-throttles against the commit stage.
 class CommitChannel {
  public:
   void Push(const CommitJob& job) {
@@ -267,6 +269,10 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
   fleet_->DisableArrivalHeap();
   PipelineStats& ps = report->pipeline;
   ps.enabled = true;
+  // Size the planner's window-slot ring before any stage thread exists.
+  const int depth = std::max(2, options_.pipeline_depth);
+  planner->ConfigurePipeline(depth);
+  ps.depth = depth;
   IngestQueue queue(options_.ingest_capacity);
   std::atomic<bool> plan_busy{false};
   std::atomic<bool> commit_busy{false};
@@ -389,6 +395,8 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
           : 0.0;
   ps.max_queue_depth = static_cast<std::int64_t>(queue.max_depth());
   ps.backpressure_waits = queue.backpressure_waits();
+  ps.speculation_hits = planner->speculation_hits();
+  ps.speculation_misses = planner->speculation_misses();
   // Elapsed engine time, measured after both stages drained — each real
   // second of pipelined planning is billed exactly once.
   return SecondsSince(engine_t0);

@@ -55,6 +55,13 @@ struct SimOptions {
   /// producer (backpressure) rather than dropping arrivals, so this caps
   /// backlog memory without affecting any planning result.
   std::size_t ingest_capacity = 4096;
+  /// Window-slot ring size of the pipelined engine (>= 2; values below 2
+  /// are clamped). 2 is the classic double buffer: plan window k+1 while
+  /// window k commits. Deeper rings let the planner run ahead by
+  /// speculating windows against the live fleet and validating at commit
+  /// time — results are identical at every depth (SimReport deterministic
+  /// fields); only occupancy and the speculation hit/miss counters move.
+  int pipeline_depth = 2;
 };
 
 /// Event-driven day simulation (Sec. 6.1): requests are replayed in

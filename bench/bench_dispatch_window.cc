@@ -63,11 +63,13 @@ int main(int argc, char** argv) {
         {"num_threads", std::to_string(rep.num_threads)}};
     if (smoke) params.emplace_back("smoke", "1");
     if (rep.timed_out) params.emplace_back("timed_out", "1");
+    params.emplace_back("trace", rep.trace_enabled ? "1" : "0");
     const double throughput =
         rep.wall_seconds > 0.0 ? rep.total_requests / rep.wall_seconds : 0.0;
     lines.push_back(FormatJsonLine("bench_dispatch_window", params,
                                    rep.wall_seconds * 1e3, throughput,
-                                   rep.p50_response_ms, rep.p95_response_ms));
+                                   rep.p50_response_ms, rep.p95_response_ms,
+                                   rep.p99_response_ms));
     EmitReportJson("bench_dispatch_window", rep,
                    {{"city", city.name}, {"window_s", Fmt(window_s)}});
   };

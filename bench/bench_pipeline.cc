@@ -92,11 +92,13 @@ int main(int argc, char** argv) {
     }
     if (smoke) params.emplace_back("smoke", "1");
     if (rep.timed_out) params.emplace_back("timed_out", "1");
+    params.emplace_back("trace", rep.trace_enabled ? "1" : "0");
     const double throughput =
         rep.wall_seconds > 0.0 ? rep.total_requests / rep.wall_seconds : 0.0;
     lines.push_back(FormatJsonLine("bench_pipeline", params,
                                    rep.wall_seconds * 1e3, throughput,
-                                   rep.p50_response_ms, rep.p95_response_ms));
+                                   rep.p50_response_ms, rep.p95_response_ms,
+                                   rep.p99_response_ms));
   };
 
   const std::vector<double> windows =

@@ -195,9 +195,9 @@ inline const std::string& RunTimestamp() {
   return ts;
 }
 
-/// Renders one BENCH_JSON result line. `p50_ms` / `p95_ms` carry the
-/// per-operation latency distribution (per planned request for the
-/// simulation benches, per query for the oracle benches) so that
+/// Renders one BENCH_JSON result line. `p50_ms` / `p95_ms` / `p99_ms`
+/// carry the per-operation latency distribution (per planned request for
+/// the simulation benches, per query for the oracle benches) so that
 /// tail-latency regressions at the oracle level are visible in the
 /// trajectory, not just aggregate wall time; pass a negative value to
 /// omit a percentile (older benches without per-op timing).
@@ -211,7 +211,7 @@ inline std::string FormatJsonLine(
     const std::string& name,
     const std::vector<std::pair<std::string, std::string>>& params,
     double wall_ms, double throughput, double p50_ms = -1.0,
-    double p95_ms = -1.0) {
+    double p95_ms = -1.0, double p99_ms = -1.0) {
   std::string line = "{\"name\":\"" + name + "\",\"params\":{";
   for (std::size_t i = 0; i < params.size(); ++i) {
     if (i > 0) line += ",";
@@ -227,6 +227,10 @@ inline std::string FormatJsonLine(
   }
   if (p95_ms >= 0.0) {
     std::snprintf(tail, sizeof(tail), ",\"p95_ms\":%.6g", p95_ms);
+    line += tail;
+  }
+  if (p99_ms >= 0.0) {
+    std::snprintf(tail, sizeof(tail), ",\"p99_ms\":%.6g", p99_ms);
     line += tail;
   }
   std::snprintf(tail, sizeof(tail), ",\"hw_concurrency\":%u",
@@ -245,10 +249,10 @@ inline void EmitJsonLine(
     const std::string& name,
     const std::vector<std::pair<std::string, std::string>>& params,
     double wall_ms, double throughput, double p50_ms = -1.0,
-    double p95_ms = -1.0) {
+    double p95_ms = -1.0, double p99_ms = -1.0) {
   std::printf("BENCH_JSON %s\n",
               FormatJsonLine(name, params, wall_ms, throughput, p50_ms,
-                             p95_ms).c_str());
+                             p95_ms, p99_ms).c_str());
 }
 
 /// Where the trajectory for `stem` goes. Full runs write the tracked
@@ -316,10 +320,23 @@ inline void EmitReportJson(
   params.emplace_back("algorithm", rep.algorithm);
   params.emplace_back("num_threads", std::to_string(rep.num_threads));
   if (rep.timed_out) params.emplace_back("timed_out", "1");
+  // Whether span tracing was live for this run: tracing adds work on the
+  // engine threads, so a traced measurement must be distinguishable from
+  // an untraced one in the trajectory.
+  params.emplace_back("trace", rep.trace_enabled ? "1" : "0");
+  // Registry snapshot (empty unless SimOptions::collect_metrics): each
+  // metric rides along as an "m."-prefixed param so observability runs
+  // carry their engine counters in the same machine-readable line.
+  for (const auto& [key, value] : rep.metrics) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    params.emplace_back("m." + key, buf);
+  }
   const double throughput =
       rep.wall_seconds > 0.0 ? rep.total_requests / rep.wall_seconds : 0.0;
   EmitJsonLine(name, params, rep.wall_seconds * 1e3, throughput,
-               rep.p50_response_ms, rep.p95_response_ms);
+               rep.p50_response_ms, rep.p95_response_ms,
+               rep.p99_response_ms);
 }
 
 /// Grid of results: one SimReport per (algorithm, sweep value).

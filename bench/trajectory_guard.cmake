@@ -57,6 +57,15 @@ foreach(stem oracle insertion dispatch pipeline)
       message(FATAL_ERROR "trajectory_guard: malformed/truncated record in "
         "${path}: ${line}")
     endif()
+    # Any record carrying latency percentiles must carry the full
+    # p50/p95/p99 triple — the digest-backed accumulator emits all three,
+    # so a missing p99 means the file predates the digest percentiles.
+    if(line MATCHES "\"p50_ms\":" AND NOT (line MATCHES "\"p95_ms\":" AND
+        line MATCHES "\"p99_ms\":"))
+      message(FATAL_ERROR "trajectory_guard: record in ${path} has p50_ms "
+        "but not the full p50/p95/p99 triple — regenerate with the current "
+        "bench binaries: ${line}")
+    endif()
     string(REGEX MATCH "\"git_sha\":\"([^\"]+)\"" m "${line}")
     if(sha STREQUAL "")
       set(sha "${CMAKE_MATCH_1}")

@@ -17,6 +17,11 @@ namespace urpsm {
 
 class ThreadPool;
 
+namespace obs {
+class Registry;
+class TraceRecorder;
+}  // namespace obs
+
 /// Shared state threaded through decision/insertion/planning: the road
 /// network, the distance oracle, the request table (indexed by RequestId)
 /// and a per-request cache of the direct origin->destination shortest
@@ -80,11 +85,21 @@ class PlanningContext {
   ThreadPool* thread_pool() const { return thread_pool_; }
   void set_thread_pool(ThreadPool* pool) { thread_pool_ = pool; }
 
+  /// Metrics registry / span tracer of the run, or nullptr when
+  /// observability is off. Owned by the simulation; components fetch
+  /// instruments at setup time and hold pointers (stable for the run).
+  obs::Registry* metrics() const { return metrics_; }
+  void set_metrics(obs::Registry* reg) { metrics_ = reg; }
+  obs::TraceRecorder* tracer() const { return tracer_; }
+  void set_tracer(obs::TraceRecorder* tracer) { tracer_ = tracer; }
+
  private:
   const RoadNetwork* graph_;
   DistanceOracle* oracle_;
   const std::vector<Request>* requests_;
   ThreadPool* thread_pool_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
+  obs::TraceRecorder* tracer_ = nullptr;
   bool dense_ids_ = true;  // ids equal table positions (common case)
   std::unordered_map<RequestId, std::size_t> id_to_index_;  // non-dense only
   std::mutex direct_mu_;  // serializes direct_dist_ misses + the overflow map

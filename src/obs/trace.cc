@@ -1,0 +1,103 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+
+namespace urpsm::obs {
+
+TraceRecorder::TraceRecorder(std::string path)
+    : path_(std::move(path)),
+      enabled_(!path_.empty()),
+      start_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() { Flush(); }
+
+void TraceRecorder::Record(const char* name, char ph,
+                           std::initializer_list<Arg> args) {
+  if (!enabled_) return;
+  // Timestamp before the lock: same-thread events stay in program
+  // order, so per-tid timestamps are non-decreasing regardless of how
+  // threads interleave on the mutex.
+  const double ts_us = std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count();
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> l(mu_);
+  if (events_.size() >= kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  auto it = tids_.find(self);
+  if (it == tids_.end()) {
+    it = tids_.emplace(self, static_cast<int>(tids_.size()) + 1).first;
+  }
+  events_.push_back(Event{name, ph, ts_us, it->second,
+                          std::vector<Arg>(args.begin(), args.end())});
+}
+
+void TraceRecorder::Begin(const char* name, std::initializer_list<Arg> args) {
+  Record(name, 'B', args);
+}
+
+void TraceRecorder::End(const char* name) { Record(name, 'E', {}); }
+
+void TraceRecorder::Instant(const char* name,
+                            std::initializer_list<Arg> args) {
+  Record(name, 'i', args);
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return events_.size();
+}
+
+std::size_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> l(mu_);
+  return dropped_;
+}
+
+void TraceRecorder::Flush() {
+  if (!enabled_) return;
+  std::lock_guard<std::mutex> l(mu_);
+  if (flushed_) return;
+  flushed_ = true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return;
+  std::fputs("{\"displayTimeUnit\":\"ms\",\n\"traceEvents\":[\n", f);
+  std::string line;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    line.clear();
+    line += "{\"name\":\"";
+    line += e.name;  // span names are our own literals: no escaping
+    line += "\",\"cat\":\"engine\",\"ph\":\"";
+    line += e.ph;
+    line += "\",\"ts\":";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", e.ts_us);
+    line += buf;
+    line += ",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%d", e.tid);
+    line += buf;
+    if (!e.args.empty()) {
+      line += ",\"args\":{";
+      for (std::size_t a = 0; a < e.args.size(); ++a) {
+        if (a > 0) line += ',';
+        line += '"';
+        line += e.args[a].key;
+        line += "\":";
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(e.args[a].value));
+        line += buf;
+      }
+      line += '}';
+    }
+    line += '}';
+    if (i + 1 < events_.size()) line += ',';
+    line += '\n';
+    std::fputs(line.c_str(), f);
+  }
+  std::fputs("]}\n", f);
+  std::fclose(f);
+}
+
+}  // namespace urpsm::obs

@@ -1,10 +1,12 @@
 #include "src/parallel/fleet_shards.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "src/graph/road_network.h"
 #include "src/model/route.h"
+#include "src/obs/registry.h"
 
 namespace urpsm {
 
@@ -73,10 +75,24 @@ FleetShards::FleetShards(const Fleet* fleet, Point lo, Point hi,
 }
 
 void FleetShards::WaitCommitted(int s, std::uint64_t epoch) const {
+  if (epoch == 0) return;  // epoch 0 is always released
   std::unique_lock<std::mutex> lock(epoch_mu_);
+  if (committed_epoch_[static_cast<std::size_t>(s)] >= epoch) return;
+  // Only an actual block is timed: satisfied waits stay clock-free so the
+  // histogram measures commit-lock contention, not call frequency.
+  obs::Inc(commit_blocking_waits_);
+  const bool timed = commit_wait_hist_ != nullptr;
+  const auto t0 =
+      timed ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{};
   epoch_cv_.wait(lock, [&] {
     return committed_epoch_[static_cast<std::size_t>(s)] >= epoch;
   });
+  if (!timed) return;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  lock.unlock();  // never Observe under epoch_mu_
+  commit_wait_hist_->Observe(ms);
 }
 
 bool FleetShards::TryCommitted(int s, std::uint64_t epoch) const {
@@ -113,6 +129,12 @@ void FleetShards::MarkAllCommitted(std::uint64_t epoch) {
 std::uint64_t FleetShards::CommittedEpoch(int s) const {
   const std::lock_guard<std::mutex> lock(epoch_mu_);
   return committed_epoch_[static_cast<std::size_t>(s)];
+}
+
+void FleetShards::RegisterMetrics(obs::Registry* reg) {
+  if (reg == nullptr || !reg->enabled()) return;
+  commit_wait_hist_ = reg->GetHistogram("shards.commit_wait_ms");
+  commit_blocking_waits_ = reg->GetCounter("shards.commit_blocking_waits");
 }
 
 int FleetShards::ShardOfPoint(const Point& p) const {

@@ -13,6 +13,12 @@
 
 namespace urpsm {
 
+namespace obs {
+class Counter;
+class Histogram;
+class Registry;
+}  // namespace obs
+
 /// Spatial partition of the fleet for whole-request parallel planning:
 /// the road network's bounding box is covered by a coarse grid of region
 /// cells, the region grid is split into a fixed set of contiguous
@@ -116,6 +122,13 @@ class FleetShards {
   /// Last epoch shard `s` was released by (locked read; for tests).
   std::uint64_t CommittedEpoch(int s) const;
 
+  /// Hooks the per-shard commit-lock wait blind spot: WaitCommitted calls
+  /// that actually block record their wall wait on the
+  /// shards.commit_wait_ms histogram and bump shards.commit_blocking_waits.
+  /// Instruments are owned by `reg`, which must outlive this object's last
+  /// WaitCommitted. No-op when reg is null or disabled.
+  void RegisterMetrics(obs::Registry* reg);
+
  private:
   const Fleet* fleet_;
   Point lo_;
@@ -140,6 +153,11 @@ class FleetShards {
   mutable std::mutex epoch_mu_;
   mutable std::condition_variable epoch_cv_;
   std::vector<std::uint64_t> committed_epoch_;
+
+  // Borrowed instruments (null until RegisterMetrics); WaitCommitted is
+  // const, so it observes through the pointers without mutating them.
+  obs::Histogram* commit_wait_hist_ = nullptr;
+  obs::Counter* commit_blocking_waits_ = nullptr;
 };
 
 }  // namespace urpsm

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/registry.h"
+
 namespace urpsm {
 
 IngestQueue::IngestQueue(std::size_t capacity)
@@ -58,6 +60,28 @@ std::int64_t IngestQueue::total_pushed() const {
 std::int64_t IngestQueue::backpressure_waits() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return backpressure_waits_;
+}
+
+std::size_t IngestQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return q_.size();
+}
+
+void IngestQueue::RegisterMetrics(obs::Registry* reg,
+                                  obs::CallbackGuard* guard) const {
+  if (reg == nullptr || !reg->enabled()) return;
+  const auto track = [&](const std::string& name,
+                         std::function<double()> fn) {
+    guard->Track(reg->RegisterCallbackGauge(name, std::move(fn)));
+  };
+  track("ingest.depth",
+        [this] { return static_cast<double>(depth()); });
+  track("ingest.max_depth",
+        [this] { return static_cast<double>(max_depth()); });
+  track("ingest.total_pushed",
+        [this] { return static_cast<double>(total_pushed()); });
+  track("ingest.backpressure_waits",
+        [this] { return static_cast<double>(backpressure_waits()); });
 }
 
 }  // namespace urpsm

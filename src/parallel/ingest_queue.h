@@ -11,6 +11,11 @@
 
 namespace urpsm {
 
+namespace obs {
+class CallbackGuard;
+class Registry;
+}  // namespace obs
+
 /// One time-stamped request arrival flowing through the ingest stage.
 struct Arrival {
   RequestId id = kInvalidRequest;
@@ -59,12 +64,20 @@ class IngestQueue {
   void Cancel();
 
   std::size_t capacity() const { return capacity_; }
+  /// Current backlog (arrivals pushed but not yet popped).
+  std::size_t depth() const;
   /// Deepest the queue ever got (backlog high-water mark).
   std::size_t max_depth() const;
   /// Arrivals accepted over the queue's lifetime.
   std::int64_t total_pushed() const;
   /// Push calls that had to block on a full queue (backpressure events).
   std::int64_t backpressure_waits() const;
+
+  /// Registers pull-model gauges (ingest.depth / ingest.max_depth /
+  /// ingest.total_pushed / ingest.backpressure_waits) on `reg`. The ids
+  /// are tracked on `guard`, which must freeze them before this queue is
+  /// destroyed. No-op when reg is null.
+  void RegisterMetrics(obs::Registry* reg, obs::CallbackGuard* guard) const;
 
  private:
   const std::size_t capacity_;

@@ -13,6 +13,10 @@
 
 namespace urpsm {
 
+namespace obs {
+class Registry;
+}  // namespace obs
+
 /// Fixed-size pool of worker threads driving self-scheduling parallel
 /// loops over index ranges.
 ///
@@ -38,6 +42,15 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   int num_threads() const { return num_threads_; }
+
+  /// Unclaimed iterations of the current loop (0 when idle) — the pool's
+  /// instantaneous task-queue depth.
+  std::int64_t pending_iterations() const;
+
+  /// Registers pull-model gauges (pool.threads / pool.pending) on `reg`.
+  /// The pool must outlive the registry's last Snapshot (or the gauges
+  /// must be frozen first). No-op when reg is null.
+  void RegisterMetrics(obs::Registry* reg);
 
   /// Runs body(i) for every i in [begin, end) exactly once and blocks
   /// until all iterations finish. Writes made by `body` happen-before the
@@ -82,7 +95,7 @@ class ThreadPool {
   int num_threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable job_cv_;   // workers: a new job was published
   std::condition_variable done_cv_;  // submitter: all iterations finished
   std::uint64_t job_epoch_ = 0;      // bumped per ParallelFor submission

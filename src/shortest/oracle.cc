@@ -1,5 +1,6 @@
 #include "src/shortest/oracle.h"
 
+#include "src/obs/registry.h"
 #include "src/shortest/bidijkstra.h"
 #include "src/shortest/dijkstra.h"
 
@@ -34,6 +35,24 @@ double CachedOracle::Distance(VertexId u, VertexId v) {
 
 std::vector<VertexId> CachedOracle::Path(VertexId u, VertexId v) {
   return inner_->Path(u, v);
+}
+
+void CachedOracle::RegisterMetrics(obs::Registry* reg) {
+  if (reg == nullptr || !reg->enabled()) return;
+  reg->RegisterCallbackGauge(
+      "oracle.queries",
+      [this] { return static_cast<double>(query_count()); });
+  reg->RegisterCallbackGauge(
+      "oracle.cache_hits",
+      [this] { return static_cast<double>(cache_hits()); });
+  reg->RegisterCallbackGauge(
+      "oracle.cache_misses",
+      [this] { return static_cast<double>(cache_misses()); });
+  reg->RegisterCallbackGauge("oracle.cache_hit_rate", [this] {
+    const double h = static_cast<double>(cache_hits());
+    const double m = static_cast<double>(cache_misses());
+    return h + m == 0.0 ? 0.0 : h / (h + m);  // 0, not NaN, before traffic
+  });
 }
 
 }  // namespace urpsm

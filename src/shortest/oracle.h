@@ -12,6 +12,10 @@
 
 namespace urpsm {
 
+namespace obs {
+class Registry;
+}  // namespace obs
+
 /// Abstract shortest-distance / shortest-path oracle over a road network.
 ///
 /// The paper assumes a shortest-distance query takes O(1) (or O(q)) time and
@@ -92,6 +96,12 @@ class CachedOracle : public DistanceOracle {
   std::int64_t cache_hits() const { return cache_.hits(); }
   std::int64_t cache_misses() const { return cache_.misses(); }
   DistanceOracle* inner() { return inner_; }
+
+  /// Registers pull-model gauges (oracle.queries / oracle.cache_hits /
+  /// oracle.cache_misses / oracle.cache_hit_rate) on `reg`. The oracle
+  /// must outlive the registry's last Snapshot (or the gauges must be
+  /// frozen first). No-op when reg is null or disabled.
+  void RegisterMetrics(obs::Registry* reg);
 
   /// Redirects this thread's Distance billing away from query_count_ and
   /// into `*sink` for the scope's lifetime. The speculative planning

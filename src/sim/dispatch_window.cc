@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <thread>
 #include <utility>
+
+#include "src/obs/registry.h"
+#include "src/obs/trace.h"
 
 namespace urpsm {
 
@@ -30,6 +34,24 @@ DispatchWindowPlanner::DispatchWindowPlanner(PlanningContext* ctx,
   // speculative path still produces identical assignments, only the
   // reported query count would include abandoned speculative work.
   billing_ = dynamic_cast<CachedOracle*>(ctx_->oracle());
+  // Instrument wiring: instruments observe wall times and event counts
+  // only — never anything planning reads — so the determinism contract
+  // (bit-identical results with or without observability) holds.
+  if (obs::Registry* reg = ctx_->metrics();
+      reg != nullptr && reg->enabled()) {
+    windows_counter_ = reg->GetCounter("engine.windows");
+    spec_hit_counter_ = reg->GetCounter("engine.spec.hits");
+    spec_miss_counter_ = reg->GetCounter("engine.spec.misses");
+    conflict_replan_counter_ = reg->GetCounter("engine.commit.replans");
+    ticket_wait_hist_ = reg->GetHistogram("engine.commit.ticket_wait_ms");
+    conflict_replan_hist_ = reg->GetHistogram("engine.commit.replan_ms");
+    spec_replan_hist_ = reg->GetHistogram("engine.spec.replan_ms");
+    shards_->RegisterMetrics(reg);
+  }
+  if (obs::TraceRecorder* t = ctx_->tracer();
+      t != nullptr && t->enabled()) {
+    tracer_ = t;
+  }
 }
 
 DispatchWindowPlanner::~DispatchWindowPlanner() {
@@ -157,6 +179,11 @@ void DispatchWindowPlanner::PlanExact(WindowSlot* slot,
                                       const std::vector<RequestId>& batch,
                                       double now, WindowEpoch epoch,
                                       bool self_advance) {
+  const obs::TraceSpan span(
+      tracer_, "window.plan_exact",
+      {{"epoch", static_cast<std::int64_t>(epoch)},
+       {"batch", static_cast<std::int64_t>(batch.size())}});
+  obs::Inc(windows_counter_);
   const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
 
   // ---- 0. Slot-free gate: the ring slot was last used by window
@@ -300,6 +327,11 @@ void DispatchWindowPlanner::PlanExact(WindowSlot* slot,
 void DispatchWindowPlanner::PlanSpeculative(
     WindowSlot* slot, const std::vector<RequestId>& batch, double now,
     WindowEpoch epoch) {
+  const obs::TraceSpan span(
+      tracer_, "window.plan_speculative",
+      {{"epoch", static_cast<std::int64_t>(epoch)},
+       {"batch", static_cast<std::int64_t>(batch.size())}});
+  obs::Inc(windows_counter_);
   const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
   // Slot-free gate, as in PlanExact — the speculative path has no
   // advance gate to imply it.
@@ -363,9 +395,14 @@ void DispatchWindowPlanner::PlanSpeculative(
 }
 
 void DispatchWindowPlanner::ValidateSpeculative(WindowSlot* slot) {
+  const obs::TraceSpan span(
+      tracer_, "window.validate",
+      {{"epoch", static_cast<std::int64_t>(slot->epoch)}});
   const double now = slot->now;
   const auto shard_count = static_cast<std::size_t>(shards_->num_shards());
   std::vector<Prep>& preps = slot->preps;
+  std::int64_t window_hits = 0;
+  std::int64_t window_misses = 0;
 
   // The committing thread is the only committer and window epoch-1 fully
   // retired before CommitWindow(epoch) was called, so the full advance
@@ -414,6 +451,8 @@ void DispatchWindowPlanner::ValidateSpeculative(WindowSlot* slot) {
     if (hit) {
       if (p.alive) {
         ++spec_hits_;
+        ++window_hits;
+        obs::Inc(spec_hit_counter_);
         slot->commit_evals += p.evals;
         if (billing_ != nullptr) billing_->AddBilled(p.spec_queries);
       }
@@ -421,16 +460,25 @@ void DispatchWindowPlanner::ValidateSpeculative(WindowSlot* slot) {
       continue;
     }
     ++spec_misses_;
+    ++window_misses;
+    obs::Inc(spec_miss_counter_);
     p.candidates = p.fresh;
     p.alive = !p.candidates.empty();
     p.planned = false;
     slot->proposals[b] = Proposal{};
     if (p.alive) {
+      const obs::ScopedTimerMs replan_timer(spec_replan_hist_);
       p.planned = PlanSequential(*p.r, p.candidates, &slot->proposals[b],
                                  &replan_evals);
     }
   }
   slot->commit_evals += replan_evals;
+  if (tracer_ != nullptr) {
+    tracer_->Instant("speculation",
+                     {{"epoch", static_cast<std::int64_t>(slot->epoch)},
+                      {"hits", window_hits},
+                      {"misses", window_misses}});
+  }
 
   BuildAcceptSchedule(slot);
 }
@@ -527,26 +575,51 @@ void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
     const Request& r = *slot->preps[b].r;
     const auto& footprint = slot->footprints[idx];
     for (const auto& [s, seq] : footprint) {
-      while (commit_heads_[static_cast<std::size_t>(s)].load(
-                 std::memory_order_acquire) != seq) {
+      auto& head = commit_heads_[static_cast<std::size_t>(s)];
+      if (head.load(std::memory_order_acquire) == seq) continue;
+      // The per-shard ticket spin — the commit-lock wait blind spot.
+      // Only an actual spin is timed (and only with a live histogram),
+      // so the head-ticket fast path stays clock-free.
+      const bool timed = ticket_wait_hist_ != nullptr;
+      const auto w0 = timed ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
+      while (head.load(std::memory_order_acquire) != seq) {
         std::this_thread::yield();
       }
+      if (timed) {
+        ticket_wait_hist_->Observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - w0)
+                .count());
+      }
     }
-    if (fleet_->route(p.worker).version() == p.route_version) {
-      // Still the fleet snapshot the proposal was computed against (for
-      // this worker): feasibility and delta hold verbatim.
-      fleet_->ApplyInsertion(p.worker, r, p.i, p.j, ctx_->oracle());
-    } else {
-      // An earlier (cheaper) batch member took this worker: replan
-      // against the updated fleet. The grid index did not move (Insert
-      // keeps anchors), so the original candidate list is still the
-      // filter's output.
-      apply_replans_[idx] = 1;
-      Proposal replanned;
-      if (PlanSequential(r, slot->preps[b].candidates, &replanned,
-                         &apply_evals_[idx])) {
-        fleet_->ApplyInsertion(replanned.worker, r, replanned.i, replanned.j,
-                               ctx_->oracle());
+    {
+      const obs::TraceSpan apply_span(
+          tracer_, "commit.apply",
+          {{"epoch", static_cast<std::int64_t>(epoch)},
+           {"request", r.id},
+           {"shard",
+            footprint.empty() ? std::int64_t{-1}
+                              : static_cast<std::int64_t>(
+                                    footprint.front().first)}});
+      if (fleet_->route(p.worker).version() == p.route_version) {
+        // Still the fleet snapshot the proposal was computed against (for
+        // this worker): feasibility and delta hold verbatim.
+        fleet_->ApplyInsertion(p.worker, r, p.i, p.j, ctx_->oracle());
+      } else {
+        // An earlier (cheaper) batch member took this worker: replan
+        // against the updated fleet. The grid index did not move (Insert
+        // keeps anchors), so the original candidate list is still the
+        // filter's output.
+        apply_replans_[idx] = 1;
+        obs::Inc(conflict_replan_counter_);
+        const obs::ScopedTimerMs replan_timer(conflict_replan_hist_);
+        Proposal replanned;
+        if (PlanSequential(r, slot->preps[b].candidates, &replanned,
+                           &apply_evals_[idx])) {
+          fleet_->ApplyInsertion(replanned.worker, r, replanned.i,
+                                 replanned.j, ctx_->oracle());
+        }
       }
     }
     for (const auto& [s, seq] : footprint) {
@@ -557,6 +630,11 @@ void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
       if (slot->release_at[static_cast<std::size_t>(s)] ==
           static_cast<std::ptrdiff_t>(idx)) {
         shards_->MarkCommitted(s, epoch);
+        if (tracer_ != nullptr) {
+          tracer_->Instant("shard.release",
+                           {{"shard", s},
+                            {"epoch", static_cast<std::int64_t>(epoch)}});
+        }
       }
     }
   });

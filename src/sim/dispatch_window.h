@@ -17,6 +17,12 @@
 
 namespace urpsm {
 
+namespace obs {
+class Counter;
+class Histogram;
+class TraceRecorder;
+}  // namespace obs
+
 /// Batched dispatch-window engine: pruneGreedyDP lifted from per-request
 /// to per-window planning with whole-request parallelism and — in the
 /// pipelined driving mode — a k-slot window ring with speculative
@@ -262,6 +268,17 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   std::int64_t exact_evaluations_ = 0;  // planning-thread evaluations
   std::int64_t spec_hits_ = 0;          // commit-thread only
   std::int64_t spec_misses_ = 0;        // commit-thread only
+  // Borrowed instruments, wired from the context's registry/tracer at
+  // construction; all null (and every probe a single branch) when the
+  // simulation runs without observability.
+  obs::TraceRecorder* tracer_ = nullptr;
+  obs::Counter* windows_counter_ = nullptr;
+  obs::Counter* spec_hit_counter_ = nullptr;
+  obs::Counter* spec_miss_counter_ = nullptr;
+  obs::Counter* conflict_replan_counter_ = nullptr;
+  obs::Histogram* ticket_wait_hist_ = nullptr;    // commit ticket spins
+  obs::Histogram* conflict_replan_hist_ = nullptr;
+  obs::Histogram* spec_replan_hist_ = nullptr;    // speculation-miss cost
   // Scratch buffers. touched_ serves whichever thread preps a window
   // (planning thread for exact windows, commit thread for speculative
   // validation — never both at once); the rest are commit-stage only.

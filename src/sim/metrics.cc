@@ -18,6 +18,7 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
   double served = 0.0, processed = 0.0, queries = 0.0, index_mem = 0.0;
   double pl_windows = 0.0, pl_ingested = 0.0, pl_overlapped = 0.0,
          pl_backpressure = 0.0, pl_spec_hits = 0.0, pl_spec_misses = 0.0;
+  std::map<std::string, std::pair<double, int>> metric_sums;  // sum, runs
   for (const SimReport& r : reports) {
     served += r.served_requests;
     processed += r.processed_requests;
@@ -57,10 +58,28 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
     avg.pipeline.depth = std::max(avg.pipeline.depth, r.pipeline.depth);
     pl_spec_hits += static_cast<double>(r.pipeline.speculation_hits);
     pl_spec_misses += static_cast<double>(r.pipeline.speculation_misses);
+    // Stage-time distributions pool like the latency samples do.
+    avg.pipeline.plan_window_ms.Merge(r.pipeline.plan_window_ms);
+    avg.pipeline.commit_window_ms.Merge(r.pipeline.commit_window_ms);
+    avg.pipeline.ingest_wait_per_arrival_ms.Merge(
+        r.pipeline.ingest_wait_per_arrival_ms);
+    avg.trace_enabled = avg.trace_enabled || r.trace_enabled;
+    // Registry snapshots: element-wise mean over the runs that reported
+    // the key (percentile sub-keys of a pooled distribution would need
+    // the digests — the pipeline stage digests above carry those; the
+    // map keeps counter/gauge magnitudes comparable across sweeps).
+    for (const auto& [k, v] : r.metrics) {
+      metric_sums[k].first += v;
+      metric_sums[k].second += 1;
+    }
+  }
+  for (const auto& [k, sc] : metric_sums) {
+    avg.metrics[k] = sc.first / static_cast<double>(sc.second);
   }
   avg.avg_response_ms = avg.response_stats.mean();
   avg.p50_response_ms = avg.response_stats.Percentile(50);
   avg.p95_response_ms = avg.response_stats.Percentile(95);
+  avg.p99_response_ms = avg.response_stats.Percentile(99);
   avg.max_response_ms = avg.response_stats.max();
   avg.served_requests = static_cast<int>(std::lround(served / n));
   avg.processed_requests = static_cast<int>(std::lround(processed / n));

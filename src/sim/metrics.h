@@ -2,6 +2,7 @@
 #define URPSM_SRC_SIM_METRICS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,14 @@ struct PipelineStats {
   /// the double buffer never speculates.
   std::int64_t speculation_hits = 0;
   std::int64_t speculation_misses = 0;
+  /// Per-window / per-arrival stage-time distributions behind the total
+  /// ms fields above: PlanWindow wall time per window, CommitWindow wall
+  /// time per window, queued time per arrival. Digest-backed, so
+  /// AverageReports pools them across runs (true pooled percentiles,
+  /// not averaged ones).
+  StatsAccumulator plan_window_ms;
+  StatsAccumulator commit_window_ms;
+  StatsAccumulator ingest_wait_per_arrival_ms;
 };
 
 /// One simulation run's results: the three headline metrics of the paper's
@@ -68,6 +77,7 @@ struct SimReport {
   double avg_response_ms = 0.0;   // mean per-request planning wall time
   double p50_response_ms = 0.0;
   double p95_response_ms = 0.0;
+  double p99_response_ms = 0.0;
   double max_response_ms = 0.0;
   /// The per-request planning-latency samples (ms) behind the summary
   /// fields above. Retained so multi-run aggregation can pool samples and
@@ -93,6 +103,14 @@ struct SimReport {
   /// Pipelined-engine stage/occupancy counters (zeros unless
   /// SimOptions::pipeline drove the run).
   PipelineStats pipeline;
+
+  /// Whether SimOptions::trace_path was set for the run (recorded in
+  /// every BENCH line so trajectory comparisons stay apples-to-apples).
+  bool trace_enabled = false;
+  /// Final snapshot of the run's obs::Registry (empty when
+  /// SimOptions::collect_metrics was off): flat metric name -> value,
+  /// histograms expanded to .count/.sum/.min/.max/.p50/.p95/.p99.
+  std::map<std::string, double> metrics;
 };
 
 /// Averages the numeric fields of several runs of the same algorithm

@@ -110,9 +110,19 @@ SimReport Simulation::Run(const PlannerFactory& factory) {
               ? std::make_unique<ThreadPool>(options_.num_threads)
               : nullptr;
   fleet_ = std::make_unique<Fleet>(workers_, graph_);
+  registry_ = std::make_unique<obs::Registry>(options_.collect_metrics);
+  tracer_ = std::make_unique<obs::TraceRecorder>(options_.trace_path);
   PlanningContext ctx(graph_, cached_.get(), requests_);
   ctx.set_thread_pool(pool_.get());
+  ctx.set_metrics(registry_.get());
+  ctx.set_tracer(tracer_.get());
+  // Components fetch instruments up front; planner construction (below)
+  // registers the planner- and shard-side ones through the context.
+  cached_->RegisterMetrics(registry_.get());
+  if (pool_ != nullptr) pool_->RegisterMetrics(registry_.get());
   std::unique_ptr<RoutePlanner> planner = factory(&ctx, fleet_.get());
+  registry_->StartPeriodicExport(options_.metrics_snapshot_path,
+                                 options_.metrics_snapshot_period_s);
 
   SimReport report;
   report.algorithm = std::string(planner->name());
@@ -182,10 +192,18 @@ SimReport Simulation::Run(const PlannerFactory& factory) {
   report.avg_response_ms = response_ms.mean();
   report.p50_response_ms = response_ms.Percentile(50);
   report.p95_response_ms = response_ms.Percentile(95);
+  report.p99_response_ms = response_ms.Percentile(99);
   report.max_response_ms = response_ms.max();
   report.distance_queries = cached_->query_count();
   report.index_memory_bytes = planner->index_memory_bytes();
   report.wall_seconds = SecondsSince(t0);
+  registry_->StopPeriodicExport();
+  report.trace_enabled = tracer_->enabled();
+  report.metrics = registry_->Snapshot();  // planner callbacks still live
+  // The planner dies with this scope while registry_ survives as a
+  // member: freeze its callbacks so a later Snapshot stays safe.
+  registry_->FreezeAllCallbacks();
+  tracer_->Flush();
   return report;
 }
 
@@ -198,7 +216,10 @@ double Simulation::RunPerRequest(RoutePlanner* planner, SimReport* report) {
     }
     fleet_->AdvanceTo(r.release_time);
     const auto req_t0 = std::chrono::steady_clock::now();
-    planner->OnRequest(r);
+    {
+      obs::TraceSpan span(tracer_.get(), "request.plan", {{"request", r.id}});
+      planner->OnRequest(r);
+    }
     const double secs = SecondsSince(req_t0);
     planning_seconds += secs;
     ++report->processed_requests;
@@ -231,8 +252,15 @@ double Simulation::RunWindowed(BatchPlanner* batcher, SimReport* report) {
       ++next;
     }
     fleet_->AdvanceTo(window_end);
+    ++epoch;
     const auto win_t0 = std::chrono::steady_clock::now();
-    batcher->OnBatch(batch, window_end, ++epoch);
+    {
+      obs::TraceSpan span(
+          tracer_.get(), "window",
+          {{"epoch", static_cast<std::int64_t>(epoch)},
+           {"batch", static_cast<std::int64_t>(batch.size())}});
+      batcher->OnBatch(batch, window_end, epoch);
+    }
     const double secs = SecondsSince(win_t0);
     planning_seconds += secs;
     report->processed_requests += static_cast<int>(batch.size());
@@ -274,6 +302,10 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
   planner->ConfigurePipeline(depth);
   ps.depth = depth;
   IngestQueue queue(options_.ingest_capacity);
+  // Declared after `queue` so the guard freezes the queue's pull-model
+  // gauges (into the surviving registry) before the queue is destroyed.
+  obs::CallbackGuard queue_gauges(registry_.get());
+  queue.RegisterMetrics(registry_.get(), &queue_gauges);
   std::atomic<bool> plan_busy{false};
   std::atomic<bool> commit_busy{false};
   std::atomic<bool> aborted{false};
@@ -293,10 +325,17 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
       if (job.stop) return;
       commit_busy.store(true, std::memory_order_relaxed);
       const auto c0 = std::chrono::steady_clock::now();
-      planner->CommitWindow(job.epoch);
+      {
+        obs::TraceSpan span(
+            tracer_.get(), "commit",
+            {{"epoch", static_cast<std::int64_t>(job.epoch)},
+             {"members", job.members}});
+        planner->CommitWindow(job.epoch);
+      }
       const double secs = SecondsSince(c0);
       commit_busy.store(false, std::memory_order_relaxed);
       ps.commit_ms += secs * 1e3;
+      ps.commit_window_ms.Add(secs * 1e3);
       // A member's response latency is its window's plan + commit time —
       // dispatch-boundary to fleet-visible assignment.
       report->processed_requests += job.members;
@@ -339,6 +378,7 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
       batch.clear();
       batch.push_back(pending.id);
       ps.ingest_wait_ms += pending_wait_ms;
+      ps.ingest_wait_per_arrival_ms.Add(pending_wait_ms);
       has_pending = false;
       // A window closes when an arrival beyond it shows up or the stream
       // ends — streaming form of RunWindowed's release-order scan, so the
@@ -347,7 +387,9 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
       while (queue.Pop(&a)) {
         if (a.release_time < window_end) {
           batch.push_back(a.id);
-          ps.ingest_wait_ms += queued_ms(a);
+          const double wait_ms = queued_ms(a);
+          ps.ingest_wait_ms += wait_ms;
+          ps.ingest_wait_per_arrival_ms.Add(wait_ms);
         } else {
           pending = a;
           pending_wait_ms = queued_ms(a);
@@ -358,10 +400,17 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
       ++epoch;
       plan_busy.store(true, std::memory_order_relaxed);
       const auto p0 = std::chrono::steady_clock::now();
-      planner->PlanWindow(batch, window_end, epoch);
+      {
+        obs::TraceSpan span(
+            tracer_.get(), "plan",
+            {{"epoch", static_cast<std::int64_t>(epoch)},
+             {"batch", static_cast<std::int64_t>(batch.size())}});
+        planner->PlanWindow(batch, window_end, epoch);
+      }
       const double secs = SecondsSince(p0);
       plan_busy.store(false, std::memory_order_relaxed);
       ps.plan_ms += secs * 1e3;
+      ps.plan_window_ms.Add(secs * 1e3);
       ++ps.windows;
       commits.Push({epoch, static_cast<int>(batch.size()), secs, false});
     }
@@ -372,15 +421,18 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
   // a full queue (backpressure) — arrivals are never dropped, the
   // producer is paced instead.
   std::int64_t overlapped = 0;
-  for (const Request& r : *requests_) {
-    if (aborted.load(std::memory_order_relaxed)) break;
-    if (!queue.Push({r.id, r.release_time,
-                     std::chrono::steady_clock::now()})) {
-      break;  // cancelled by the kill switch
-    }
-    if (plan_busy.load(std::memory_order_relaxed) ||
-        commit_busy.load(std::memory_order_relaxed)) {
-      ++overlapped;
+  {
+    obs::TraceSpan span(tracer_.get(), "ingest.replay");
+    for (const Request& r : *requests_) {
+      if (aborted.load(std::memory_order_relaxed)) break;
+      if (!queue.Push({r.id, r.release_time,
+                       std::chrono::steady_clock::now()})) {
+        break;  // cancelled by the kill switch
+      }
+      if (plan_busy.load(std::memory_order_relaxed) ||
+          commit_busy.load(std::memory_order_relaxed)) {
+        ++overlapped;
+      }
     }
   }
   queue.Close();

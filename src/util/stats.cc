@@ -1,48 +1,11 @@
 #include "src/util/stats.h"
 
 #include <algorithm>
-#include <cmath>
 
 namespace urpsm {
 
-namespace {
-
-/// splitmix64: tiny, fast, and statistically fine for reservoir slot
-/// selection. Seeded with a fixed constant so retained sets — and with
-/// them AverageReports percentiles — are reproducible.
-constexpr std::uint64_t kReservoirSeed = 0x9e3779b97f4a7c15ULL;
-
-std::uint64_t SplitMix64(std::uint64_t* state) {
-  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
-
-StatsAccumulator::StatsAccumulator(std::size_t capacity)
-    : capacity_(std::max<std::size_t>(1, capacity)),
-      rng_state_(kReservoirSeed) {}
-
-void StatsAccumulator::Offer(double x, std::uint64_t weight) {
-  count_ += weight;
-  if (samples_.size() < capacity_) {
-    samples_.push_back(x);
-    sorted_valid_ = false;
-    return;
-  }
-  // Algorithm R: keep the newcomer with probability capacity/count_,
-  // evicting a uniformly random slot. With weight > 1 the newcomer
-  // stands in for `weight` stream elements, so it competes at the
-  // weighted stream position — an approximation that is exact for
-  // weight == 1 and keeps merged reservoirs near-uniform otherwise.
-  const std::uint64_t slot = SplitMix64(&rng_state_) % count_;
-  if (slot < capacity_ * weight) {
-    samples_[static_cast<std::size_t>(slot % capacity_)] = x;
-    sorted_valid_ = false;
-  }
-}
+StatsAccumulator::StatsAccumulator(double compression)
+    : digest_(compression) {}
 
 void StatsAccumulator::Add(double x) {
   if (count_ == 0) {
@@ -52,12 +15,12 @@ void StatsAccumulator::Add(double x) {
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
+  ++count_;
   sum_ += x;
-  Offer(x, 1);
+  digest_.Add(x);
 }
 
 void StatsAccumulator::Merge(const StatsAccumulator& other) {
-  // Self-merge would iterate a vector being mutated.
   if (&other == this) return;
   if (other.count_ == 0) return;
   if (count_ == 0) {
@@ -67,16 +30,9 @@ void StatsAccumulator::Merge(const StatsAccumulator& other) {
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
   }
+  count_ += other.count_;
   sum_ += other.sum_;
-  // Each retained sample represents an equal share of the other side's
-  // full stream (weight 1 while `other` never overflowed its cap); the
-  // offered weights sum to other.count_, so count_ pools exactly.
-  const std::size_t retained = other.samples_.size();
-  const std::uint64_t base = other.count_ / retained;
-  const std::uint64_t extra = other.count_ % retained;  // spread remainder
-  for (std::size_t i = 0; i < retained; ++i) {
-    Offer(other.samples_[i], base + (i < extra ? 1 : 0));
-  }
+  digest_.Merge(other.digest_);
 }
 
 double StatsAccumulator::mean() const {
@@ -88,17 +44,11 @@ double StatsAccumulator::min() const { return count_ == 0 ? 0.0 : min_; }
 double StatsAccumulator::max() const { return count_ == 0 ? 0.0 : max_; }
 
 double StatsAccumulator::Percentile(double p) const {
-  if (samples_.empty()) return 0.0;
-  if (!sorted_valid_) {
-    sorted_ = samples_;
-    std::sort(sorted_.begin(), sorted_.end());
-    sorted_valid_ = true;
-  }
-  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
-  const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
-  const double frac = rank - static_cast<double>(lo);
-  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 100.0) return max_;
+  const double q = digest_.Quantile(p / 100.0);
+  return std::min(max_, std::max(min_, q));
 }
 
 }  // namespace urpsm

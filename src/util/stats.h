@@ -2,90 +2,72 @@
 #define URPSM_SRC_UTIL_STATS_H_
 
 #include <cstddef>
-#include <cstdint>
-#include <vector>
+
+#include "src/obs/tdigest.h"
 
 namespace urpsm {
 
 /// Online accumulator for scalar samples: count/sum/mean/min/max are
-/// exact; percentiles come from a *capped reservoir* of retained samples.
-/// Used by the simulator to report response-time distributions the way
-/// the paper's Figures 3–7 do.
+/// exact; percentiles come from a mergeable t-digest sketch
+/// (src/obs/tdigest.h). Used by the simulator to report response-time
+/// distributions the way the paper's Figures 3–7 do, and pooled across
+/// runs by AverageReports.
 ///
-/// Memory bound: at most `capacity` samples are ever retained
-/// (kDefaultCapacity = 64Ki doubles = 512 KiB), so million-request runs —
-/// and multi-run pooling on top of them — no longer grow without limit.
-/// Below the cap the reservoir holds every sample and percentiles are
-/// exact; above it, uniform reservoir sampling (Algorithm R) keeps each
-/// seen sample retained with equal probability, so percentile estimates
-/// stay unbiased with error O(1/sqrt(capacity)).
+/// Memory bound: O(compression) centroids plus a constant-size buffer
+/// (~a few hundred KiB at the default compression of 400), regardless
+/// of how many samples are added — million-request runs and multi-run
+/// pooling on top of them stay bounded.
 ///
-/// Determinism: the reservoir's replacement decisions come from a
-/// splitmix64 stream seeded by a fixed constant at construction — the
-/// same Add/Merge sequence always yields the same retained set, so
-/// AverageReports percentiles are reproducible run to run.
+/// Accuracy contract: below the digest's first buffer flush (a few
+/// thousand samples) percentiles are exact (every sample is a
+/// singleton centroid and interpolation reduces to the classic
+/// sorted-sample formula); beyond it the rank error at p50/p95/p99 is
+/// tested under 1% on million-sample pooled input (tests/obs_test.cc).
+///
+/// Determinism: the digest has no randomness — the same Add/Merge
+/// sequence always yields the same sketch and the same percentiles,
+/// and Percentile queries never perturb later answers. Merge is
+/// deterministic; it is not bit-exactly associative (no rank-clustered
+/// sketch is), but any association agrees exactly on
+/// count/sum/min/max and on every percentile within the rank-error
+/// bound.
 class StatsAccumulator {
  public:
-  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
-
-  explicit StatsAccumulator(std::size_t capacity = kDefaultCapacity);
+  explicit StatsAccumulator(
+      double compression = obs::TDigest::kDefaultCompression);
 
   void Add(double x);
-  /// Adds every *retained* sample of `other` (pooling, not averaging):
-  /// while the combined accumulator stays under its cap this is exact
-  /// pooling — percentiles of the merge are percentiles of the union of
-  /// the sample sets. Once capped, each of `other`'s retained samples
-  /// stands in for other.count()/other.samples().size() originals: it is
-  /// fed through the reservoir with that weight, keeping the merged
-  /// reservoir an (approximately) uniform sample of the pooled stream.
-  /// The approximation is deterministic but not merge-order invariant,
-  /// and a weighted sample can hold at most one slot — so merging runs
-  /// of wildly unequal sizes can over-represent a small early run, by at
-  /// most its retained count / capacity in absolute slot share (e.g. a
-  /// 100-sample run merged before a 1M-sample run holds <=100 of 64Ki
-  /// slots — ~0.15% — where ~0.01% would be proportional). For same-
-  /// order-of-magnitude runs (the AverageReports use: repetitions of one
-  /// setting) the skew is negligible; an exactly mergeable sketch
-  /// (t-digest/KLL) is the ROADMAP follow-up. An average of per-run
+  /// Pools `other` into this accumulator (pooling, not averaging):
+  /// count/sum/min/max combine exactly, and the digests merge so
+  /// percentiles of the result are percentiles of the pooled stream
+  /// within the sketch's rank-error bound. An average of per-run
   /// percentiles is not a percentile of anything — this is how
   /// multi-run reports aggregate latency distributions.
   void Merge(const StatsAccumulator& other);
 
-  /// Samples ever Added/Merged (NOT the retained count — see samples()).
+  /// Samples ever Added/Merged (exact).
   std::size_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const;
-  /// Exact min/max over ALL seen samples (tracked online; the reservoir
-  /// may have evicted the extremes).
+  /// Exact min/max over ALL seen samples (tracked online, not
+  /// sketched).
   double min() const;
   double max() const;
-  /// p-th percentile of the retained reservoir, p in [0, 100]. Exact
-  /// while count() <= capacity; an unbiased estimate beyond. Returns 0
+  /// p-th percentile of all seen samples, p in [0, 100], clamped to
+  /// the exact [min, max] range. Exact for small inputs, digest-
+  /// approximated (rank error < 1% at p50/p95/p99) beyond. Returns 0
   /// when empty.
   double Percentile(double p) const;
-  /// The retained samples, in reservoir order (insertion order until the
-  /// cap, replacement order after). At most capacity() entries.
-  const std::vector<double>& samples() const { return samples_; }
-  std::size_t capacity() const { return capacity_; }
+
+  /// The underlying sketch (tests and stage-timing aggregation).
+  const obs::TDigest& digest() const { return digest_; }
 
  private:
-  /// Reservoir step for one sample that stands in for `weight` originals;
-  /// advances count_ by `weight` (the stream position the replacement
-  /// probability competes at).
-  void Offer(double x, std::uint64_t weight);
-
-  std::size_t capacity_;
-  std::size_t count_ = 0;      // all samples seen; advanced by Offer
+  std::size_t count_ = 0;
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
-  std::uint64_t rng_state_;    // deterministic seed, fixed at construction
-  std::vector<double> samples_;
-  // Sorted scratch for percentile queries, rebuilt lazily: sorting
-  // samples_ in place would permute the reservoir's slot meaning and make
-  // the retained set depend on when Percentile was called.
-  mutable std::vector<double> sorted_;
-  mutable bool sorted_valid_ = false;
+  obs::TDigest digest_;
 };
 
 }  // namespace urpsm

@@ -7,6 +7,7 @@
 #include "src/graph/road_network.h"
 #include "src/model/route.h"
 #include "src/obs/registry.h"
+#include "src/util/fault.h"
 
 namespace urpsm {
 
@@ -111,6 +112,9 @@ bool FleetShards::AllCommittedAtLeast(std::uint64_t epoch) const {
 void FleetShards::MarkCommitted(int s, std::uint64_t epoch) {
   {
     const std::lock_guard<std::mutex> lock(epoch_mu_);
+    // Fault site: hold the epoch lock across the seeded delay, stretching
+    // the exact dependency edge later windows block on in WaitCommitted.
+    MaybeInject(faults_, FaultSite::kShardLockHold);
     auto& mark = committed_epoch_[static_cast<std::size_t>(s)];
     if (mark >= epoch) return;
     mark = epoch;

@@ -13,6 +13,8 @@
 
 namespace urpsm {
 
+class FaultInjector;
+
 namespace obs {
 class Counter;
 class Histogram;
@@ -129,6 +131,12 @@ class FleetShards {
   /// WaitCommitted. No-op when reg is null or disabled.
   void RegisterMetrics(obs::Registry* reg);
 
+  /// Arms the kShardLockHold fault site: MarkCommitted may hold the epoch
+  /// mutex for a seeded delay before releasing a shard — stretching
+  /// exactly the cross-window dependency edge the pipelined engine waits
+  /// on. Timing-only; the release order is unchanged.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+
  private:
   const Fleet* fleet_;
   Point lo_;
@@ -158,6 +166,7 @@ class FleetShards {
   // const, so it observes through the pointers without mutating them.
   obs::Histogram* commit_wait_hist_ = nullptr;
   obs::Counter* commit_blocking_waits_ = nullptr;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace urpsm

@@ -9,6 +9,12 @@ namespace urpsm {
 IngestQueue::IngestQueue(std::size_t capacity)
     : capacity_(std::max<std::size_t>(1, capacity)) {}
 
+void IngestQueue::EnqueueLocked(const Arrival& a) {
+  q_.push_back(a);
+  ++pushed_;
+  max_depth_ = std::max(max_depth_, q_.size());
+}
+
 bool IngestQueue::Push(const Arrival& a) {
   std::unique_lock<std::mutex> lock(mu_);
   if (q_.size() >= capacity_ && !cancelled_) {
@@ -16,11 +22,43 @@ bool IngestQueue::Push(const Arrival& a) {
     not_full_.wait(lock, [&] { return q_.size() < capacity_ || cancelled_; });
   }
   if (cancelled_) return false;
-  q_.push_back(a);
-  ++pushed_;
-  max_depth_ = std::max(max_depth_, q_.size());
+  EnqueueLocked(a);
   not_empty_.notify_one();
   return true;
+}
+
+IngestQueue::PushOutcome IngestQueue::TryPush(const Arrival& a,
+                                              AdmissionPolicy policy) {
+  if (policy == AdmissionPolicy::kBlock) {
+    return Push(a) ? PushOutcome::kAdmitted : PushOutcome::kCancelled;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_) return PushOutcome::kCancelled;
+  if (q_.size() >= capacity_) {
+    if (policy == AdmissionPolicy::kRejectAtIngress) {
+      return PushOutcome::kRejected;
+    }
+    // kShedOldestSlack: the victim is the arrival with the least deadline
+    // slack — least likely to still be servable — among the queued ones
+    // AND the incoming one. Ties break on the lower id so the choice is
+    // deterministic for a fixed queue state.
+    auto victim = q_.begin();
+    for (auto it = q_.begin(); it != q_.end(); ++it) {
+      if (it->slack_min < victim->slack_min ||
+          (it->slack_min == victim->slack_min && it->id < victim->id)) {
+        victim = it;
+      }
+    }
+    if (a.slack_min < victim->slack_min ||
+        (a.slack_min == victim->slack_min && a.id < victim->id)) {
+      return PushOutcome::kRejected;  // the incoming arrival is the victim
+    }
+    q_.erase(victim);
+    ++evicted_;
+  }
+  EnqueueLocked(a);
+  not_empty_.notify_one();
+  return PushOutcome::kAdmitted;
 }
 
 bool IngestQueue::Pop(Arrival* out) {
@@ -42,6 +80,7 @@ void IngestQueue::Close() {
 void IngestQueue::Cancel() {
   const std::lock_guard<std::mutex> lock(mu_);
   cancelled_ = true;
+  discarded_ += static_cast<std::int64_t>(q_.size());
   q_.clear();
   not_full_.notify_all();
   not_empty_.notify_all();
@@ -60,6 +99,16 @@ std::int64_t IngestQueue::total_pushed() const {
 std::int64_t IngestQueue::backpressure_waits() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return backpressure_waits_;
+}
+
+std::int64_t IngestQueue::evicted() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+std::int64_t IngestQueue::discarded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return discarded_;
 }
 
 std::size_t IngestQueue::depth() const {
@@ -82,6 +131,8 @@ void IngestQueue::RegisterMetrics(obs::Registry* reg,
         [this] { return static_cast<double>(total_pushed()); });
   track("ingest.backpressure_waits",
         [this] { return static_cast<double>(backpressure_waits()); });
+  track("ingest.evicted",
+        [this] { return static_cast<double>(evicted()); });
 }
 
 }  // namespace urpsm

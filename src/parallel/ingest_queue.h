@@ -20,9 +20,29 @@ class Registry;
 struct Arrival {
   RequestId id = kInvalidRequest;
   double release_time = 0.0;  // simulated minutes (the request's release)
+  /// Deadline slack at release (simulated minutes): deadline - release -
+  /// Euclidean lower-bound travel time. The least-slack arrival is the
+  /// least likely to still be servable, so it is the eviction victim of
+  /// AdmissionPolicy::kShedOldestSlack. kInf when admission control is
+  /// off (the producer then never computes it).
+  double slack_min = kInf;
   /// Wall-clock enqueue instant, stamped by the producer; the consumer
   /// derives the per-arrival ingest-stage latency (queue wait) from it.
   std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+/// What a producer does when the bounded queue is physically full.
+///
+/// kBlock is the lossless default (backpressure; the PR 7 behavior).
+/// The two shedding policies also arm the engine's *deterministic*
+/// admission levers (ingress slack floor, per-window admit budget — see
+/// SimOptions); the queue-full branch below is the wall-clock safety
+/// valve behind them and never engages when the capacity exceeds the
+/// real backlog.
+enum class AdmissionPolicy : int {
+  kBlock = 0,           // full queue blocks the producer; nothing is shed
+  kRejectAtIngress = 1, // full queue rejects the incoming arrival
+  kShedOldestSlack = 2, // full queue evicts the least-slack queued arrival
 };
 
 /// Bounded MPSC arrival queue decoupling the ingest stage from the
@@ -32,10 +52,12 @@ struct Arrival {
 /// FIFO order and assembles dispatch windows. The queue is *bounded*:
 /// Push blocks while the queue is full (backpressure — arrivals are never
 /// dropped, the producer is slowed instead), which caps the memory an
-/// ingest burst can pin while a window is mid-plan. Close() ends the
-/// stream (Pop drains the remainder, then returns false); Cancel() aborts
-/// it from the consumer side (blocked producers wake and Push returns
-/// false — the wall-limit kill-switch path).
+/// ingest burst can pin while a window is mid-plan. TryPush adds the
+/// admission-policy front end: on a full queue it can reject the incoming
+/// arrival or evict the least-slack queued one instead of blocking.
+/// Close() ends the stream (Pop drains the remainder, then returns
+/// false); Cancel() aborts it from the consumer side (blocked producers
+/// wake and Push returns false — the wall-limit kill-switch path).
 ///
 /// The implementation is a mutex + two condition variables around a
 /// deque: arrivals are tiny and the per-window consumer amortizes any
@@ -43,6 +65,13 @@ struct Arrival {
 /// nothing here while costing the simple blocking backpressure semantics.
 class IngestQueue {
  public:
+  /// Outcome of an admission-policy TryPush.
+  enum class PushOutcome {
+    kAdmitted,   // enqueued (possibly after evicting a victim)
+    kRejected,   // queue full and the policy shed the incoming arrival
+    kCancelled,  // stream aborted; nothing enqueued
+  };
+
   explicit IngestQueue(std::size_t capacity);
 
   IngestQueue(const IngestQueue&) = delete;
@@ -52,6 +81,14 @@ class IngestQueue {
   /// Returns false — without enqueuing — once the queue is cancelled.
   bool Push(const Arrival& a);
 
+  /// Admission-policy push. kBlock behaves exactly like Push. The
+  /// shedding policies never block: on a full queue kRejectAtIngress
+  /// returns kRejected, and kShedOldestSlack evicts the queued arrival
+  /// with the least slack (ties: lowest id) to make room — unless the
+  /// incoming arrival has the least slack itself, in which case IT is
+  /// the victim and kRejected is returned. Evictions count in evicted().
+  PushOutcome TryPush(const Arrival& a, AdmissionPolicy policy);
+
   /// Dequeues the oldest arrival, blocking while the queue is empty and
   /// still open. Returns false when the stream ended: cancelled, or
   /// closed with nothing left to drain.
@@ -60,7 +97,8 @@ class IngestQueue {
   /// Producer side is done; consumers drain the remainder.
   void Close();
   /// Aborts the stream: wakes blocked producers and consumers, Push and
-  /// Pop return false from now on (pending arrivals are discarded).
+  /// Pop return false from now on (pending arrivals are discarded and
+  /// counted in discarded()).
   void Cancel();
 
   std::size_t capacity() const { return capacity_; }
@@ -68,18 +106,25 @@ class IngestQueue {
   std::size_t depth() const;
   /// Deepest the queue ever got (backlog high-water mark).
   std::size_t max_depth() const;
-  /// Arrivals accepted over the queue's lifetime.
+  /// Arrivals accepted over the queue's lifetime (evicted ones included).
   std::int64_t total_pushed() const;
   /// Push calls that had to block on a full queue (backpressure events).
   std::int64_t backpressure_waits() const;
+  /// Queued arrivals evicted by kShedOldestSlack to admit a newer one.
+  std::int64_t evicted() const;
+  /// Pending arrivals discarded by Cancel().
+  std::int64_t discarded() const;
 
   /// Registers pull-model gauges (ingest.depth / ingest.max_depth /
-  /// ingest.total_pushed / ingest.backpressure_waits) on `reg`. The ids
-  /// are tracked on `guard`, which must freeze them before this queue is
-  /// destroyed. No-op when reg is null.
+  /// ingest.total_pushed / ingest.backpressure_waits / ingest.evicted)
+  /// on `reg`. The ids are tracked on `guard`, which must freeze them
+  /// before this queue is destroyed. No-op when reg is null.
   void RegisterMetrics(obs::Registry* reg, obs::CallbackGuard* guard) const;
 
  private:
+  /// Appends under mu_ and updates the shared bookkeeping.
+  void EnqueueLocked(const Arrival& a);
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
@@ -90,6 +135,8 @@ class IngestQueue {
   std::size_t max_depth_ = 0;
   std::int64_t pushed_ = 0;
   std::int64_t backpressure_waits_ = 0;
+  std::int64_t evicted_ = 0;
+  std::int64_t discarded_ = 0;
 };
 
 }  // namespace urpsm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/obs/registry.h"
+#include "src/util/fault.h"
 
 namespace urpsm {
 
@@ -27,6 +28,7 @@ void ThreadPool::RunChunks(Job* job) {
   for (;;) {
     const std::int64_t i0 = job->cursor.fetch_add(job->grain);
     if (i0 >= job->end) return;
+    MaybeInject(faults_, FaultSite::kPoolTaskDelay);
     const std::int64_t i1 = std::min(job->end, i0 + job->grain);
     for (std::int64_t i = i0; i < i1; ++i) (*job->body)(i);
     if (job->finished.fetch_add(i1 - i0) + (i1 - i0) == job->total) {

@@ -13,6 +13,8 @@
 
 namespace urpsm {
 
+class FaultInjector;
+
 namespace obs {
 class Registry;
 }  // namespace obs
@@ -51,6 +53,12 @@ class ThreadPool {
   /// The pool must outlive the registry's last Snapshot (or the gauges
   /// must be frozen first). No-op when reg is null.
   void RegisterMetrics(obs::Registry* reg);
+
+  /// Arms the kPoolTaskDelay fault site: each claimed chunk may start
+  /// with a seeded delay (timing-only — chunk assignment already varies
+  /// run to run; results never depend on it). Set before the pool is
+  /// handed to planners; nullptr (default) costs one branch per chunk.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
 
   /// Runs body(i) for every i in [begin, end) exactly once and blocks
   /// until all iterations finish. Writes made by `body` happen-before the
@@ -93,6 +101,7 @@ class ThreadPool {
   void RunChunks(Job* job);
 
   int num_threads_;
+  FaultInjector* faults_ = nullptr;
   std::vector<std::thread> workers_;
 
   mutable std::mutex mu_;

@@ -3,6 +3,7 @@
 #include "src/obs/registry.h"
 #include "src/shortest/bidijkstra.h"
 #include "src/shortest/dijkstra.h"
+#include "src/util/fault.h"
 
 namespace urpsm {
 
@@ -18,6 +19,7 @@ std::vector<VertexId> DijkstraOracle::Path(VertexId u, VertexId v) {
 thread_local std::int64_t* CachedOracle::bill_sink_ = nullptr;
 
 double CachedOracle::Distance(VertexId u, VertexId v) {
+  MaybeInject(faults_, FaultSite::kOracleDelay);
   if (bill_sink_ != nullptr) {
     ++*bill_sink_;
   } else {

@@ -12,6 +12,8 @@
 
 namespace urpsm {
 
+class FaultInjector;
+
 namespace obs {
 class Registry;
 }  // namespace obs
@@ -103,6 +105,11 @@ class CachedOracle : public DistanceOracle {
   /// frozen first). No-op when reg is null or disabled.
   void RegisterMetrics(obs::Registry* reg);
 
+  /// Arms the kOracleDelay fault site on this oracle's Distance path
+  /// (timing-only; query counts and results are untouched). nullptr (the
+  /// default) costs one branch per call.
+  void set_faults(FaultInjector* faults) { faults_ = faults; }
+
   /// Redirects this thread's Distance billing away from query_count_ and
   /// into `*sink` for the scope's lifetime. The speculative planning
   /// stage bills each request's queries to a private sink: a speculation
@@ -140,6 +147,7 @@ class CachedOracle : public DistanceOracle {
 
   DistanceOracle* inner_;
   ShardedLruCache<std::pair<VertexId, VertexId>, double, KeyHash> cache_;
+  FaultInjector* faults_ = nullptr;
 };
 
 }  // namespace urpsm

@@ -28,6 +28,7 @@ DispatchWindowPlanner::DispatchWindowPlanner(PlanningContext* ctx,
   shards_ = std::make_unique<FleetShards>(fleet_, lo, hi,
                                           4.0 * config_.grid_cell_km);
   fleet_->AttachShards(shards_.get());
+  shards_->set_faults(ctx_->faults());
   commit_heads_ = std::vector<std::atomic<std::size_t>>(
       static_cast<std::size_t>(shards_->num_shards()));
   // Speculative query billing needs the cache layer; without it the

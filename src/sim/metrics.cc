@@ -16,12 +16,20 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
   avg.num_threads = reports.front().num_threads;
   const double n = static_cast<double>(reports.size());
   double served = 0.0, processed = 0.0, queries = 0.0, index_mem = 0.0;
+  double rejected = 0.0, shed = 0.0, dnf = 0.0;
+  double shed_deadline = 0.0, shed_overload = 0.0, shed_drain = 0.0;
   double pl_windows = 0.0, pl_ingested = 0.0, pl_overlapped = 0.0,
          pl_backpressure = 0.0, pl_spec_hits = 0.0, pl_spec_misses = 0.0;
   std::map<std::string, std::pair<double, int>> metric_sums;  // sum, runs
   for (const SimReport& r : reports) {
     served += r.served_requests;
     processed += r.processed_requests;
+    rejected += r.rejected_requests;
+    shed += r.shed_requests;
+    dnf += r.dnf_requests;
+    shed_deadline += static_cast<double>(r.shed_deadline);
+    shed_overload += static_cast<double>(r.shed_overload);
+    shed_drain += static_cast<double>(r.shed_drain);
     avg.served_rate += r.served_rate / n;
     avg.unified_cost += r.unified_cost / n;
     avg.total_distance += r.total_distance / n;
@@ -63,6 +71,11 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
     avg.pipeline.commit_window_ms.Merge(r.pipeline.commit_window_ms);
     avg.pipeline.ingest_wait_per_arrival_ms.Merge(
         r.pipeline.ingest_wait_per_arrival_ms);
+    avg.pipeline.admission_latency_ms.Merge(r.pipeline.admission_latency_ms);
+    // Drain flags/cutoffs behave like run parameters: OR / max-propagate.
+    avg.pipeline.drained = avg.pipeline.drained || r.pipeline.drained;
+    avg.pipeline.drain_cutoff_min =
+        std::max(avg.pipeline.drain_cutoff_min, r.pipeline.drain_cutoff_min);
     avg.trace_enabled = avg.trace_enabled || r.trace_enabled;
     // Registry snapshots: element-wise mean over the runs that reported
     // the key (percentile sub-keys of a pooled distribution would need
@@ -83,6 +96,12 @@ SimReport AverageReports(const std::vector<SimReport>& reports) {
   avg.max_response_ms = avg.response_stats.max();
   avg.served_requests = static_cast<int>(std::lround(served / n));
   avg.processed_requests = static_cast<int>(std::lround(processed / n));
+  avg.rejected_requests = static_cast<int>(std::lround(rejected / n));
+  avg.shed_requests = static_cast<int>(std::lround(shed / n));
+  avg.dnf_requests = static_cast<int>(std::lround(dnf / n));
+  avg.shed_deadline = std::llround(shed_deadline / n);
+  avg.shed_overload = std::llround(shed_overload / n);
+  avg.shed_drain = std::llround(shed_drain / n);
   avg.distance_queries = static_cast<std::int64_t>(std::llround(queries / n));
   avg.index_memory_bytes =
       static_cast<std::int64_t>(std::llround(index_mem / n));
@@ -107,6 +126,42 @@ constexpr double kTimeEps = 1e-6;  // float tolerance on schedule arithmetic
 InvariantReport Fail(const std::string& msg) { return {false, msg}; }
 
 }  // namespace
+
+InvariantReport CheckAccounting(const SimReport& r) {
+  const auto count = [](const char* name, long long v) {
+    return std::string(name) + "=" + std::to_string(v);
+  };
+  if (r.served_requests < 0 || r.rejected_requests < 0 ||
+      r.shed_requests < 0 || r.dnf_requests < 0 || r.processed_requests < 0 ||
+      r.shed_deadline < 0 || r.shed_overload < 0 || r.shed_drain < 0) {
+    return Fail("negative accounting bucket");
+  }
+  if (r.served_requests + r.rejected_requests + r.shed_requests +
+          r.dnf_requests !=
+      r.total_requests) {
+    return Fail("served + rejected + shed + dnf != total (" +
+                count("served", r.served_requests) + ", " +
+                count("rejected", r.rejected_requests) + ", " +
+                count("shed", r.shed_requests) + ", " +
+                count("dnf", r.dnf_requests) + ", " +
+                count("total", r.total_requests) + ")");
+  }
+  if (r.rejected_requests != r.processed_requests - r.served_requests) {
+    return Fail("rejected != processed - served (" +
+                count("rejected", r.rejected_requests) + ", " +
+                count("processed", r.processed_requests) + ", " +
+                count("served", r.served_requests) + ")");
+  }
+  if (r.shed_deadline + r.shed_overload + r.shed_drain !=
+      static_cast<std::int64_t>(r.shed_requests)) {
+    return Fail("shed by-reason counts do not sum to shed_requests (" +
+                count("deadline", r.shed_deadline) + ", " +
+                count("overload", r.shed_overload) + ", " +
+                count("drain", r.shed_drain) + ", " +
+                count("shed", r.shed_requests) + ")");
+  }
+  return {};
+}
 
 InvariantReport VerifyInvariants(const Fleet& fleet,
                                  const std::vector<Request>& requests,

@@ -56,6 +56,18 @@ struct PipelineStats {
   StatsAccumulator plan_window_ms;
   StatsAccumulator commit_window_ms;
   StatsAccumulator ingest_wait_per_arrival_ms;
+  /// Per-arrival admission latency (ms): wall time between the producer
+  /// offering an arrival and the queue's admit/shed decision — the time
+  /// a requester would wait at the front door. Non-trivial only under
+  /// AdmissionPolicy::kBlock (backpressure blocks the offer); the
+  /// shedding policies decide without blocking.
+  StatsAccumulator admission_latency_ms;
+  /// Graceful drain: the simulated cutoff (minutes) that ended ingest,
+  /// or -1 when the run never drained. Set by SimOptions::drain_after_s
+  /// or the kDrainTrigger fault site.
+  double drain_cutoff_min = -1.0;
+  /// Whether the drain cutoff actually fired (a release crossed it).
+  bool drained = false;
 };
 
 /// One simulation run's results: the three headline metrics of the paper's
@@ -70,6 +82,23 @@ struct SimReport {
   /// run the latency percentiles below cover only these.
   int processed_requests = 0;
   int served_requests = 0;
+  /// Overload/robustness partition of total_requests. Every request lands
+  /// in exactly one bucket:
+  ///   served   — delivered by its deadline;
+  ///   rejected — handed to the planner but not served (penalty billed);
+  ///   shed     — dropped by admission control or drain before planning
+  ///              (penalty billed; by-reason split below);
+  ///   dnf      — neither planned nor shed: cut off by the wall-limit
+  ///              kill switch (penalty billed, as in the paper).
+  /// CheckAccounting() verifies served + rejected + shed + dnf == total
+  /// on every run, including timed-out, drained and fault-injected ones.
+  int rejected_requests = 0;
+  int shed_requests = 0;
+  int dnf_requests = 0;
+  /// Shed counts by reason; their sum equals shed_requests.
+  std::int64_t shed_deadline = 0;  // ingress slack below the admission floor
+  std::int64_t shed_overload = 0;  // queue-full shed + window budget excess
+  std::int64_t shed_drain = 0;     // released at/after the drain cutoff
   double served_rate = 0.0;
   double unified_cost = 0.0;
   double total_distance = 0.0;    // sum_w D(S_w), travel-time minutes
@@ -143,6 +172,14 @@ struct InvariantReport {
 InvariantReport VerifyInvariants(const Fleet& fleet,
                                  const std::vector<Request>& requests,
                                  bool mid_run = false);
+
+/// Verifies the overload-accounting partition of a finished run:
+/// served + rejected + shed + dnf == total, rejected == processed -
+/// served, the by-reason shed counts sum to shed_requests, and no bucket
+/// is negative. Holds by construction for Simulation::Run reports
+/// (including timed-out, drained and fault-injected runs); tests and
+/// benches call it on every report they emit.
+InvariantReport CheckAccounting(const SimReport& report);
 
 }  // namespace urpsm
 

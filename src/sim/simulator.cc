@@ -65,6 +65,71 @@ class CommitChannel {
 
 }  // namespace
 
+SimOptions ValidateSimOptions(SimOptions options,
+                              std::vector<std::string>* warnings) {
+  const auto warn = [&](const std::string& msg) {
+    std::fprintf(stderr, "SimOptions: %s\n", msg.c_str());
+    if (warnings != nullptr) warnings->push_back(msg);
+  };
+  if (options.batch_window_s < 0.0) {
+    warn("negative batch_window_s clamped to 0 (per-request loop)");
+    options.batch_window_s = 0.0;
+  }
+  if (options.pipeline && options.batch_window_s <= 0.0) {
+    warn("pipeline requires batch_window_s > 0; pipeline disabled");
+    options.pipeline = false;
+  }
+  if (options.pipeline_depth < 2) {
+    warn("pipeline_depth < 2 clamped to 2 (the minimum double buffer)");
+    options.pipeline_depth = 2;
+  }
+  if (options.ingest_capacity == 0) {
+    warn("ingest_capacity == 0 clamped to 1 (the queue must hold at least "
+         "one arrival)");
+    options.ingest_capacity = 1;
+  }
+  if (options.wall_limit_seconds < 0.0) {
+    warn("negative wall_limit_seconds clamped to 0 (immediate kill switch)");
+    options.wall_limit_seconds = 0.0;
+  }
+  if (options.num_threads < 1) {
+    warn("num_threads < 1 clamped to 1 (sequential)");
+    options.num_threads = 1;
+  }
+  if (options.admission_slack_min < 0.0) {
+    warn("negative admission_slack_min clamped to 0 (filter off)");
+    options.admission_slack_min = 0.0;
+  }
+  if (options.window_admit_budget < 0) {
+    warn("negative window_admit_budget clamped to 0 (unlimited)");
+    options.window_admit_budget = 0;
+  }
+  if (options.drain_after_s < 0.0 && options.drain_after_s != -1.0) {
+    // Any negative value means "never"; normalize to the documented
+    // sentinel so reports compare cleanly.
+    options.drain_after_s = -1.0;
+  }
+  if (options.metrics_snapshot_period_s <= 0.0) {
+    warn("metrics_snapshot_period_s <= 0 clamped to 1.0");
+    options.metrics_snapshot_period_s = 1.0;
+  }
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    FaultConfig& c = options.faults.site[i];
+    if (c.rate < 0.0 || c.rate > 1.0) {
+      warn(std::string("fault rate for ") +
+           FaultSiteName(static_cast<FaultSite>(i)) +
+           " clamped into [0, 1]");
+      c.rate = std::min(1.0, std::max(0.0, c.rate));
+    }
+    if (c.delay_us < 0.0) {
+      warn(std::string("negative fault delay for ") +
+           FaultSiteName(static_cast<FaultSite>(i)) + " clamped to 0");
+      c.delay_us = 0.0;
+    }
+  }
+  return options;
+}
+
 Simulation::Simulation(const RoadNetwork* graph, DistanceOracle* oracle,
                        std::vector<Worker> workers,
                        const std::vector<Request>* requests,
@@ -73,7 +138,7 @@ Simulation::Simulation(const RoadNetwork* graph, DistanceOracle* oracle,
       oracle_(oracle),
       workers_(std::move(workers)),
       requests_(requests),
-      options_(options) {
+      options_(ValidateSimOptions(std::move(options))) {
   for (std::size_t i = 0; i + 1 < requests_->size(); ++i) {
     assert((*requests_)[i].release_time <= (*requests_)[i + 1].release_time);
   }
@@ -112,14 +177,22 @@ SimReport Simulation::Run(const PlannerFactory& factory) {
   fleet_ = std::make_unique<Fleet>(workers_, graph_);
   registry_ = std::make_unique<obs::Registry>(options_.collect_metrics);
   tracer_ = std::make_unique<obs::TraceRecorder>(options_.trace_path);
+  faults_ = options_.faults.enabled
+                ? std::make_unique<FaultInjector>(options_.faults)
+                : nullptr;
   PlanningContext ctx(graph_, cached_.get(), requests_);
   ctx.set_thread_pool(pool_.get());
   ctx.set_metrics(registry_.get());
   ctx.set_tracer(tracer_.get());
+  ctx.set_faults(faults_.get());
   // Components fetch instruments up front; planner construction (below)
   // registers the planner- and shard-side ones through the context.
   cached_->RegisterMetrics(registry_.get());
-  if (pool_ != nullptr) pool_->RegisterMetrics(registry_.get());
+  cached_->set_faults(faults_.get());
+  if (pool_ != nullptr) {
+    pool_->RegisterMetrics(registry_.get());
+    pool_->set_faults(faults_.get());
+  }
   std::unique_ptr<RoutePlanner> planner = factory(&ctx, fleet_.get());
   registry_->StartPeriodicExport(options_.metrics_snapshot_path,
                                  options_.metrics_snapshot_period_s);
@@ -186,6 +259,17 @@ SimReport Simulation::Run(const PlannerFactory& factory) {
       report.total_requests == 0
           ? 0.0
           : static_cast<double>(report.served_requests) / report.total_requests;
+  // Overload-accounting partition. The loops above fill processed and the
+  // shed buckets; the derived buckets close the partition exactly:
+  // requests the planner saw but did not serve are rejections, and
+  // requests that were neither planned nor shed (wall-limit cutoff) are
+  // DNFs. CheckAccounting() re-verifies the identity on every report.
+  report.shed_requests = static_cast<int>(
+      report.shed_deadline + report.shed_overload + report.shed_drain);
+  report.rejected_requests =
+      report.processed_requests - report.served_requests;
+  report.dnf_requests = report.total_requests - report.processed_requests -
+                        report.shed_requests;
   report.total_distance = fleet_->committed_distance();
   report.unified_cost =
       options_.alpha * report.total_distance + report.penalty_sum;
@@ -298,10 +382,40 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
   PipelineStats& ps = report->pipeline;
   ps.enabled = true;
   // Size the planner's window-slot ring before any stage thread exists.
-  const int depth = std::max(2, options_.pipeline_depth);
+  // (>= 2 is guaranteed by ValidateSimOptions.)
+  const int depth = options_.pipeline_depth;
   planner->ConfigurePipeline(depth);
   ps.depth = depth;
   IngestQueue queue(options_.ingest_capacity);
+  // --- Admission control / drain configuration (all simulated-time).
+  const AdmissionPolicy policy = options_.admission_policy;
+  const bool shedding = policy != AdmissionPolicy::kBlock;
+  const double slack_floor = options_.admission_slack_min;
+  const int admit_budget = shedding ? options_.window_admit_budget : 0;
+  // The drain cutoff is a simulated release-time threshold, so the
+  // drained (shed) remainder is a pure function of the workload and the
+  // options/fault seed — never of wall-clock scheduling. The kDrainTrigger
+  // fault site derives its instant from the seed inside the release span.
+  double drain_cutoff_min = kInf;
+  if (options_.drain_after_s >= 0.0) {
+    drain_cutoff_min = options_.drain_after_s / 60.0;
+  }
+  if (faults_ != nullptr && faults_->armed(FaultSite::kDrainTrigger) &&
+      !requests_->empty()) {
+    const double lo = requests_->front().release_time;
+    const double hi = requests_->back().release_time;
+    const double frac =
+        0.25 + 0.5 * faults_->StableFraction(FaultSite::kDrainTrigger);
+    drain_cutoff_min = std::min(drain_cutoff_min, lo + frac * (hi - lo));
+  }
+  // Shed/drain decisions are observable: one counter per reason, plus a
+  // trace instant per decision (instants leave B/E span balance intact).
+  obs::Counter* c_shed_deadline =
+      registry_->GetCounter("admission.shed_deadline");
+  obs::Counter* c_shed_overload =
+      registry_->GetCounter("admission.shed_overload");
+  obs::Counter* c_shed_drain = registry_->GetCounter("admission.shed_drain");
+  obs::Counter* c_admitted = registry_->GetCounter("admission.admitted");
   // Declared after `queue` so the guard freezes the queue's pull-model
   // gauges (into the surviving registry) before the queue is destroyed.
   obs::CallbackGuard queue_gauges(registry_.get());
@@ -345,6 +459,7 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
     }
   });
 
+  std::atomic<std::int64_t> shed_budget{0};  // plan-thread window-budget sheds
   std::thread plan_thread([&] {
     const auto queued_ms = [](const Arrival& a) {
       return std::chrono::duration<double, std::milli>(
@@ -352,6 +467,7 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
           .count();
     };
     std::vector<RequestId> batch;
+    std::vector<double> slacks;  // parallel to batch (budget victim pick)
     Arrival pending;
     // Queue wait is sampled at Pop time: the arrival that closes window k
     // parks in `pending` across PlanWindow(k), and charging it at the top
@@ -376,7 +492,9 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
       }
       const double window_end = pending.release_time + window_min;
       batch.clear();
+      slacks.clear();
       batch.push_back(pending.id);
+      slacks.push_back(pending.slack_min);
       ps.ingest_wait_ms += pending_wait_ms;
       ps.ingest_wait_per_arrival_ms.Add(pending_wait_ms);
       has_pending = false;
@@ -387,6 +505,7 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
       while (queue.Pop(&a)) {
         if (a.release_time < window_end) {
           batch.push_back(a.id);
+          slacks.push_back(a.slack_min);
           const double wait_ms = queued_ms(a);
           ps.ingest_wait_ms += wait_ms;
           ps.ingest_wait_per_arrival_ms.Add(wait_ms);
@@ -396,6 +515,48 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
           has_pending = true;
           break;
         }
+      }
+      // Per-window admit budget: shed the excess before planning. Window
+      // membership is deterministic (release order + window length), so
+      // the shed set is too. kShedOldestSlack drops the least-slack
+      // members (ties: lowest id); kRejectAtIngress keeps the earliest
+      // `admit_budget` releases. A budget >= 1 always keeps the window
+      // non-empty, so epochs stay contiguous.
+      if (admit_budget > 0 &&
+          batch.size() > static_cast<std::size_t>(admit_budget)) {
+        const auto excess =
+            static_cast<std::int64_t>(batch.size()) - admit_budget;
+        if (policy == AdmissionPolicy::kShedOldestSlack) {
+          std::vector<std::size_t> order(batch.size());
+          for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+          std::sort(order.begin(), order.end(),
+                    [&](std::size_t x, std::size_t y) {
+                      if (slacks[x] != slacks[y]) return slacks[x] < slacks[y];
+                      return batch[x] < batch[y];
+                    });
+          std::vector<bool> drop(batch.size(), false);
+          for (std::int64_t k = 0; k < excess; ++k) {
+            drop[order[static_cast<std::size_t>(k)]] = true;
+          }
+          std::vector<RequestId> kept;
+          kept.reserve(static_cast<std::size_t>(admit_budget));
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            if (drop[i]) {
+              tracer_->Instant("shed.overload", {{"request", batch[i]}});
+            } else {
+              kept.push_back(batch[i]);
+            }
+          }
+          batch.swap(kept);
+        } else {  // kRejectAtIngress: latest releases over budget go
+          for (std::size_t i = static_cast<std::size_t>(admit_budget);
+               i < batch.size(); ++i) {
+            tracer_->Instant("shed.overload", {{"request", batch[i]}});
+          }
+          batch.resize(static_cast<std::size_t>(admit_budget));
+        }
+        shed_budget.fetch_add(excess, std::memory_order_relaxed);
+        obs::Inc(c_shed_overload, excess);
       }
       ++epoch;
       plan_busy.store(true, std::memory_order_relaxed);
@@ -417,18 +578,78 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
     commits.Push({0, 0, 0.0, true});
   });
 
-  // Ingest stage: replay the request table into the queue. Push blocks on
-  // a full queue (backpressure) — arrivals are never dropped, the
-  // producer is paced instead.
+  // Ingest stage: replay the request table into the queue. Under kBlock a
+  // full queue blocks the producer (backpressure) and nothing is ever
+  // shed. Under a shedding policy the two deterministic levers act here
+  // (slack floor) and at window assembly (admit budget); TryPush adds the
+  // queue-full safety valve without blocking. The drain cutoff ends
+  // admission mid-table: the remainder is shed (reason: drain) while the
+  // admitted prefix flushes through the normal Close() path — every
+  // in-flight window slot plans and commits, unlike the kill switch's
+  // Cancel(). Shed counts and the admission-latency digest accumulate in
+  // locals and publish after the joins (ps/report fields stay
+  // single-writer per stage thread).
   std::int64_t overlapped = 0;
+  std::int64_t shed_deadline = 0;
+  std::int64_t shed_overload_ingress = 0;
+  std::int64_t shed_drain = 0;
+  bool drained = false;
+  StatsAccumulator admission_latency;
   {
     obs::TraceSpan span(tracer_.get(), "ingest.replay");
-    for (const Request& r : *requests_) {
+    const std::int64_t n = static_cast<std::int64_t>(requests_->size());
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Request& r = (*requests_)[static_cast<std::size_t>(i)];
       if (aborted.load(std::memory_order_relaxed)) break;
-      if (!queue.Push({r.id, r.release_time,
-                       std::chrono::steady_clock::now()})) {
+      // Timing-only fault sites: kIngestStall is a frequent short pause,
+      // kIngestBurst a rare long one — the arrivals queued up behind a
+      // long pause land on the planner as a burst when the producer
+      // resumes. Neither changes which arrivals are offered.
+      MaybeInject(faults_.get(), FaultSite::kIngestStall);
+      MaybeInject(faults_.get(), FaultSite::kIngestBurst);
+      if (r.release_time >= drain_cutoff_min) {
+        const std::int64_t rest = n - i;
+        shed_drain += rest;
+        drained = true;
+        obs::Inc(c_shed_drain, rest);
+        tracer_->Instant(
+            "drain.trigger",
+            {{"cutoff_min",
+              static_cast<std::int64_t>(std::llround(drain_cutoff_min))},
+             {"shed", rest}});
+        break;
+      }
+      double slack = kInf;
+      if (shedding) {
+        // Oracle-free lower bound: even an adjacent idle worker needs at
+        // least the Euclidean travel time, so a slack below the floor can
+        // never be served — shedding it is correct degradation. Using the
+        // Euclidean bound (not the oracle) keeps query counts untouched.
+        slack = r.deadline - r.release_time -
+                graph_->EuclideanLowerBoundMin(r.origin, r.destination);
+        if (slack_floor > 0.0 && slack < slack_floor) {
+          ++shed_deadline;
+          obs::Inc(c_shed_deadline);
+          tracer_->Instant("shed.deadline", {{"request", r.id}});
+          continue;
+        }
+      }
+      const auto t0 = std::chrono::steady_clock::now();
+      const IngestQueue::PushOutcome outcome =
+          queue.TryPush({r.id, r.release_time, slack, t0}, policy);
+      admission_latency.Add(std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+      if (outcome == IngestQueue::PushOutcome::kCancelled) {
         break;  // cancelled by the kill switch
       }
+      if (outcome == IngestQueue::PushOutcome::kRejected) {
+        ++shed_overload_ingress;
+        obs::Inc(c_shed_overload);
+        tracer_->Instant("shed.overload", {{"request", r.id}});
+        continue;
+      }
+      obs::Inc(c_admitted);
       if (plan_busy.load(std::memory_order_relaxed) ||
           commit_busy.load(std::memory_order_relaxed)) {
         ++overlapped;
@@ -449,6 +670,21 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
   ps.backpressure_waits = queue.backpressure_waits();
   ps.speculation_hits = planner->speculation_hits();
   ps.speculation_misses = planner->speculation_misses();
+  // Queue-full evictions (kShedOldestSlack safety valve) are only known
+  // to the queue; fold them into the overload bucket here. The evicted
+  // arrivals were already counted by total_pushed, so ingested covers
+  // them and dnf = total - processed - shed stays exact.
+  if (queue.evicted() > 0) {
+    obs::Inc(c_shed_overload, queue.evicted());
+    tracer_->Instant("shed.overload.evicted", {{"count", queue.evicted()}});
+  }
+  ps.admission_latency_ms.Merge(admission_latency);
+  ps.drained = drained;
+  if (drain_cutoff_min < kInf) ps.drain_cutoff_min = drain_cutoff_min;
+  report->shed_deadline = shed_deadline;
+  report->shed_overload = shed_overload_ingress + queue.evicted() +
+                          shed_budget.load(std::memory_order_relaxed);
+  report->shed_drain = shed_drain;
   // Elapsed engine time, measured after both stages drained — each real
   // second of pipelined planning is billed exactly once.
   return SecondsSince(engine_t0);

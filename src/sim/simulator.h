@@ -11,9 +11,11 @@
 #include "src/model/feasibility.h"
 #include "src/obs/registry.h"
 #include "src/obs/trace.h"
+#include "src/parallel/ingest_queue.h"
 #include "src/parallel/thread_pool.h"
 #include "src/sim/fleet.h"
 #include "src/sim/metrics.h"
+#include "src/util/fault.h"
 
 namespace urpsm {
 
@@ -81,7 +83,63 @@ struct SimOptions {
   /// metrics_snapshot_period_s seconds — the long-serving-loop exporter.
   std::string metrics_snapshot_path;
   double metrics_snapshot_period_s = 1.0;
+  /// Deadline-aware admission control of the pipelined ingest stage.
+  /// kBlock (default) is the lossless PR 7 behavior: a full queue blocks
+  /// the producer and nothing is ever shed. The shedding policies arm the
+  /// two *deterministic* admission levers below — both pure functions of
+  /// simulated time, so shed sets are identical across thread counts —
+  /// plus the queue-full safety valve (reject the incoming arrival under
+  /// kRejectAtIngress, evict the least-slack queued one under
+  /// kShedOldestSlack). The safety valve depends on physical queue
+  /// occupancy (wall clock); size ingest_capacity above the real backlog
+  /// wherever determinism matters.
+  AdmissionPolicy admission_policy = AdmissionPolicy::kBlock;
+  /// Ingress deadline-slack floor (simulated minutes): an arrival whose
+  /// deadline minus release minus the Euclidean lower-bound travel time
+  /// falls below this is shed at ingress (reason: deadline) — it could
+  /// not be delivered in time even by an adjacent idle worker, so the
+  /// drop is correct degradation, not data loss. Computed with the
+  /// oracle-free Euclidean bound, so arming it perturbs no query count.
+  /// <= 0 (default) disables the filter; ignored under kBlock.
+  double admission_slack_min = 0.0;
+  /// Per-window admit budget: at window assembly the plan stage keeps at
+  /// most this many members and sheds the excess (reason: overload) —
+  /// least slack first under kShedOldestSlack, latest releases under
+  /// kRejectAtIngress. Window membership is deterministic, so this lever
+  /// is too. 0 (default) = unlimited; ignored under kBlock.
+  int window_admit_budget = 0;
+  /// Graceful drain: once a release time reaches this simulated instant
+  /// (seconds, same clock as batch_window_s) the ingest stage stops
+  /// admitting, in-flight window slots are flushed and committed, and
+  /// the un-admitted remainder is shed (reason: drain) with exact final
+  /// accounting — the serving-loop shutdown path, as opposed to the
+  /// wall-limit kill switch which cancels and DNFs. < 0 (default) never
+  /// drains. Works under every admission policy.
+  double drain_after_s = -1.0;
+  /// Deterministic fault injection (tests/benches): a seeded splitmix64
+  /// schedule of wall-clock perturbations at named engine sites (see
+  /// FaultSite). Every perturbation is timing-only, so deterministic
+  /// SimReport fields must survive any schedule. Disabled by default;
+  /// the compiled-in-but-disabled cost is one null-pointer branch per
+  /// site.
+  FaultSpec faults;
 };
+
+/// Validates and normalizes a SimOptions in ONE documented place (called
+/// by the Simulation constructor, so every run sees sane options instead
+/// of per-site silent clamps). Invalid combinations are clamped to the
+/// nearest sane value with a warning on stderr:
+///   - pipeline without batch_window_s > 0  -> pipeline off
+///   - pipeline_depth < 2                   -> 2
+///   - ingest_capacity == 0                 -> 1
+///   - negative batch_window_s / wall limit / slack floor / budget -> 0
+///   - num_threads < 1                      -> 1
+///   - metrics_snapshot_period_s <= 0       -> 1.0
+///   - fault rates outside [0, 1] / negative delays -> clamped
+/// When `warnings` is non-null every emitted warning is also appended to
+/// it (tests assert on the messages without capturing stderr).
+SimOptions ValidateSimOptions(SimOptions options,
+                              std::vector<std::string>* warnings = nullptr);
 
 /// Event-driven day simulation (Sec. 6.1): requests are replayed in
 /// release order; before each release the fleet advances to the release
@@ -134,6 +192,10 @@ class Simulation {
   // tracer (disabled unless SimOptions::trace_path).
   std::unique_ptr<obs::Registry> registry_;
   std::unique_ptr<obs::TraceRecorder> tracer_;
+  /// Fault injector of the run (null unless SimOptions::faults.enabled) —
+  /// wired through PlanningContext / CachedOracle / ThreadPool like the
+  /// obs instruments.
+  std::unique_ptr<FaultInjector> faults_;
   std::vector<bool> served_;
 };
 

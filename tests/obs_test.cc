@@ -358,6 +358,31 @@ TEST(ObsRegistryTest, PeriodicExporterAppendsJsonLines) {
   std::remove(path);
 }
 
+TEST(ObsRegistryTest, SubIntervalRunStillWritesFinalSnapshot) {
+  // A run shorter than one export period must not leave an empty file:
+  // StopPeriodicExport writes the final snapshot unconditionally, so even
+  // a 10-second period with an immediate stop yields >= 1 line.
+  const char* path = "obs_export_subinterval_test.jsonl";
+  std::remove(path);
+  {
+    obs::Registry reg;
+    reg.GetCounter("exp.final")->Add(7);
+    reg.StartPeriodicExport(path, 10.0);
+    reg.StopPeriodicExport();  // no tick has fired yet
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_NE(line.find("\"exp.final\":"), std::string::npos) << line;
+  }
+  EXPECT_GE(lines, 1);
+  std::remove(path);
+}
+
 // -------------------------------------------------------------- trace
 
 struct TraceEvent {

@@ -6,6 +6,8 @@
 // a pipelined fuzz workload (run under tsan by the tsan preset).
 
 #include <atomic>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -69,6 +71,67 @@ TEST(IngestQueueTest, BackpressureBlocksProducerUntilPop) {
   ASSERT_TRUE(q.Pop(&a));
   EXPECT_EQ(a.id, 2);
   EXPECT_EQ(q.max_depth(), 2u);  // bounded: never exceeded capacity
+}
+
+TEST(IngestQueueTest, TryPushBlockPolicyDelegatesToPush) {
+  IngestQueue q(4);
+  EXPECT_EQ(q.TryPush({0, 0.0, 1.0, {}}, AdmissionPolicy::kBlock),
+            IngestQueue::PushOutcome::kAdmitted);
+  q.Cancel();
+  EXPECT_EQ(q.TryPush({1, 1.0, 1.0, {}}, AdmissionPolicy::kBlock),
+            IngestQueue::PushOutcome::kCancelled);
+  EXPECT_EQ(q.TryPush({2, 2.0, 1.0, {}}, AdmissionPolicy::kShedOldestSlack),
+            IngestQueue::PushOutcome::kCancelled);
+}
+
+TEST(IngestQueueTest, TryPushRejectAtIngressShedsIncomingOnFull) {
+  IngestQueue q(2);
+  ASSERT_EQ(q.TryPush({0, 0.0, 5.0, {}}, AdmissionPolicy::kRejectAtIngress),
+            IngestQueue::PushOutcome::kAdmitted);
+  ASSERT_EQ(q.TryPush({1, 1.0, 5.0, {}}, AdmissionPolicy::kRejectAtIngress),
+            IngestQueue::PushOutcome::kAdmitted);
+  EXPECT_EQ(q.TryPush({2, 2.0, 99.0, {}}, AdmissionPolicy::kRejectAtIngress),
+            IngestQueue::PushOutcome::kRejected);
+  EXPECT_EQ(q.evicted(), 0);      // nothing queued was touched
+  EXPECT_EQ(q.total_pushed(), 2);
+  Arrival a;
+  ASSERT_TRUE(q.Pop(&a));
+  EXPECT_EQ(a.id, 0);
+  // A freed slot admits again without shedding.
+  EXPECT_EQ(q.TryPush({3, 3.0, 5.0, {}}, AdmissionPolicy::kRejectAtIngress),
+            IngestQueue::PushOutcome::kAdmitted);
+}
+
+TEST(IngestQueueTest, TryPushShedOldestSlackEvictsLeastSlackQueued) {
+  IngestQueue q(2);
+  ASSERT_EQ(q.TryPush({0, 0.0, 5.0, {}}, AdmissionPolicy::kShedOldestSlack),
+            IngestQueue::PushOutcome::kAdmitted);
+  ASSERT_EQ(q.TryPush({1, 1.0, 3.0, {}}, AdmissionPolicy::kShedOldestSlack),
+            IngestQueue::PushOutcome::kAdmitted);
+  // Full queue: id 1 has the least slack (3.0 < 5.0) and is evicted.
+  EXPECT_EQ(q.TryPush({2, 2.0, 10.0, {}}, AdmissionPolicy::kShedOldestSlack),
+            IngestQueue::PushOutcome::kAdmitted);
+  EXPECT_EQ(q.evicted(), 1);
+  // Full again with slacks {5, 10}: an incoming slack-1 arrival is its
+  // own victim — rejected, nothing queued is evicted.
+  EXPECT_EQ(q.TryPush({3, 3.0, 1.0, {}}, AdmissionPolicy::kShedOldestSlack),
+            IngestQueue::PushOutcome::kRejected);
+  EXPECT_EQ(q.evicted(), 1);
+  Arrival a;
+  ASSERT_TRUE(q.Pop(&a));
+  EXPECT_EQ(a.id, 0);  // FIFO among survivors
+  ASSERT_TRUE(q.Pop(&a));
+  EXPECT_EQ(a.id, 2);
+  // Slack ties break on the lower id (deterministic victim).
+  IngestQueue q2(2);
+  ASSERT_EQ(q2.TryPush({7, 0.0, 4.0, {}}, AdmissionPolicy::kShedOldestSlack),
+            IngestQueue::PushOutcome::kAdmitted);
+  ASSERT_EQ(q2.TryPush({5, 1.0, 4.0, {}}, AdmissionPolicy::kShedOldestSlack),
+            IngestQueue::PushOutcome::kAdmitted);
+  ASSERT_EQ(q2.TryPush({9, 2.0, 8.0, {}}, AdmissionPolicy::kShedOldestSlack),
+            IngestQueue::PushOutcome::kAdmitted);
+  ASSERT_TRUE(q2.Pop(&a));
+  EXPECT_EQ(a.id, 7);  // id 5 was the tie-break victim
 }
 
 TEST(IngestQueueTest, CancelWakesBlockedProducerAndConsumer) {
@@ -565,6 +628,272 @@ TEST(PipelineCommitConflictTest, ConcurrentFootprintsMatchSerialCommit) {
     const InvariantReport inv = VerifyInvariants(sim.fleet(), requests);
     EXPECT_TRUE(inv.ok) << "seed " << seed << ": " << inv.violation;
   }
+}
+
+// ------------------------------------------- admission control / drain
+
+// Shared workload for the admission tests (tighter than the determinism
+// sweeps: the levers, not the planner, are under test here).
+struct AdmissionWorkload {
+  explicit AdmissionWorkload(RoadNetwork g) : graph(std::move(g)) {}
+  RoadNetwork graph;
+  std::unique_ptr<HubLabelOracle> labels;
+  std::vector<Request> requests;
+  std::vector<Worker> workers;
+};
+
+const AdmissionWorkload& AdmissionSetup() {
+  static const AdmissionWorkload* w = [] {
+    auto* aw = new AdmissionWorkload(MakeChengduLike(0.05, 2));
+    aw->labels =
+        std::make_unique<HubLabelOracle>(HubLabelOracle::Build(aw->graph));
+    Rng rng(67);
+    RequestParams rp;
+    rp.count = 180;
+    rp.duration_min = 90.0;  // dense: several requests per 6 s window
+    rp.seed = 71;
+    aw->requests = GenerateRequests(aw->graph, rp, aw->labels.get(), &rng);
+    // Every third request gets a near-impossible deadline (2 min of
+    // slack against a 6 min admission floor) so the slack-floor tests
+    // have a deterministic population to shed; the rest keep the
+    // generator's 10 min offset.
+    for (std::size_t i = 0; i < aw->requests.size(); i += 3) {
+      aw->requests[i].deadline = aw->requests[i].release_time + 2.0;
+    }
+    aw->workers = GenerateWorkers(aw->graph, 10, 4.0, &rng);
+    return aw;
+  }();
+  return *w;
+}
+
+WorkloadRun RunAdmission(SimOptions options) {
+  const AdmissionWorkload& w = AdmissionSetup();
+  options.batch_window_s = 6.0;
+  options.pipeline = true;
+  HubLabelOracle labels = *w.labels;  // per-run query counters
+  Simulation sim(&w.graph, &labels, w.workers, &w.requests, options);
+  WorkloadRun run;
+  run.report = sim.Run(MakeDispatchWindowFactory({}));
+  run.served = sim.served();
+  const InvariantReport acct = CheckAccounting(run.report);
+  EXPECT_TRUE(acct.ok) << acct.violation;
+  const InvariantReport inv = VerifyInvariants(sim.fleet(), w.requests);
+  EXPECT_TRUE(inv.ok) << inv.violation;
+  return run;
+}
+
+void ExpectSameShedAccounting(const WorkloadRun& a, const WorkloadRun& b,
+                              const std::string& label) {
+  SCOPED_TRACE(label);
+  ExpectIdentical(a, b, label);
+  EXPECT_EQ(a.report.rejected_requests, b.report.rejected_requests);
+  EXPECT_EQ(a.report.shed_requests, b.report.shed_requests);
+  EXPECT_EQ(a.report.dnf_requests, b.report.dnf_requests);
+  EXPECT_EQ(a.report.shed_deadline, b.report.shed_deadline);
+  EXPECT_EQ(a.report.shed_overload, b.report.shed_overload);
+  EXPECT_EQ(a.report.shed_drain, b.report.shed_drain);
+}
+
+TEST(PipelineAdmissionTest, BlockPolicyShedsNothingAndMatchesDefault) {
+  SimOptions plain;
+  plain.num_threads = 2;
+  const WorkloadRun base = RunAdmission(plain);
+  EXPECT_EQ(base.report.shed_requests, 0);
+  EXPECT_EQ(base.report.dnf_requests, 0);
+  EXPECT_EQ(base.report.rejected_requests,
+            base.report.processed_requests - base.report.served_requests);
+  // A shedding policy with no lever armed and ample capacity must be
+  // bit-identical to the lossless kBlock run: the safety valve never
+  // engages below capacity and the deterministic levers are off.
+  SimOptions shed = plain;
+  shed.admission_policy = AdmissionPolicy::kShedOldestSlack;
+  const WorkloadRun unarmed = RunAdmission(shed);
+  ExpectSameShedAccounting(base, unarmed, "unarmed kShedOldestSlack");
+  EXPECT_EQ(unarmed.report.shed_requests, 0);
+}
+
+TEST(PipelineAdmissionTest, SlackFloorShedsUnservableDeterministically) {
+  SimOptions options;
+  options.num_threads = 1;
+  options.admission_policy = AdmissionPolicy::kShedOldestSlack;
+  options.admission_slack_min = 6.0;  // deadline offset is 10 min: bites
+  const WorkloadRun base = RunAdmission(options);
+  EXPECT_GT(base.report.shed_deadline, 0);
+  EXPECT_EQ(base.report.shed_overload, 0);
+  EXPECT_EQ(base.report.shed_drain, 0);
+  EXPECT_GT(base.report.served_requests, 0);
+  // The floor is a pure function of the workload (Euclidean lower bound):
+  // every thread count sheds the same set.
+  for (const int threads : {2, 4}) {
+    SimOptions o = options;
+    o.num_threads = threads;
+    ExpectSameShedAccounting(base, RunAdmission(o),
+                             "slack floor threads=" + std::to_string(threads));
+  }
+}
+
+TEST(PipelineAdmissionTest, WindowBudgetShedsExcessDeterministically) {
+  for (const AdmissionPolicy policy : {AdmissionPolicy::kShedOldestSlack,
+                                       AdmissionPolicy::kRejectAtIngress}) {
+    SimOptions options;
+    options.num_threads = 1;
+    options.admission_policy = policy;
+    options.window_admit_budget = 4;  // windows carry ~12 requests: bites
+    const WorkloadRun base = RunAdmission(options);
+    EXPECT_GT(base.report.shed_overload, 0);
+    EXPECT_EQ(base.report.shed_deadline, 0);
+    EXPECT_GT(base.report.served_requests, 0);
+    for (const int threads : {2, 4}) {
+      SimOptions o = options;
+      o.num_threads = threads;
+      ExpectSameShedAccounting(
+          base, RunAdmission(o),
+          "budget policy=" +
+              std::to_string(static_cast<int>(policy)) +
+              " threads=" + std::to_string(threads));
+    }
+  }
+}
+
+TEST(PipelineDrainTest, CutoffCommitsPrefixAndShedsRemainderGracefully) {
+  SimOptions options;
+  options.num_threads = 1;
+  options.drain_after_s = 45.0 * 60.0;  // half the 90-min workload
+  const WorkloadRun base = RunAdmission(options);
+  EXPECT_TRUE(base.report.pipeline.drained);
+  EXPECT_EQ(base.report.pipeline.drain_cutoff_min, 45.0);
+  EXPECT_GT(base.report.shed_drain, 0);
+  EXPECT_GT(base.report.served_requests, 0);
+  // Graceful: everything admitted before the cutoff is planned and
+  // committed (no DNFs, unlike the wall-limit kill switch) and the shed
+  // remainder is billed its penalty.
+  EXPECT_EQ(base.report.dnf_requests, 0);
+  EXPECT_EQ(base.report.processed_requests,
+            base.report.total_requests -
+                static_cast<int>(base.report.shed_drain));
+  EXPECT_GT(base.report.penalty_sum, 0.0);
+  EXPECT_FALSE(base.report.timed_out);
+  // The cutoff is simulated time: thread counts cannot move it, and drain
+  // works under every admission policy.
+  for (const int threads : {2, 4}) {
+    SimOptions o = options;
+    o.num_threads = threads;
+    o.admission_policy = threads == 2 ? AdmissionPolicy::kBlock
+                                      : AdmissionPolicy::kShedOldestSlack;
+    ExpectSameShedAccounting(base, RunAdmission(o),
+                             "drain threads=" + std::to_string(threads));
+  }
+}
+
+// ------------------------------------------------ close/cancel races
+
+TEST(IngestQueueRaceTest, MultiProducerCancelAccountsEveryArrival) {
+  // Producers block on a tiny queue while the consumer pops a few and
+  // then cancels mid-stream. Every blocked waiter must wake (the joins
+  // hang otherwise — ctest's timeout is the deadlock detector) and every
+  // arrival must land in exactly one bucket: popped, discarded by
+  // Cancel(), or refused (Push returned false).
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  IngestQueue q(2);
+  std::atomic<std::int64_t> refused{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (!q.Push({p * kPerProducer + i, static_cast<double>(i), 0.0, {}})) {
+          refused.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::int64_t popped = 0;
+  Arrival a;
+  for (int i = 0; i < 40; ++i) {
+    if (q.Pop(&a)) ++popped;
+  }
+  q.Cancel();
+  // Post-cancel pops fail immediately; producers all wake and drain out.
+  EXPECT_FALSE(q.Pop(&a));
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(q.total_pushed(), popped + q.discarded());
+  EXPECT_EQ(q.total_pushed() + refused.load(),
+            static_cast<std::int64_t>(kProducers) * kPerProducer);
+  EXPECT_LE(q.max_depth(), 2u);
+}
+
+TEST(IngestQueueRaceTest, MultiProducerCloseDrainsEverything) {
+  // Close (the graceful path) must lose nothing: after the producers
+  // finish and the stream closes, the consumer drains exactly what was
+  // pushed, and the final Pop returns false instead of hanging.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 150;
+  IngestQueue q(8);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(
+            q.Push({p * kPerProducer + i, static_cast<double>(i), 0.0, {}}));
+      }
+    });
+  }
+  std::int64_t popped = 0;
+  std::thread consumer([&] {
+    Arrival a;
+    while (q.Pop(&a)) ++popped;
+  });
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(popped, static_cast<std::int64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(q.total_pushed(), popped);
+  EXPECT_EQ(q.discarded(), 0);
+  EXPECT_LE(q.max_depth(), 8u);
+}
+
+TEST(IngestQueueRaceTest, ConcurrentShedPolicyKeepsCountsConsistent) {
+  // Multi-producer TryPush under kShedOldestSlack: admissions, evictions
+  // and rejections race on a full queue, yet the conservation law must
+  // hold exactly: everything admitted is either popped or evicted, and
+  // every offer is admitted or rejected.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 300;
+  IngestQueue q(4);
+  std::atomic<std::int64_t> admitted{0}, rejected{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int id = p * kPerProducer + i;
+        const auto out = q.TryPush({id, 0.0, static_cast<double>(id % 17), {}},
+                                   AdmissionPolicy::kShedOldestSlack);
+        if (out == IngestQueue::PushOutcome::kAdmitted) {
+          admitted.fetch_add(1);
+        } else {
+          ASSERT_EQ(out, IngestQueue::PushOutcome::kRejected);
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::int64_t popped = 0;
+  std::thread consumer([&] {
+    Arrival a;
+    while (q.Pop(&a)) ++popped;
+  });
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(admitted.load() + rejected.load(),
+            static_cast<std::int64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(q.total_pushed(), admitted.load());
+  EXPECT_EQ(popped + q.evicted(), q.total_pushed());
+  EXPECT_EQ(q.discarded(), 0);
+  EXPECT_LE(q.max_depth(), 4u);
 }
 
 }  // namespace

@@ -128,6 +128,142 @@ void BenchOracle(bool smoke, std::vector<std::string>* lines) {
          per_query_us.Percentile(99) * 1e-3);
 }
 
+const char* OrderName(VertexOrder order) {
+  return order == VertexOrder::kContraction ? "ch" : "degree";
+}
+
+// Times random point queries against `labels`, returning wall ms and
+// filling per-query microsecond percentiles (batch-sampled like the main
+// query bench so the clock never dominates).
+double TimeQueries(HubLabelOracle* labels, VertexId n, std::int64_t queries,
+                   StatsAccumulator* per_query_us) {
+  constexpr std::int64_t kBatch = 64;
+  Rng rng(7);
+  std::vector<std::pair<VertexId, VertexId>> pairs(
+      static_cast<std::size_t>(kBatch));
+  double sink = 0.0;
+  const auto t0 = Clock::now();
+  for (std::int64_t done = 0; done < queries; done += kBatch) {
+    for (auto& [u, v] : pairs) {
+      u = rng.UniformInt(0, n - 1);
+      v = rng.UniformInt(0, n - 1);
+    }
+    const auto b_t0 = Clock::now();
+    for (const auto& [u, v] : pairs) sink += labels->Distance(u, v);
+    per_query_us->Add(
+        std::chrono::duration<double, std::micro>(Clock::now() - b_t0)
+            .count() /
+        static_cast<double>(kBatch));
+  }
+  const double ms = MsSince(t0);
+  if (sink < 0.0) std::printf("unreachable\n");
+  return ms;
+}
+
+// Ordering x quantization axes of the continental-scale oracle. The base
+// city records all four configs; the ~10x point records the before/after
+// pair (degree+exact is the historical default, CH+quantized the
+// continental configuration) so the trajectory shows the label-memory and
+// latency movement without paying four full builds at the large scale.
+void BenchOracleConfigs(bool smoke, std::vector<std::string>* lines) {
+  const double s = EnvScale();
+  struct GraphPoint {
+    const char* name;
+    double scale;
+    bool all_configs;
+  };
+  const std::vector<GraphPoint> points = {
+      {"nyc_like", 0.12 * s, true},
+      {"nyc_like_10x", 1.2 * s, false},
+  };
+  for (const GraphPoint& pt : points) {
+    const RoadNetwork graph = MakeNycLike(pt.scale, 1);
+    const auto n = graph.num_vertices();
+    ThreadPool pool(4);
+    for (const VertexOrder order :
+         {VertexOrder::kDegree, VertexOrder::kContraction}) {
+      for (const bool quantize : {false, true}) {
+        if (!pt.all_configs &&
+            !((order == VertexOrder::kDegree && !quantize) ||
+              (order == VertexOrder::kContraction && quantize))) {
+          continue;
+        }
+        OracleOptions opts;
+        opts.order = order;
+        opts.quantize = quantize;
+        const auto b_t0 = Clock::now();
+        HubLabelOracle labels = HubLabelOracle::Build(graph, &pool, opts);
+        const double build_ms = MsSince(b_t0);
+        const std::int64_t queries =
+            smoke ? 20'000 : (pt.all_configs ? 500'000 : 200'000);
+        StatsAccumulator per_query_us;
+        const double q_ms = TimeQueries(&labels, n, queries, &per_query_us);
+        Record(lines, "hub_label_config",
+               {{"graph", pt.name},
+                {"vertices", std::to_string(n)},
+                {"order", OrderName(order)},
+                {"quantize", quantize ? "1" : "0"},
+                {"avg_label", Fmt(labels.average_label_size())},
+                {"label_memory_bytes", std::to_string(labels.MemoryBytes())},
+                {"build_ms", Fmt(build_ms)},
+                {"quant_error_bound", Fmt(labels.QuantizationErrorBound())},
+                {"queries", std::to_string(queries)}},
+               q_ms, queries / (q_ms / 1e3),
+               per_query_us.Percentile(50) * 1e-3,
+               per_query_us.Percentile(95) * 1e-3,
+               per_query_us.Percentile(99) * 1e-3);
+      }
+    }
+
+    // Batched multi-source gather vs the point-query loop, in the shape
+    // the planner issues (route positions x {origin, destination}). Both
+    // modes produce bit-identical cells; the trajectory records the
+    // per-cell latency of each.
+    HubLabelOracle labels = HubLabelOracle::Build(graph, &pool);
+    constexpr int kSources = 16, kTargets = 2;
+    const std::int64_t rounds = smoke ? 2'000 : 50'000;
+    Rng rng(13);
+    std::vector<VertexId> sources(kSources);
+    std::vector<VertexId> targets(kTargets);
+    std::vector<double> matrix;
+    for (const bool batch : {false, true}) {
+      StatsAccumulator per_cell_us;
+      double sink = 0.0;
+      Rng mode_rng(13);
+      const auto t0 = Clock::now();
+      for (std::int64_t round = 0; round < rounds; ++round) {
+        for (auto& v : sources) v = mode_rng.UniformInt(0, n - 1);
+        for (auto& v : targets) v = mode_rng.UniformInt(0, n - 1);
+        const auto b_t0 = Clock::now();
+        if (batch) {
+          labels.BatchQuery(sources, targets, &matrix);
+          for (const double d : matrix) sink += d;
+        } else {
+          for (const VertexId u : sources) {
+            for (const VertexId v : targets) sink += labels.Distance(u, v);
+          }
+        }
+        per_cell_us.Add(
+            std::chrono::duration<double, std::micro>(Clock::now() - b_t0)
+                .count() /
+            static_cast<double>(kSources * kTargets));
+      }
+      const double ms = MsSince(t0);
+      if (sink < 0.0) std::printf("unreachable\n");
+      const std::int64_t cells = rounds * kSources * kTargets;
+      Record(lines, "multi_source_gather",
+             {{"graph", pt.name},
+              {"vertices", std::to_string(n)},
+              {"mode", batch ? "batch" : "point"},
+              {"sources", std::to_string(kSources)},
+              {"targets", std::to_string(kTargets)}},
+             ms, cells / (ms / 1e3), per_cell_us.Percentile(50) * 1e-3,
+             per_cell_us.Percentile(95) * 1e-3,
+             per_cell_us.Percentile(99) * 1e-3);
+    }
+  }
+}
+
 // --------------------------------------------------------------- insertion
 
 struct InsertionScenario {
@@ -309,6 +445,7 @@ int main(int argc, char** argv) {
   urpsm::bench::g_smoke = smoke;
   std::vector<std::string> oracle_lines;
   urpsm::bench::BenchOracle(smoke, &oracle_lines);
+  urpsm::bench::BenchOracleConfigs(smoke, &oracle_lines);
   urpsm::bench::WriteTrajectory("oracle", smoke, oracle_lines);
   std::vector<std::string> insertion_lines;
   urpsm::bench::BenchInsertion(smoke, &insertion_lines);

@@ -22,12 +22,22 @@ namespace {
 struct OracleFixture {
   OracleFixture() : graph(MakeNycLike(0.08, 5)) {
     labels = std::make_unique<HubLabelOracle>(HubLabelOracle::Build(graph));
+    OracleOptions ch_order;
+    ch_order.order = VertexOrder::kContraction;
+    labels_ch = std::make_unique<HubLabelOracle>(
+        HubLabelOracle::Build(graph, nullptr, ch_order));
+    OracleOptions quant = ch_order;
+    quant.quantize = true;
+    labels_quant = std::make_unique<HubLabelOracle>(
+        HubLabelOracle::Build(graph, nullptr, quant));
     ch = std::make_unique<ContractionHierarchy>(
         ContractionHierarchy::Build(graph));
     alt = std::make_unique<AltOracle>(AltOracle::Build(graph, 8));
   }
   RoadNetwork graph;
   std::unique_ptr<HubLabelOracle> labels;
+  std::unique_ptr<HubLabelOracle> labels_ch;     // CH contraction order
+  std::unique_ptr<HubLabelOracle> labels_quant;  // CH order + 32-bit labels
   std::unique_ptr<ContractionHierarchy> ch;
   std::unique_ptr<AltOracle> alt;
 };
@@ -65,6 +75,66 @@ void BM_HubLabels(benchmark::State& state) {
     const VertexId t = rng.UniformInt(0, f.graph.num_vertices() - 1);
     benchmark::DoNotOptimize(f.labels->Distance(s, t));
   }
+}
+
+void BM_HubLabelsChOrder(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    const VertexId s = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    benchmark::DoNotOptimize(f.labels_ch->Distance(s, t));
+  }
+  state.counters["label_bytes"] =
+      static_cast<double>(f.labels_ch->MemoryBytes());
+}
+
+void BM_HubLabelsQuantized(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  for (auto _ : state) {
+    const VertexId s = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    const VertexId t = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    benchmark::DoNotOptimize(f.labels_quant->Distance(s, t));
+  }
+  state.counters["label_bytes"] =
+      static_cast<double>(f.labels_quant->MemoryBytes());
+}
+
+// The planner's gather shape: route positions x {origin, destination} in
+// one multi-source sweep vs the same cells as point queries.
+void BM_HubLabelsBatchGather(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  const int ns = static_cast<int>(state.range(0));
+  std::vector<VertexId> sources(static_cast<std::size_t>(ns));
+  std::vector<VertexId> targets(2);
+  std::vector<double> matrix;
+  for (auto _ : state) {
+    for (auto& v : sources) v = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    for (auto& v : targets) v = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    f.labels->BatchQuery(sources, targets, &matrix);
+    benchmark::DoNotOptimize(matrix.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ns * 2);
+}
+
+void BM_HubLabelsPointGather(benchmark::State& state) {
+  auto& f = Fixture();
+  Rng rng(1);
+  const int ns = static_cast<int>(state.range(0));
+  std::vector<VertexId> sources(static_cast<std::size_t>(ns));
+  std::vector<VertexId> targets(2);
+  for (auto _ : state) {
+    for (auto& v : sources) v = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    for (auto& v : targets) v = rng.UniformInt(0, f.graph.num_vertices() - 1);
+    double sink = 0.0;
+    for (const VertexId s : sources) {
+      for (const VertexId t : targets) sink += f.labels->Distance(s, t);
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * ns * 2);
 }
 
 void BM_CachedHubLabels(benchmark::State& state) {
@@ -107,6 +177,10 @@ void BM_AltOracle(benchmark::State& state) {
 BENCHMARK(BM_Dijkstra);
 BENCHMARK(BM_BidirectionalDijkstra);
 BENCHMARK(BM_HubLabels);
+BENCHMARK(BM_HubLabelsChOrder);
+BENCHMARK(BM_HubLabelsQuantized);
+BENCHMARK(BM_HubLabelsBatchGather)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_HubLabelsPointGather)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(BM_ContractionHierarchy);
 BENCHMARK(BM_AltOracle);
 BENCHMARK(BM_CachedHubLabels);

@@ -28,6 +28,18 @@ double DecisionLowerBound(const Worker& worker, const Route& route,
                           const RouteState& st, const Request& r, double L,
                           const RoadNetwork& graph);
 
+/// Batched decision phase: lower bounds for every candidate (worker,
+/// state) pair of ONE request, gathering all per-candidate Euclidean bound
+/// columns in a single pass over the concatenated route-state coordinate
+/// arrays before running the DP per candidate. out[i] is bit-identical to
+/// DecisionLowerBound(workers[i], ..., states[i], r, L, graph) — the
+/// element arithmetic and the DP are shared, only the gather is fused.
+void BatchDecisionLowerBounds(const std::vector<const Worker*>& workers,
+                              const std::vector<const RouteState*>& states,
+                              const Request& r, double L,
+                              const RoadNetwork& graph,
+                              std::vector<double>* out);
+
 /// Reference implementation computing every Euclidean bound on demand
 /// with per-position calls into the graph (the pre-column code path).
 /// DecisionLowerBound gathers the same bounds as two flat per-request

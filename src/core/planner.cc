@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/core/decision.h"
 #include "src/insertion/insertion.h"
 
 namespace urpsm {
@@ -61,20 +62,43 @@ WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
   std::vector<WorkerBound> bounds;
   bounds.reserve(candidates.size());
   double min_lb = kInf;
-  for (const WorkerId w : candidates) {
-    std::unique_lock<std::mutex> spec_lock;
-    if (spec != nullptr) {
-      spec_lock = fleet->LockWorker(w);
-      spec->versions->push_back({w, fleet->route(w).version()});
+  if (spec == nullptr) {
+    // Batched decision phase: the fleet is frozen for the scan (no commit
+    // stage mutates it), so the cached state references stay valid while
+    // all candidates' Euclidean bound columns are gathered in one fused
+    // pass. Each bound is bit-identical to the per-candidate call.
+    thread_local std::vector<const Worker*> batch_workers;
+    thread_local std::vector<const RouteState*> batch_states;
+    thread_local std::vector<double> batch_lbs;
+    batch_workers.clear();
+    batch_states.clear();
+    for (const WorkerId w : candidates) {
+      batch_workers.push_back(&fleet->worker(w));
+      batch_states.push_back(&fleet->CachedState(w, ctx));
     }
-    const Route& route = fleet->route(w);
-    const RouteState& st = spec != nullptr ? fleet->CachedStateLocked(w, ctx)
-                                           : fleet->CachedState(w, ctx);
-    const double lb =
-        DecisionLowerBound(fleet->worker(w), route, st, r, L, ctx->graph());
-    if (lb == kInf) continue;  // provably infeasible for this worker
-    bounds.push_back({w, lb});
-    min_lb = std::min(min_lb, lb);
+    BatchDecisionLowerBounds(batch_workers, batch_states, r, L, ctx->graph(),
+                             &batch_lbs);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const double lb = batch_lbs[i];
+      if (lb == kInf) continue;  // provably infeasible for this worker
+      bounds.push_back({candidates[i], lb});
+      min_lb = std::min(min_lb, lb);
+    }
+  } else {
+    // Speculative scans hold the worker's stripe lock per access (a commit
+    // stage may be mutating the fleet concurrently) and record the version
+    // they read, so they keep the lazy per-candidate loop.
+    for (const WorkerId w : candidates) {
+      std::unique_lock<std::mutex> spec_lock = fleet->LockWorker(w);
+      spec->versions->push_back({w, fleet->route(w).version()});
+      const Route& route = fleet->route(w);
+      const RouteState& st = fleet->CachedStateLocked(w, ctx);
+      const double lb =
+          DecisionLowerBound(fleet->worker(w), route, st, r, L, ctx->graph());
+      if (lb == kInf) continue;  // provably infeasible for this worker
+      bounds.push_back({w, lb});
+      min_lb = std::min(min_lb, lb);
+    }
   }
   if (bounds.empty()) return kInvalidWorker;
   // Line 5 of Algo. 4: reject when the penalty is cheaper than even the
@@ -84,9 +108,32 @@ WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
   // Phase 2 — planning: scan in ascending LB order with exact insertion.
   const std::vector<std::size_t> order = AscendingLowerBoundOrder(bounds);
 
+  // Multi-route gather: when the scan provably evaluates every ordered
+  // candidate (no Lemma 8 cutoff, no concurrent mutation), all candidates'
+  // origin/destination distance columns are fetched with one multi-source
+  // oracle sweep up front. Billed queries and cell values are identical to
+  // the lazy per-candidate gathers; pruned scans keep the lazy gather so
+  // candidates cut off by Lemma 8 still pay no queries.
+  const bool batch_gather = spec == nullptr && !config.use_pruning;
+  thread_local std::vector<DistanceColumns> multi_cols;
+  if (batch_gather) {
+    thread_local std::vector<const Route*> batch_routes;
+    thread_local std::vector<int> batch_cutoffs;
+    batch_routes.clear();
+    batch_cutoffs.clear();
+    for (const std::size_t k : order) {
+      const WorkerId w = bounds[k].worker;
+      batch_routes.push_back(&fleet->route(w));
+      batch_cutoffs.push_back(InsertionCutoff(fleet->CachedState(w, ctx), r));
+    }
+    GatherDistanceColumnsMulti(batch_routes, batch_cutoffs, r, ctx,
+                               &multi_cols);
+  }
+
   WorkerId best_worker = kInvalidWorker;
   InsertionCandidate best;
-  for (std::size_t k : order) {
+  for (std::size_t ko = 0; ko < order.size(); ++ko) {
+    const std::size_t k = order[ko];
     // Lemma 8: every remaining worker's exact cost is at least its LB.
     if (config.use_pruning && best.feasible() &&
         LemmaEightCutoff(best.delta, bounds[k].lower_bound)) {
@@ -101,11 +148,16 @@ WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
     // commit-time validation.)
     std::unique_lock<std::mutex> spec_lock;
     if (spec != nullptr) spec_lock = fleet->LockWorker(w);
-    const InsertionCandidate cand = LinearDpInsertion(
-        fleet->worker(w), fleet->route(w),
-        spec != nullptr ? fleet->CachedStateLocked(w, ctx)
-                        : fleet->CachedState(w, ctx),
-        r, ctx);
+    const InsertionCandidate cand =
+        batch_gather
+            ? LinearDpInsertion(fleet->worker(w), fleet->route(w),
+                                fleet->CachedState(w, ctx), r, multi_cols[ko],
+                                ctx)
+            : LinearDpInsertion(fleet->worker(w), fleet->route(w),
+                                spec != nullptr
+                                    ? fleet->CachedStateLocked(w, ctx)
+                                    : fleet->CachedState(w, ctx),
+                                r, ctx);
     spec_lock = {};
     // Strict improvement only: ties on the exact cost go to the earliest
     // worker in the scan order. Together with the epsilon-guarded cutoff

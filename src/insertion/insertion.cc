@@ -5,6 +5,31 @@ namespace urpsm {
 void GatherDistanceColumns(const Route& route, const Request& r,
                            PlanningContext* ctx, DistanceColumns* cols,
                            int max_pos) {
+  // One multi-source sweep over the route's positions against both request
+  // endpoints: label-backed oracles walk each position's label once for
+  // both targets instead of twice, and bill the same 2(max_pos+1) queries
+  // the per-pair loop (GatherDistanceColumnsReference) would.
+  thread_local std::vector<VertexId> sources;
+  thread_local std::vector<VertexId> targets;
+  thread_local std::vector<double> matrix;
+  sources.resize(static_cast<std::size_t>(max_pos + 1));
+  for (int k = 0; k <= max_pos; ++k) {
+    sources[static_cast<std::size_t>(k)] = route.VertexAt(k);
+  }
+  targets.assign({r.origin, r.destination});
+  ctx->BatchDist(sources, targets, &matrix);
+  cols->to_origin.resize(static_cast<std::size_t>(max_pos + 1));
+  cols->to_destination.resize(static_cast<std::size_t>(max_pos + 1));
+  for (int k = 0; k <= max_pos; ++k) {
+    const auto ks = static_cast<std::size_t>(k);
+    cols->to_origin[ks] = matrix[2 * ks];
+    cols->to_destination[ks] = matrix[2 * ks + 1];
+  }
+}
+
+void GatherDistanceColumnsReference(const Route& route, const Request& r,
+                                    PlanningContext* ctx,
+                                    DistanceColumns* cols, int max_pos) {
   cols->to_origin.resize(static_cast<std::size_t>(max_pos + 1));
   cols->to_destination.resize(static_cast<std::size_t>(max_pos + 1));
   for (int k = 0; k <= max_pos; ++k) {
@@ -12,6 +37,36 @@ void GatherDistanceColumns(const Route& route, const Request& r,
     const VertexId v = route.VertexAt(k);
     cols->to_origin[ks] = ctx->Dist(v, r.origin);
     cols->to_destination[ks] = ctx->Dist(v, r.destination);
+  }
+}
+
+void GatherDistanceColumnsMulti(const std::vector<const Route*>& routes,
+                                const std::vector<int>& max_pos,
+                                const Request& r, PlanningContext* ctx,
+                                std::vector<DistanceColumns>* cols) {
+  thread_local std::vector<VertexId> sources;
+  thread_local std::vector<VertexId> targets;
+  thread_local std::vector<double> matrix;
+  const std::size_t nc = routes.size();
+  sources.clear();
+  for (std::size_t c = 0; c < nc; ++c) {
+    for (int k = 0; k <= max_pos[c]; ++k) {
+      sources.push_back(routes[c]->VertexAt(k));
+    }
+  }
+  targets.assign({r.origin, r.destination});
+  ctx->BatchDist(sources, targets, &matrix);
+  if (cols->size() < nc) cols->resize(nc);
+  std::size_t at = 0;
+  for (std::size_t c = 0; c < nc; ++c) {
+    DistanceColumns& cc = (*cols)[c];
+    const auto len = static_cast<std::size_t>(max_pos[c] + 1);
+    cc.to_origin.resize(len);
+    cc.to_destination.resize(len);
+    for (std::size_t k = 0; k < len; ++k, ++at) {
+      cc.to_origin[k] = matrix[2 * at];
+      cc.to_destination[k] = matrix[2 * at + 1];
+    }
   }
 }
 
@@ -60,15 +115,9 @@ InsertionCandidate LinearDpInsertion(const Worker& worker, const Route& route,
                                      const RouteState& st, const Request& r,
                                      PlanningContext* ctx) {
   DistanceColumns* cols = ThreadLocalDistanceColumns();
-  // The scan breaks at the first position whose arrival already misses
-  // r's deadline and looks one position ahead at most; positions beyond
-  // that are never read, so don't pay queries for them.
-  int cutoff = 0;
-  while (cutoff < st.n &&
-         st.arr[static_cast<std::size_t>(cutoff)] <= r.deadline) {
-    ++cutoff;
-  }
-  GatherDistanceColumns(route, r, ctx, cols, cutoff);
+  // Positions past the deadline cutoff are never read by the scan, so
+  // don't pay queries for them.
+  GatherDistanceColumns(route, r, ctx, cols, InsertionCutoff(st, r));
   return LinearDpInsertion(worker, route, st, r, *cols, ctx);
 }
 

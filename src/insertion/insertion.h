@@ -36,6 +36,38 @@ inline void GatherDistanceColumns(const Route& route, const Request& r,
   GatherDistanceColumns(route, r, ctx, cols, route.size());
 }
 
+/// The original per-pair gather loop, kept verbatim as ground truth: tests
+/// fuzz-pin GatherDistanceColumns (which routes through the oracle's
+/// batched multi-source sweep) bit-identical to this.
+void GatherDistanceColumnsReference(const Route& route, const Request& r,
+                                    PlanningContext* ctx,
+                                    DistanceColumns* cols, int max_pos);
+
+/// First route position of `st` whose arrival already misses r's deadline
+/// (== st.n when none does). LinearDpInsertion's scan breaks there and
+/// looks one position ahead at most, so columns past the cutoff are never
+/// read; gathers bounded by it issue no wasted queries.
+inline int InsertionCutoff(const RouteState& st, const Request& r) {
+  int cutoff = 0;
+  while (cutoff < st.n &&
+         st.arr[static_cast<std::size_t>(cutoff)] <= r.deadline) {
+    ++cutoff;
+  }
+  return cutoff;
+}
+
+/// Multi-route gather: fills (*cols)[c] for every candidate route of one
+/// request with a single multi-source BatchDist sweep — sources are the
+/// concatenated route positions up to each route's max_pos[c], targets are
+/// {o_r, d_r}. Cell values and the billed query count are identical to
+/// gathering each route separately via GatherDistanceColumns; only the
+/// order in which the shared cache sees the pairs changes. `cols` is
+/// resized to routes.size(); per-candidate columns reuse their capacity.
+void GatherDistanceColumnsMulti(const std::vector<const Route*>& routes,
+                                const std::vector<int>& max_pos,
+                                const Request& r, PlanningContext* ctx,
+                                std::vector<DistanceColumns>* cols);
+
 /// Reusable thread-local scratch columns. The operator overloads without an
 /// explicit columns argument gather into these, so steady-state planning
 /// allocates nothing per candidate. The pointer stays valid for the thread's

@@ -76,6 +76,17 @@ class PlanningContext {
 
   double Dist(VertexId u, VertexId v) const { return oracle_->Distance(u, v); }
 
+  /// Multi-source sweep through the oracle (see
+  /// DistanceOracle::BatchQuery): out[i * targets.size() + j] =
+  /// Dist(sources[i], targets[j]), bit-identical per cell and billed as
+  /// sources x targets queries. Label-backed oracles answer it in one pass
+  /// per source label instead of per-pair point queries.
+  void BatchDist(const std::vector<VertexId>& sources,
+                 const std::vector<VertexId>& targets,
+                 std::vector<double>* out) const {
+    oracle_->BatchQuery(sources, targets, out);
+  }
+
   /// L_r = dis(o_r, d_r); computed at most once per request. Safe to call
   /// concurrently (the lazy cache is mutex-guarded), so parallel candidate
   /// evaluations can share it.

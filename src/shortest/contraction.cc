@@ -85,12 +85,23 @@ void AddWorkEdge(WorkAdj* adj, VertexId u, VertexId v, double cost,
   if (it == row.end() || cost < it->second.cost) row[v] = {cost, middle};
 }
 
-}  // namespace
+/// The full contraction loop: lazy edge-difference priority, witness
+/// searches, shortcut insertion. Shared between ContractionHierarchy::Build
+/// (which also materializes the upward search graph from `adj`) and
+/// ContractionOrder (which only needs the ranks). Both callers therefore see
+/// the exact same contraction sequence.
+struct ContractionResult {
+  WorkAdj adj;
+  std::vector<int> rank;
+  std::int64_t num_shortcuts = 0;
+};
 
-ContractionHierarchy ContractionHierarchy::Build(const RoadNetwork& graph) {
+ContractionResult RunContraction(const RoadNetwork& graph) {
   constexpr int kSettleBudget = 60;
   const auto n = static_cast<std::size_t>(graph.num_vertices());
-  WorkAdj adj(n);
+  ContractionResult res;
+  WorkAdj& adj = res.adj;
+  adj.resize(n);
   for (VertexId v = 0; v < graph.num_vertices(); ++v) {
     for (const auto& arc : graph.Neighbors(v)) {
       auto it = adj[static_cast<std::size_t>(v)].find(arc.to);
@@ -101,9 +112,7 @@ ContractionHierarchy ContractionHierarchy::Build(const RoadNetwork& graph) {
     }
   }
 
-  ContractionHierarchy ch;
-  ch.up_.resize(n);
-  ch.rank_.assign(n, -1);
+  res.rank.assign(n, -1);
   std::vector<bool> contracted(n, false);
   std::vector<int> deleted_neighbors(n, 0);
 
@@ -140,16 +149,34 @@ ContractionHierarchy ContractionHierarchy::Build(const RoadNetwork& graph) {
     for (const auto& [a, b, cost] : shortcuts) {
       AddWorkEdge(&adj, a, b, cost, v);
       AddWorkEdge(&adj, b, a, cost, v);
-      ++ch.num_shortcuts_;
+      ++res.num_shortcuts;
     }
     contracted[static_cast<std::size_t>(v)] = true;
-    ch.rank_[static_cast<std::size_t>(v)] = next_rank++;
+    res.rank[static_cast<std::size_t>(v)] = next_rank++;
     for (const auto& [to, e] : adj[static_cast<std::size_t>(v)]) {
       if (!contracted[static_cast<std::size_t>(to)]) {
         ++deleted_neighbors[static_cast<std::size_t>(to)];
       }
     }
   }
+  return res;
+}
+
+}  // namespace
+
+std::vector<int> ContractionOrder(const RoadNetwork& graph) {
+  return RunContraction(graph).rank;
+}
+
+ContractionHierarchy ContractionHierarchy::Build(const RoadNetwork& graph) {
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  ContractionResult res = RunContraction(graph);
+  const WorkAdj& adj = res.adj;
+
+  ContractionHierarchy ch;
+  ch.up_.resize(n);
+  ch.rank_ = std::move(res.rank);
+  ch.num_shortcuts_ = res.num_shortcuts;
 
   // Materialize the upward graph: every working edge (u, w) hangs off the
   // lower-ranked endpoint. Keep only the cheapest parallel arc.

@@ -1,12 +1,14 @@
 #include "src/shortest/hub_labels.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <queue>
 #include <utility>
 
 #include "src/parallel/thread_pool.h"
+#include "src/shortest/contraction.h"
 #include "src/shortest/dijkstra.h"
 
 namespace urpsm {
@@ -91,24 +93,51 @@ void PrunedSearch(const RoadNetwork& graph, const BuildLabels& labels,
   for (VertexId v : touched) dist[static_cast<std::size_t>(v)] = kInfDistance;
 }
 
+// Root processing order per the chosen strategy. Stable sorts keep ties in
+// vertex-id order, so each ordering is fully deterministic.
+std::vector<VertexId> BuildOrder(const RoadNetwork& graph, VertexOrder order) {
+  const auto n = static_cast<std::size_t>(graph.num_vertices());
+  std::vector<VertexId> result(n);
+  std::iota(result.begin(), result.end(), 0);
+  if (order == VertexOrder::kContraction) {
+    // Most important = contracted last = highest CH rank first.
+    const std::vector<int> rank = ContractionOrder(graph);
+    std::stable_sort(result.begin(), result.end(),
+                     [&](VertexId a, VertexId b) {
+                       return rank[static_cast<std::size_t>(a)] >
+                              rank[static_cast<std::size_t>(b)];
+                     });
+  } else {
+    // Descending degree (cheap, effective proxy for betweenness on road
+    // networks).
+    std::stable_sort(result.begin(), result.end(),
+                     [&](VertexId a, VertexId b) {
+                       return graph.Neighbors(a).size() >
+                              graph.Neighbors(b).size();
+                     });
+  }
+  return result;
+}
+
 }  // namespace
 
 HubLabelOracle HubLabelOracle::Build(const RoadNetwork& graph) {
-  return Build(graph, nullptr);
+  return Build(graph, nullptr, OracleOptions{});
 }
 
 HubLabelOracle HubLabelOracle::Build(const RoadNetwork& graph,
                                      ThreadPool* pool) {
+  return Build(graph, pool, OracleOptions{});
+}
+
+HubLabelOracle HubLabelOracle::Build(const RoadNetwork& graph,
+                                     ThreadPool* pool,
+                                     const OracleOptions& options) {
   HubLabelOracle oracle(&graph);
+  oracle.order_ = options.order;
   const auto n = static_cast<std::size_t>(graph.num_vertices());
 
-  // Order vertices by descending degree (cheap, effective proxy for
-  // betweenness on road networks).
-  std::vector<VertexId> order(n);
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
-    return graph.Neighbors(a).size() > graph.Neighbors(b).size();
-  });
+  const std::vector<VertexId> order = BuildOrder(graph, options.order);
 
   BuildLabels labels(n);
 
@@ -208,7 +237,94 @@ HubLabelOracle HubLabelOracle::Build(const RoadNetwork& graph,
       ++at;
     }
   }
+
+  if (options.quantize) {
+    // Quantization happens strictly after the (double-precision) build, so
+    // the parallel-build bit-identity argument above is untouched: the
+    // quantized arrays are a pure function of the exact ones. Scale maps
+    // the largest finite label distance to the saturation cap, so every
+    // build entry encodes without saturating; the cap and the infinity
+    // sentinel exist for the encoding helpers and defensive symmetry.
+    double max_finite = 0.0;
+    for (const double d : oracle.hub_dist_) {
+      if (d < kInfDistance && d > max_finite) max_finite = d;
+    }
+    oracle.quant_scale_ =
+        max_finite > 0.0 ? static_cast<double>(kQuantMax) / max_finite : 1.0;
+    oracle.quant_resolution_ = 1.0 / oracle.quant_scale_;
+    oracle.hub_dist_q_.resize(total);
+    for (std::size_t i = 0; i < total; ++i) {
+      oracle.hub_dist_q_[i] =
+          QuantizeDistance(oracle.hub_dist_[i], oracle.quant_scale_);
+    }
+    oracle.hub_dist_.clear();
+    oracle.quantized_ = true;
+    // Proven bound on |quantized query - exact query|: the two label
+    // entries of any candidate sum each round by <= resolution/2 (the
+    // saturated encoding of the max-finite entry errs by at most a few
+    // ulps of max_finite); dequantization multiplies by fl(1/scale),
+    // adding <= max_finite * eps per entry; the candidate addition rounds
+    // once more (<= 2 * max_finite * eps); and min over per-candidate
+    // perturbed values moves by at most the largest perturbation. The
+    // 8 * max * eps slack covers every epsilon-scaled term with room.
+    oracle.quantization_error_bound_ =
+        oracle.quant_resolution_ +
+        8.0 * max_finite * std::numeric_limits<double>::epsilon();
+  }
+
+  // Exact-size storage: MemoryBytes() reports size() * element width, so
+  // drop the growth slack the flatten/quantize steps may have left.
+  oracle.offsets_.shrink_to_fit();
+  oracle.hub_rank_.shrink_to_fit();
+  oracle.hub_dist_.shrink_to_fit();
+  oracle.hub_dist_q_.shrink_to_fit();
   return oracle;
+}
+
+std::uint32_t HubLabelOracle::QuantizeDistance(double d, double scale) {
+  if (!(d < kInfDistance)) return kQuantInf;  // +inf (and NaN) -> sentinel
+  const double scaled = d * scale;
+  if (scaled >= static_cast<double>(kQuantMax)) return kQuantMax;  // saturate
+  if (scaled <= 0.0) return 0u;
+  return static_cast<std::uint32_t>(std::llround(scaled));
+}
+
+double HubLabelOracle::DequantizeDistance(std::uint32_t q, double resolution) {
+  if (q == kQuantInf) return kInfDistance;
+  return static_cast<double>(q) * resolution;
+}
+
+void HubLabelOracle::ScatterLabel(VertexId v, double* col,
+                                  std::size_t stride) const {
+  const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+  const auto e =
+      static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+  const VertexId* ranks = hub_rank_.data();
+  if (quantized_) {
+    const std::uint32_t* dists = hub_dist_q_.data();
+    const double res = quant_resolution_;
+    for (std::size_t i = b; i < e; ++i) {
+      col[static_cast<std::size_t>(ranks[i]) * stride] =
+          DequantizeDistance(dists[i], res);
+    }
+  } else {
+    const double* dists = hub_dist_.data();
+    for (std::size_t i = b; i < e; ++i) {
+      col[static_cast<std::size_t>(ranks[i]) * stride] = dists[i];
+    }
+  }
+}
+
+void HubLabelOracle::RestoreColumn(VertexId v, double* col,
+                                   std::size_t stride) const {
+  const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+  const auto e =
+      static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+  const VertexId* ranks = hub_rank_.data();
+  for (std::size_t i = b; i < e; ++i) {
+    col[static_cast<std::size_t>(ranks[i]) * stride] =
+        std::numeric_limits<double>::infinity();
+  }
 }
 
 double HubLabelOracle::QueryByLabels(VertexId u, VertexId v) const {
@@ -217,7 +333,6 @@ double HubLabelOracle::QueryByLabels(VertexId u, VertexId v) const {
   std::size_t bv = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
   std::size_t ev = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
   const VertexId* ranks = hub_rank_.data();
-  const double* dists = hub_dist_.data();
 
   // Scatter-scan instead of a merge-join. The classic two-pointer merge
   // spends ~10 cycles per element here: the hub-match branch is
@@ -229,7 +344,8 @@ double HubLabelOracle::QueryByLabels(VertexId u, VertexId v) const {
   // branch-free min accumulators; (3) restore the column. Every candidate
   // is the same du + dv sum the merge would form, and min over doubles is
   // exact and order-independent, so results are bit-identical — measured
-  // ~2.6x faster on the bench_oracle fixture.
+  // ~2.6x faster on the bench_oracle fixture. Quantized labels dequantize
+  // on the fly (one multiply per entry); the candidate set is the same.
   //
   // The dense column costs 8 bytes per vertex per querying thread and is
   // shared by all oracle instances on the thread (it only ever grows).
@@ -238,35 +354,57 @@ double HubLabelOracle::QueryByLabels(VertexId u, VertexId v) const {
   if (dense.size() < num_ranks) {
     dense.resize(num_ranks, std::numeric_limits<double>::infinity());
   }
+  VertexId scatter_v = u;
   if (eu - bu > ev - bv) {
+    scatter_v = v;
     std::swap(bu, bv);
     std::swap(eu, ev);
   }
   double* col = dense.data();
-  for (std::size_t i = bu; i < eu; ++i) {
-    col[static_cast<std::size_t>(ranks[i])] = dists[i];
-  }
+  ScatterLabel(scatter_v, col, 1);
   double b0 = std::numeric_limits<double>::infinity(), b1 = b0, b2 = b0,
          b3 = b0;
   std::size_t j = bv;
-  for (; j + 4 <= ev; j += 4) {
-    const double c0 = col[static_cast<std::size_t>(ranks[j])] + dists[j];
-    const double c1 = col[static_cast<std::size_t>(ranks[j + 1])] + dists[j + 1];
-    const double c2 = col[static_cast<std::size_t>(ranks[j + 2])] + dists[j + 2];
-    const double c3 = col[static_cast<std::size_t>(ranks[j + 3])] + dists[j + 3];
-    b0 = c0 < b0 ? c0 : b0;
-    b1 = c1 < b1 ? c1 : b1;
-    b2 = c2 < b2 ? c2 : b2;
-    b3 = c3 < b3 ? c3 : b3;
+  if (quantized_) {
+    const std::uint32_t* dists = hub_dist_q_.data();
+    const double res = quant_resolution_;
+    for (; j + 4 <= ev; j += 4) {
+      const double c0 =
+          col[static_cast<std::size_t>(ranks[j])] + DequantizeDistance(dists[j], res);
+      const double c1 = col[static_cast<std::size_t>(ranks[j + 1])] +
+                        DequantizeDistance(dists[j + 1], res);
+      const double c2 = col[static_cast<std::size_t>(ranks[j + 2])] +
+                        DequantizeDistance(dists[j + 2], res);
+      const double c3 = col[static_cast<std::size_t>(ranks[j + 3])] +
+                        DequantizeDistance(dists[j + 3], res);
+      b0 = c0 < b0 ? c0 : b0;
+      b1 = c1 < b1 ? c1 : b1;
+      b2 = c2 < b2 ? c2 : b2;
+      b3 = c3 < b3 ? c3 : b3;
+    }
+    for (; j < ev; ++j) {
+      const double c =
+          col[static_cast<std::size_t>(ranks[j])] + DequantizeDistance(dists[j], res);
+      b0 = c < b0 ? c : b0;
+    }
+  } else {
+    const double* dists = hub_dist_.data();
+    for (; j + 4 <= ev; j += 4) {
+      const double c0 = col[static_cast<std::size_t>(ranks[j])] + dists[j];
+      const double c1 = col[static_cast<std::size_t>(ranks[j + 1])] + dists[j + 1];
+      const double c2 = col[static_cast<std::size_t>(ranks[j + 2])] + dists[j + 2];
+      const double c3 = col[static_cast<std::size_t>(ranks[j + 3])] + dists[j + 3];
+      b0 = c0 < b0 ? c0 : b0;
+      b1 = c1 < b1 ? c1 : b1;
+      b2 = c2 < b2 ? c2 : b2;
+      b3 = c3 < b3 ? c3 : b3;
+    }
+    for (; j < ev; ++j) {
+      const double c = col[static_cast<std::size_t>(ranks[j])] + dists[j];
+      b0 = c < b0 ? c : b0;
+    }
   }
-  for (; j < ev; ++j) {
-    const double c = col[static_cast<std::size_t>(ranks[j])] + dists[j];
-    b0 = c < b0 ? c : b0;
-  }
-  for (std::size_t i = bu; i < eu; ++i) {
-    col[static_cast<std::size_t>(ranks[i])] =
-        std::numeric_limits<double>::infinity();
-  }
+  RestoreColumn(scatter_v, col, 1);
   return std::min(std::min(b0, b1), std::min(b2, b3));
 }
 
@@ -274,6 +412,94 @@ double HubLabelOracle::Distance(VertexId u, VertexId v) {
   ++query_count_;
   if (u == v) return 0.0;
   return QueryByLabels(u, v);
+}
+
+void HubLabelOracle::BatchQuery(const std::vector<VertexId>& sources,
+                                const std::vector<VertexId>& targets,
+                                std::vector<double>* out) {
+  const std::size_t ns = sources.size();
+  const std::size_t nt = targets.size();
+  query_count_.fetch_add(
+      static_cast<std::int64_t>(ns) * static_cast<std::int64_t>(nt),
+      std::memory_order_relaxed);
+  out->resize(ns * nt);
+  if (ns == 0 || nt == 0) return;
+
+  // One dense rank-indexed column per target, interleaved rank-major in
+  // one thread-local buffer (kept +inf outside this call, like the
+  // point-query column): rank r's entry for target j lives at r * nt + j,
+  // so all targets' entries for a rank share a cache line and a source
+  // label entry costs one miss, not nt. Each target label scatters once;
+  // each source label is then walked once against all target columns, so
+  // the per-pair scatter and restore of repeated point queries disappears.
+  thread_local std::vector<double> dense_multi;
+  const std::size_t num_ranks = offsets_.size() - 1;
+  if (dense_multi.size() < num_ranks * nt) {
+    dense_multi.resize(num_ranks * nt,
+                       std::numeric_limits<double>::infinity());
+  }
+  double* base = dense_multi.data();
+  for (std::size_t j = 0; j < nt; ++j) {
+    ScatterLabel(targets[j], base + j, nt);
+  }
+
+  const VertexId* ranks = hub_rank_.data();
+  const bool quantized = quantized_;
+  const double res = quant_resolution_;
+  const auto entry_dist = [&](std::size_t k) {
+    return quantized ? DequantizeDistance(hub_dist_q_[k], res) : hub_dist_[k];
+  };
+  if (nt == 2) {
+    // The planner's dominant shape — route positions x {origin,
+    // destination} — keeps both accumulators in registers.
+    for (std::size_t i = 0; i < ns; ++i) {
+      const VertexId s = sources[i];
+      const auto bs =
+          static_cast<std::size_t>(offsets_[static_cast<std::size_t>(s)]);
+      const auto es =
+          static_cast<std::size_t>(offsets_[static_cast<std::size_t>(s) + 1]);
+      double a0 = std::numeric_limits<double>::infinity(), a1 = a0;
+      for (std::size_t k = bs; k < es; ++k) {
+        const double* row = base + static_cast<std::size_t>(ranks[k]) * 2;
+        const double d = entry_dist(k);
+        const double c0 = row[0] + d;
+        const double c1 = row[1] + d;
+        a0 = c0 < a0 ? c0 : a0;
+        a1 = c1 < a1 ? c1 : a1;
+      }
+      // Candidate sums and their min are exactly the point query's (min
+      // over doubles is order-independent); only u == v short-circuits.
+      (*out)[i * 2] = s == targets[0] ? 0.0 : a0;
+      (*out)[i * 2 + 1] = s == targets[1] ? 0.0 : a1;
+    }
+  } else {
+    thread_local std::vector<double> acc;
+    acc.resize(nt);
+    for (std::size_t i = 0; i < ns; ++i) {
+      const VertexId s = sources[i];
+      const auto bs =
+          static_cast<std::size_t>(offsets_[static_cast<std::size_t>(s)]);
+      const auto es =
+          static_cast<std::size_t>(offsets_[static_cast<std::size_t>(s) + 1]);
+      std::fill(acc.begin(), acc.end(),
+                std::numeric_limits<double>::infinity());
+      for (std::size_t k = bs; k < es; ++k) {
+        const double* row = base + static_cast<std::size_t>(ranks[k]) * nt;
+        const double d = entry_dist(k);
+        for (std::size_t j = 0; j < nt; ++j) {
+          const double c = row[j] + d;
+          acc[j] = c < acc[j] ? c : acc[j];
+        }
+      }
+      for (std::size_t j = 0; j < nt; ++j) {
+        (*out)[i * nt + j] = s == targets[j] ? 0.0 : acc[j];
+      }
+    }
+  }
+
+  for (std::size_t j = 0; j < nt; ++j) {
+    RestoreColumn(targets[j], base + j, nt);
+  }
 }
 
 std::vector<VertexId> HubLabelOracle::Path(VertexId u, VertexId v) {
@@ -287,9 +513,13 @@ double HubLabelOracle::average_label_size() const {
 }
 
 std::int64_t HubLabelOracle::MemoryBytes() const {
-  return static_cast<std::int64_t>(offsets_.capacity() * sizeof(std::int64_t) +
-                                   hub_rank_.capacity() * sizeof(VertexId) +
-                                   hub_dist_.capacity() * sizeof(double));
+  // Sizes, not capacities: the build shrinks every CSR array to fit, so
+  // this is the actual resident footprint of the labels.
+  return static_cast<std::int64_t>(
+      offsets_.size() * sizeof(std::int64_t) +
+      hub_rank_.size() * sizeof(VertexId) +
+      hub_dist_.size() * sizeof(double) +
+      hub_dist_q_.size() * sizeof(std::uint32_t));
 }
 
 }  // namespace urpsm

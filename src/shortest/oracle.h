@@ -43,6 +43,28 @@ class DistanceOracle {
   /// endpoints. Empty when unreachable.
   virtual std::vector<VertexId> Path(VertexId u, VertexId v) = 0;
 
+  /// Multi-source sweep: fills `out` (row-major, sources.size() x
+  /// targets.size()) with out[i * targets.size() + j] =
+  /// Distance(sources[i], targets[j]). Bills sources x targets queries, and
+  /// every cell is bit-identical to the corresponding point query. The base
+  /// implementation loops over Distance; label-based oracles override it to
+  /// walk each source label once against rank-indexed dense target columns.
+  /// Same thread-safety contract as Distance.
+  virtual void BatchQuery(const std::vector<VertexId>& sources,
+                          const std::vector<VertexId>& targets,
+                          std::vector<double>* out) {
+    out->resize(sources.size() * targets.size());
+    std::size_t at = 0;
+    for (const VertexId s : sources) {
+      for (const VertexId t : targets) (*out)[at++] = Distance(s, t);
+    }
+  }
+
+  /// Worst-case absolute error of any Distance result versus the exact
+  /// shortest distance, when the oracle stores lossy (quantized) labels.
+  /// 0 for exact oracles. Decorators forward to the wrapped oracle.
+  virtual double QuantizationErrorBound() const { return 0.0; }
+
   /// Number of `Distance` calls served so far.
   std::int64_t query_count() const {
     return query_count_.load(std::memory_order_relaxed);
@@ -94,6 +116,19 @@ class CachedOracle : public DistanceOracle {
 
   double Distance(VertexId u, VertexId v) override;
   std::vector<VertexId> Path(VertexId u, VertexId v) override;
+
+  /// Batched sweep through the cache: hits are served from the cache, the
+  /// misses of each target column are forwarded to the inner oracle as one
+  /// (deduplicated) BatchQuery, and results are inserted back. Cell values
+  /// and billed query counts are identical to per-pair Distance calls; only
+  /// the cache's LRU touch order differs.
+  void BatchQuery(const std::vector<VertexId>& sources,
+                  const std::vector<VertexId>& targets,
+                  std::vector<double>* out) override;
+
+  double QuantizationErrorBound() const override {
+    return inner_->QuantizationErrorBound();
+  }
 
   std::int64_t cache_hits() const { return cache_.hits(); }
   std::int64_t cache_misses() const { return cache_.misses(); }

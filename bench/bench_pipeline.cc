@@ -22,11 +22,27 @@
 // the shed/rejected/dnf accounting must be bit-identical across thread
 // counts, and CheckAccounting must pass on every recorded report.
 //
+// Speculation-conflict axis: a scarce fleet under compressed arrivals at
+// ring depth 4 makes consecutive windows contend for the same few
+// workers, so speculative scans are invalidated at commit time and the
+// replan path runs hot. The axis records each run's memo counters
+// (memo_hits/memo_misses/memo_saved_queries, replans_narrowed/
+// replans_full) and the replan wall time (collect_metrics snapshots the
+// engine.spec.replan_ms / engine.commit.replan_ms histograms) with the
+// eval memo off ("before") and on ("after"). Gates: the memoized runs
+// must reproduce the fresh runs bit-identically — including
+// distance_queries, i.e. a memo hit re-bills exactly the queries a fresh
+// evaluation would issue — the memo-off runs must record zero memo
+// traffic, and the memo-on runs must actually exercise the memo
+// (hit + miss > 0, the wiring tripwire CI's bench-smoke gate relies on).
+//
 // Note: thread counts beyond std::thread::hardware_concurrency (1 in the
 // usual CI container — see the hw_concurrency field) oversubscribe and
 // mainly validate determinism, not speedup; the same goes for the
 // ingest/plan/commit thread overlap itself.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -298,6 +314,98 @@ int main(int argc, char** argv) {
   std::printf("=== Overload (window %gs, admit budget %d) ===\n%s\n",
               overload_window_s, overload_budget, ot.ToString().c_str());
 
+  // ---- Speculation-conflict axis: incremental replanning before/after ----
+  bool memo_gate_ok = true;
+  {
+    const double conflict_window_s = 6.0;
+    const double conflict_mult = 4.0;
+    // Scarce fleet: few enough workers that consecutive windows keep
+    // proposing insertions into the same routes, forcing commit-time
+    // speculation conflicts (the workload the eval memo exists for).
+    const std::size_t conflict_workers = smoke ? 6 : 12;
+    const std::vector<Worker> scarce(
+        workers.begin(),
+        workers.begin() + std::min(conflict_workers, workers.size()));
+    std::vector<Request> compressed = city.requests;
+    for (Request& r : compressed) {
+      const double gap = r.deadline - r.release_time;
+      r.release_time /= conflict_mult;
+      r.deadline = r.release_time + gap;
+    }
+    TablePrinter st({"memo", "threads", "wall (s)", "spec misses",
+                     "memo hits", "memo misses", "narrowed", "full",
+                     "replan (ms)", "identical"});
+    SimReport ref;
+    bool have_ref = false;
+    for (const bool memo : {false, true}) {
+      for (int threads : {thread_counts.front(), thread_counts.back()}) {
+        SimOptions options = base_options;
+        options.num_threads = threads;
+        options.batch_window_s = conflict_window_s;
+        options.pipeline = true;
+        options.pipeline_depth = 4;
+        options.collect_metrics = true;
+        PlannerConfig cfg;
+        cfg.use_eval_memo = memo;
+        Simulation sim(&city.graph, city.labels.get(), scarce, &compressed,
+                       options);
+        const SimReport rep = sim.Run(MakeDispatchWindowFactory(cfg));
+        const PipelineStats& ps = rep.pipeline;
+        const auto metric = [&](const char* key) {
+          const auto it = rep.metrics.find(key);
+          return it == rep.metrics.end() ? 0.0 : it->second;
+        };
+        const double replan_ms = metric("engine.spec.replan_ms.sum") +
+                                 metric("engine.commit.replan_ms.sum");
+        record(rep, conflict_window_s, /*pipeline=*/true,
+               {{"axis", "speculation_conflict"},
+                {"arrival_mult", Fmt(conflict_mult)},
+                {"memo", memo ? "1" : "0"},
+                {"memo_hits", std::to_string(ps.memo_hits)},
+                {"memo_misses", std::to_string(ps.memo_misses)},
+                {"memo_saved_queries",
+                 std::to_string(ps.memo_saved_queries)},
+                {"replans_narrowed", std::to_string(ps.replans_narrowed)},
+                {"replans_full", std::to_string(ps.replans_full)},
+                {"replan_ms", Fmt(replan_ms)}});
+        if (!have_ref) {
+          ref = rep;
+          have_ref = true;
+        }
+        const bool comparable = !rep.timed_out && !ref.timed_out;
+        const bool identical = comparable && SameResults(rep, ref);
+        any_compared = any_compared || comparable;
+        all_identical = all_identical && (identical || !comparable);
+        if (!memo && ps.memo_hits + ps.memo_misses != 0) {
+          memo_gate_ok = false;
+          std::printf("FAIL: memo-off run recorded memo traffic "
+                      "(hits=%lld misses=%lld)\n",
+                      static_cast<long long>(ps.memo_hits),
+                      static_cast<long long>(ps.memo_misses));
+        }
+        if (memo && !rep.timed_out && ps.memo_hits + ps.memo_misses == 0) {
+          memo_gate_ok = false;
+          std::printf("FAIL: memo-on pipelined run recorded ZERO memo "
+                      "traffic (memo.hit + memo.miss == 0) — the eval "
+                      "memo is unwired\n");
+        }
+        st.AddRow({memo ? "on" : "off", std::to_string(threads),
+                   TablePrinter::Num(rep.wall_seconds, 2),
+                   std::to_string(ps.speculation_misses),
+                   std::to_string(ps.memo_hits),
+                   std::to_string(ps.memo_misses),
+                   std::to_string(ps.replans_narrowed),
+                   std::to_string(ps.replans_full),
+                   TablePrinter::Num(replan_ms, 3),
+                   !comparable ? "DNF" : identical ? "YES" : "NO"});
+      }
+    }
+    std::printf("=== Speculation conflict (window %gs, mult %g, depth 4, "
+                "%zu workers) ===\n%s\n",
+                conflict_window_s, conflict_mult, scarce.size(),
+                st.ToString().c_str());
+  }
+
   WriteTrajectory("pipeline", smoke, lines);
 
   if (!accounting_ok) {
@@ -308,6 +416,10 @@ int main(int argc, char** argv) {
   if (!all_identical) {
     std::printf("FAIL: pipeline results diverged (across thread counts, "
                 "ring depths or ingest-queue capacities)\n");
+    return 1;
+  }
+  if (!memo_gate_ok) {
+    std::printf("FAIL: speculation_conflict memo gate violated (see above)\n");
     return 1;
   }
   if (!any_compared) {

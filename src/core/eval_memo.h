@@ -1,0 +1,128 @@
+#ifndef URPSM_SRC_CORE_EVAL_MEMO_H_
+#define URPSM_SRC_CORE_EVAL_MEMO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/model/types.h"
+
+namespace urpsm {
+
+/// Per-(request, window) memo of planner evaluations keyed on
+/// (worker, route version).
+///
+/// Route::version() defines semantic equality of route state: equal
+/// versions of the same Route object imply an identical route, so any
+/// quantity that is a pure function of (route state, request) — the
+/// decision-phase lower bound, the linear-DP insertion result, and the
+/// number of distance queries that DP evaluation issues — can be reused
+/// verbatim while the version holds. One EvalMemo lives inside each
+/// window slot's per-request Prep and spans that request's evaluations
+/// within one window: the speculative scan populates it, and commit-time
+/// validation replans plus same-window conflict replans consult it, so a
+/// speculation miss recomputes only the candidates whose versions
+/// actually moved (O(affected), not O(window)).
+///
+/// Determinism contract: a memo hit reproduces the exact bound / DP
+/// result a fresh evaluation would compute, and the caller re-bills the
+/// recorded query count to the active billing scope, so reported
+/// distance-query totals are bit-identical with the memo on or off. The
+/// queries the memo *avoided* are tracked separately in
+/// `saved_queries`.
+///
+/// At most one entry is kept per worker (a newer version supersedes the
+/// old — stale versions can never hit again). Lookups walk the entry
+/// list from a rotating cursor: consultation normally happens in the
+/// same candidate order as population, so the expected probe length is
+/// O(1). Not thread-safe; each instance is owned by exactly one request
+/// slot and only ever touched by the single thread currently planning
+/// that request.
+class EvalMemo {
+ public:
+  struct Entry {
+    WorkerId worker = kInvalidWorker;
+    std::uint64_t version = 0;
+    double lb = 0.0;            // decision-phase lower bound (may be +inf)
+    double delta = 0.0;         // DP result, valid when dp_valid
+    int i = -1;                 // DP pickup position
+    int j = -1;                 // DP dropoff position
+    std::int64_t queries = 0;   // distance queries the DP evaluation billed
+    bool lb_valid = false;      // lb filled (a speculative scan can see a
+                                // version move mid-scan and upsert the DP
+                                // side first, leaving lb unfilled)
+    bool dp_valid = false;      // DP fields filled
+  };
+
+  /// Entry for `w` at exactly `version`, or nullptr (no entry / stale).
+  const Entry* Find(WorkerId w, std::uint64_t version) {
+    Entry* e = FindWorker(w);
+    return (e != nullptr && e->version == version) ? e : nullptr;
+  }
+
+  /// Entry for `w` at `version`, creating it (or resetting a stale one —
+  /// lb_valid and dp_valid both drop) as needed.
+  Entry& Upsert(WorkerId w, std::uint64_t version) {
+    Entry* e = FindWorker(w);
+    if (e == nullptr) {
+      entries_.push_back(Entry{});
+      e = &entries_.back();
+      e->worker = w;
+      e->version = version;
+    } else if (e->version != version) {
+      *e = Entry{};
+      e->worker = w;
+      e->version = version;
+    }
+    return *e;
+  }
+
+  /// Forgets all entries (capacity retained) and zeroes the counters —
+  /// called when the owning slot is recycled for a new window's request.
+  void Reset() {
+    entries_.clear();
+    cursor_ = 0;
+    hits = misses = saved_queries = 0;
+  }
+
+  /// Adds the counters into the given accumulators and zeroes them, so
+  /// each harvest point (post-plan, post-validate, post-commit-replan)
+  /// sees only the traffic since the previous one.
+  void Drain(std::int64_t* out_hits, std::int64_t* out_misses,
+             std::int64_t* out_saved) {
+    *out_hits += hits;
+    *out_misses += misses;
+    *out_saved += saved_queries;
+    hits = misses = saved_queries = 0;
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Lookup counters, bumped by the consuming scan: one hit or miss per
+  /// memo consultation (decision bound and DP evaluation each count).
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  /// Distance queries that memo hits avoided issuing (re-billed to the
+  /// active scope by the caller, so they never perturb reported totals).
+  std::int64_t saved_queries = 0;
+
+ private:
+  Entry* FindWorker(WorkerId w) {
+    const std::size_t n = entries_.size();
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t at = cursor_ + k < n ? cursor_ + k : cursor_ + k - n;
+      if (entries_[at].worker == w) {
+        cursor_ = at + 1 < n ? at + 1 : 0;
+        return &entries_[at];
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<Entry> entries_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace urpsm
+
+#endif  // URPSM_SRC_CORE_EVAL_MEMO_H_

@@ -8,9 +8,11 @@
 #include <vector>
 
 #include "src/core/decision.h"
+#include "src/core/eval_memo.h"
 #include "src/index/grid_index.h"
 #include "src/model/feasibility.h"
 #include "src/sim/fleet.h"
+#include "src/util/stats.h"
 
 namespace urpsm {
 
@@ -120,6 +122,23 @@ class PipelinedBatchPlanner : public BatchPlanner {
   /// validation / had to be replanned. Quiescent reads (after the run).
   virtual std::int64_t speculation_hits() const { return 0; }
   virtual std::int64_t speculation_misses() const { return 0; }
+  /// EvalMemo lookup traffic across all planning/validation/commit scans
+  /// (one hit or miss per consultation; see EvalMemo). Quiescent reads.
+  virtual std::int64_t memo_hits() const { return 0; }
+  virtual std::int64_t memo_misses() const { return 0; }
+  /// Distance queries memo hits avoided issuing (hits re-bill the
+  /// recorded count instead, so reported query totals stay
+  /// memo-independent; the avoided work is accounted here).
+  virtual std::int64_t memo_saved_queries() const { return 0; }
+  /// Replans (validation misses and commit conflicts) split by whether
+  /// they reused at least one memoized evaluation ("narrowed") or had to
+  /// recompute everything ("full"). Quiescent reads.
+  virtual std::int64_t replans_narrowed() const { return 0; }
+  virtual std::int64_t replans_full() const { return 0; }
+  /// Per validation replan: the fraction of that scan's memo lookups
+  /// that missed — 0 means the replan was pure reuse, 1 means a fully
+  /// fresh recomputation. Quiescent reads.
+  virtual StatsAccumulator replan_scope() const { return StatsAccumulator{}; }
 };
 
 /// Builds the planner under test once the simulation has wired up the
@@ -135,6 +154,11 @@ struct PlannerConfig {
   /// Ablation (off in the paper): also reject when the *exact* minimal
   /// increased distance ends up exceeding p_r / alpha.
   bool exact_reject_check = false;
+  /// Route-version memoization of decision bounds and DP evaluations
+  /// inside the dispatch-window engine (see EvalMemo). Results and
+  /// reported query totals are bit-identical either way; off disables
+  /// the reuse for A/B measurement.
+  bool use_eval_memo = true;
 };
 
 /// pruneGreedyDP (Algo. 5) and its unpruned ablation GreedyDP.
@@ -228,13 +252,29 @@ struct SpecCapture {
   std::vector<std::pair<WorkerId, std::uint64_t>>* versions = nullptr;
 };
 
+/// `memo`, when non-null, memoizes per-candidate evaluations keyed on
+/// route version (see EvalMemo): version-matched lookups reuse the
+/// recorded bound / DP result and re-bill the recorded query count to the
+/// thread's active billing scope, so the scan's outcome AND its reported
+/// query total are bit-identical to a fresh scan. The memo is ignored on
+/// the batch-gather path (pruning off, non-speculative) where per-
+/// candidate query attribution is impossible, and when the context's
+/// oracle is not a CachedOracle (no billing scope to re-bill into).
 WorkerId PlanRequestSequential(PlanningContext* ctx, Fleet* fleet,
                                const PlannerConfig& config, const Request& r,
                                double L,
                                const std::vector<WorkerId>& candidates,
                                InsertionCandidate* best,
                                std::int64_t* exact_evaluations,
-                               const SpecCapture* spec = nullptr);
+                               const SpecCapture* spec = nullptr,
+                               EvalMemo* memo = nullptr);
+
+/// FilterCandidates into a caller-owned reusable buffer (cleared first):
+/// the allocation-free variant the window workspaces use. The returning
+/// overload above wraps this one.
+void FilterCandidatesInto(PlanningContext* ctx, const GridIndex& index,
+                          const Request& r, double L, double now,
+                          std::vector<WorkerId>* out);
 
 }  // namespace urpsm
 

@@ -46,7 +46,14 @@ void GridIndex::Move(WorkerId w, const Point& from, const Point& to) {
 std::vector<WorkerId> GridIndex::WithinRadius(const Point& p,
                                               double radius_km) const {
   std::vector<WorkerId> out;
-  if (radius_km < 0.0) return out;
+  WithinRadiusInto(p, radius_km, &out);
+  return out;
+}
+
+void GridIndex::WithinRadiusInto(const Point& p, double radius_km,
+                                 std::vector<WorkerId>* out) const {
+  out->clear();
+  if (radius_km < 0.0) return;
   const int cx = CellX(p.x);
   const int cy = CellY(p.y);
   const int rings = static_cast<int>(radius_km / cell_km_) + 1;
@@ -57,10 +64,9 @@ std::vector<WorkerId> GridIndex::WithinRadius(const Point& p,
   for (int y = y0; y <= y1; ++y) {
     for (int x = x0; x <= x1; ++x) {
       const auto& cell = cells_[static_cast<std::size_t>(y) * cells_x_ + x];
-      out.insert(out.end(), cell.begin(), cell.end());
+      out->insert(out->end(), cell.begin(), cell.end());
     }
   }
-  return out;
 }
 
 std::vector<WorkerId> GridIndex::All() const {

@@ -28,6 +28,11 @@ class GridIndex {
   /// callers re-check exact distances).
   std::vector<WorkerId> WithinRadius(const Point& p, double radius_km) const;
 
+  /// WithinRadius into a caller-owned reusable buffer (cleared first) —
+  /// the allocation-free variant for hot-path window workspaces.
+  void WithinRadiusInto(const Point& p, double radius_km,
+                        std::vector<WorkerId>* out) const;
+
   /// All indexed workers.
   std::vector<WorkerId> All() const;
 

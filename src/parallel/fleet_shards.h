@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "src/geo/point.h"
@@ -123,6 +124,34 @@ class FleetShards {
   void MarkAllCommitted(std::uint64_t epoch);
   /// Last epoch shard `s` was released by (locked read; for tests).
   std::uint64_t CommittedEpoch(int s) const;
+  /// Minimum committed-epoch mark across all shards: every commit stage
+  /// with a smaller-or-equal epoch has fully retired, so all of its fleet
+  /// mutations happened-before this call returns (the marks are written
+  /// under the same mutex). The speculative planner stamps this as its
+  /// scan's dirty-set baseline.
+  std::uint64_t MinCommittedEpoch() const;
+
+  // ---- Commit dirty-sets (the incremental-planning propagation channel).
+  //
+  // The commit stage is the fleet's only mutator while windows are in
+  // flight; it logs every worker it mutates — proposal applies, conflict
+  // replans, and the validation stage's own advance/touch version bumps —
+  // tagged with the committing window's epoch. A speculative slot records
+  // MinCommittedEpoch() when its scan starts; at validation it collects
+  // the workers dirtied since that baseline, which is a proven superset
+  // of "routes that can have changed under the scan". Requests none of
+  // whose candidates are in the set skip the per-candidate version
+  // comparison entirely; the rest replan narrowly through their EvalMemo.
+
+  /// Logs worker `w` as mutated by window `epoch`'s commit stage. Safe to
+  /// call concurrently from parallel commit tasks.
+  void RecordDirty(std::uint64_t epoch, WorkerId w);
+  /// Appends every worker logged with an epoch tag > `base` to `out`
+  /// (cleared first; may contain duplicates).
+  void CollectDirtySince(std::uint64_t base, std::vector<WorkerId>* out) const;
+  /// Drops log entries tagged <= `epoch` — callers pass the oldest epoch
+  /// any in-flight speculative slot can still use as a baseline.
+  void PruneDirtyBefore(std::uint64_t epoch);
 
   /// Hooks the per-shard commit-lock wait blind spot: WaitCommitted calls
   /// that actually block record their wall wait on the
@@ -161,6 +190,12 @@ class FleetShards {
   mutable std::mutex epoch_mu_;
   mutable std::condition_variable epoch_cv_;
   std::vector<std::uint64_t> committed_epoch_;
+
+  // Dirty log: (epoch tag, worker) pairs behind its own mutex — appends
+  // happen per applied proposal and per advance-stage version bump, far
+  // off the per-candidate hot path.
+  mutable std::mutex dirty_mu_;
+  std::vector<std::pair<std::uint64_t, WorkerId>> dirty_log_;
 
   // Borrowed instruments (null until RegisterMetrics); WaitCommitted is
   // const, so it observes through the pointers without mutating them.

@@ -39,9 +39,11 @@ WorkerId ParallelGreedyDpPlanner::OnRequest(const Request& r) {
   // Candidate filter via grid index and deadline — the shared
   // FilterCandidates, run sequentially as in the sequential planner (the
   // index emits workers cell by cell, which is the partition order the
-  // pool's threads later claim chunks of).
-  const std::vector<WorkerId> candidates =
-      FilterCandidates(ctx_, *index_, r, L, now);
+  // pool's threads later claim chunks of). The output lands in the
+  // reusable per-request workspace.
+  FilterCandidatesInto(ctx_, *index_, r, L, now, &candidates_);
+  const std::vector<WorkerId>& candidates = candidates_;
+  candidates_clamp_.Observe(&candidates_);
   if (candidates.empty()) return kInvalidWorker;
 
   // Touching mutates the fleet (commits due stops, bumps idle clocks) and
@@ -53,7 +55,9 @@ WorkerId ParallelGreedyDpPlanner::OnRequest(const Request& r) {
   // the pool. Each lbs slot is written by exactly one iteration, and each
   // iteration touches exactly one fleet state-cache slot (candidates are
   // distinct workers), so the cached RouteState rebuilds are race-free.
-  std::vector<double> lbs(candidates.size(), kInf);
+  std::vector<double>& lbs = lbs_;
+  lbs.assign(candidates.size(), kInf);
+  lbs_clamp_.Observe(&lbs);
   ForEach(candidates.size(), [&](std::int64_t k) {
     const auto ks = static_cast<std::size_t>(k);
     const WorkerId w = candidates[ks];
@@ -65,7 +69,8 @@ WorkerId ParallelGreedyDpPlanner::OnRequest(const Request& r) {
 
   // Sequential reduction in candidate order: same bounds, same min as the
   // sequential planner.
-  std::vector<WorkerBound> bounds;
+  std::vector<WorkerBound>& bounds = bounds_;
+  bounds.clear();
   bounds.reserve(candidates.size());
   double min_lb = kInf;
   for (std::size_t k = 0; k < candidates.size(); ++k) {
@@ -73,6 +78,7 @@ WorkerId ParallelGreedyDpPlanner::OnRequest(const Request& r) {
     bounds.push_back({candidates[k], lbs[k]});
     min_lb = std::min(min_lb, lbs[k]);
   }
+  bounds_clamp_.Observe(&bounds);
   if (bounds.empty()) return kInvalidWorker;
   if (r.penalty < config_.alpha * min_lb) return kInvalidWorker;
 
@@ -83,7 +89,9 @@ WorkerId ParallelGreedyDpPlanner::OnRequest(const Request& r) {
   // planners see the same bounds array, so they share one scan order.
   const std::vector<std::size_t> order = AscendingLowerBoundOrder(bounds);
 
-  std::vector<InsertionCandidate> cands(bounds.size());
+  std::vector<InsertionCandidate>& cands = cands_;
+  cands.assign(bounds.size(), InsertionCandidate{});
+  cands_clamp_.Observe(&cands);
   WorkerId best_worker = kInvalidWorker;
   InsertionCandidate best;
   for (std::size_t b0 = 0; b0 < order.size(); b0 += kEvalBlock) {

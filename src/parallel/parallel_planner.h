@@ -4,9 +4,13 @@
 #include <cstdint>
 #include <memory>
 #include <string_view>
+#include <vector>
 
+#include "src/core/decision.h"
 #include "src/core/planner.h"
+#include "src/insertion/insertion.h"
 #include "src/parallel/thread_pool.h"
+#include "src/util/scratch.h"
 
 namespace urpsm {
 
@@ -73,6 +77,17 @@ class ParallelGreedyDpPlanner : public RoutePlanner {
   ThreadPool* pool_;
   std::unique_ptr<GridIndex> index_;
   std::int64_t exact_evaluations_ = 0;
+  // Reusable per-request workspaces (driver thread only — OnRequest is
+  // never re-entered). Recycled across requests with high-water clamps so
+  // one dense downtown request doesn't pin its peak footprint forever.
+  std::vector<WorkerId> candidates_;
+  std::vector<double> lbs_;
+  std::vector<WorkerBound> bounds_;
+  std::vector<InsertionCandidate> cands_;
+  HighWaterClamp candidates_clamp_;
+  HighWaterClamp lbs_clamp_;
+  HighWaterClamp bounds_clamp_;
+  HighWaterClamp cands_clamp_;
 };
 
 }  // namespace urpsm

@@ -169,6 +169,19 @@ class CachedOracle : public DistanceOracle {
     query_count_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Bills `n` queries to this thread's *current* scope — the active
+  /// BillingScope sink when one is open, the global counter otherwise.
+  /// Memoized evaluations re-bill a cached evaluation's recorded query
+  /// count here, so the total a scan reports is identical to a fresh
+  /// evaluation running in the same scope (speculative or not).
+  void BillCurrent(std::int64_t n) {
+    if (bill_sink_ != nullptr) {
+      *bill_sink_ += n;
+    } else {
+      AddBilled(n);
+    }
+  }
+
  private:
   static thread_local std::int64_t* bill_sink_;
 

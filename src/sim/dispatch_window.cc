@@ -44,6 +44,10 @@ DispatchWindowPlanner::DispatchWindowPlanner(PlanningContext* ctx,
     spec_hit_counter_ = reg->GetCounter("engine.spec.hits");
     spec_miss_counter_ = reg->GetCounter("engine.spec.misses");
     conflict_replan_counter_ = reg->GetCounter("engine.commit.replans");
+    memo_hit_counter_ = reg->GetCounter("memo.hit");
+    memo_miss_counter_ = reg->GetCounter("memo.miss");
+    replan_narrowed_counter_ = reg->GetCounter("replan.narrowed");
+    replan_full_counter_ = reg->GetCounter("replan.full");
     ticket_wait_hist_ = reg->GetHistogram("engine.commit.ticket_wait_ms");
     conflict_replan_hist_ = reg->GetHistogram("engine.commit.replan_ms");
     spec_replan_hist_ = reg->GetHistogram("engine.spec.replan_ms");
@@ -107,14 +111,14 @@ void DispatchWindowPlanner::PlanAndApplySingle(const Request& r, double now) {
 
 bool DispatchWindowPlanner::PlanSequential(
     const Request& r, const std::vector<WorkerId>& candidates, Proposal* out,
-    std::int64_t* evals, const SpecCapture* spec) {
+    std::int64_t* evals, const SpecCapture* spec, EvalMemo* memo) {
   // Funnels through the one shared sequential scan, so batch planning,
   // speculative planning, singleton batches and conflict replans can
   // never drift from GreedyDpPlanner::OnRequest.
   const double L = ctx_->DirectDist(r.id);
   InsertionCandidate best;
   const WorkerId best_worker = PlanRequestSequential(
-      ctx_, fleet_, config_, r, L, candidates, &best, evals, spec);
+      ctx_, fleet_, config_, r, L, candidates, &best, evals, spec, memo);
   if (best_worker == kInvalidWorker) return false;
   out->request = r.id;
   out->worker = best_worker;
@@ -202,6 +206,12 @@ void DispatchWindowPlanner::PlanExact(WindowSlot* slot,
   slot->epoch = epoch;
   slot->now = now;
   slot->speculative = false;
+  // Reusable window workspace: trim capacity back toward the recent
+  // high-water mark before refilling. Safe here — the slot-free gate
+  // above proves the previous tenant's commit fully retired, so the
+  // planning thread owns every slot buffer.
+  slot->preps_clamp.Observe(&slot->preps);
+  slot->footprints_clamp.Observe(&slot->footprints);
 
   // ---- 1. Request headers + displacement gate masks. Prep elements are
   // reused across the slot's windows (no clear() — that would free every
@@ -220,6 +230,7 @@ void DispatchWindowPlanner::PlanExact(WindowSlot* slot,
     p.prepped = false;
     p.planned = false;
     p.required_mask = 0;
+    p.memo.Reset();  // new request in this prep element — drop stale entries
     p.r = &ctx_->request(batch[b]);
     p.L = ctx_->DirectDist(p.r->id);
     if (!gated) continue;
@@ -253,7 +264,7 @@ void DispatchWindowPlanner::PlanExact(WindowSlot* slot,
   const auto prep_one = [&](std::size_t b) {
     Prep& p = preps[b];
     p.prepped = true;
-    p.candidates = FilterCandidates(ctx_, *index_, *p.r, p.L, now);
+    FilterCandidatesInto(ctx_, *index_, *p.r, p.L, now, &p.candidates);
     if (p.candidates.empty()) return;
     p.alive = true;
     for (const WorkerId w : p.candidates) {
@@ -316,11 +327,22 @@ void DispatchWindowPlanner::PlanExact(WindowSlot* slot,
     Prep& p = preps[b];
     if (!p.alive) return;
     p.evals = 0;
-    p.planned = PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals);
+    p.planned = PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals,
+                               /*spec=*/nullptr,
+                               config_.use_eval_memo ? &p.memo : nullptr);
   });
-  for (const Prep& p : preps) {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t saved = 0;
+  for (Prep& p : preps) {
     if (p.alive) exact_evaluations_ += p.evals;
+    p.memo.Drain(&hits, &misses, &saved);
   }
+  memo_hits_ += hits;
+  memo_misses_ += misses;
+  memo_saved_ += saved;
+  obs::Inc(memo_hit_counter_, hits);
+  obs::Inc(memo_miss_counter_, misses);
 
   BuildAcceptSchedule(slot);
 }
@@ -347,6 +369,13 @@ void DispatchWindowPlanner::PlanSpeculative(
   slot->epoch = epoch;
   slot->now = now;
   slot->speculative = true;
+  // Reusable window workspace, as on the exact path.
+  slot->preps_clamp.Observe(&slot->preps);
+  slot->footprints_clamp.Observe(&slot->footprints);
+  // Dirty-set baseline: every fleet mutation the commit stages perform
+  // after this stamp carries a dirty-log tag > spec_base, so validation
+  // can collect exactly the workers that may have changed under the scan.
+  slot->spec_base = shards_->MinCommittedEpoch();
 
   // ---- Provisional prep against the live fleet: no advance, no touch,
   // no Rebuild — those are the committing thread's to perform. The
@@ -359,11 +388,12 @@ void DispatchWindowPlanner::PlanSpeculative(
     p.prepped = true;
     p.planned = false;
     p.required_mask = 0;
+    p.memo.Reset();  // new request in this prep element — drop stale entries
     p.r = &ctx_->request(batch[b]);
     p.L = ctx_->DirectDist(p.r->id);  // memoized once; globally billed
     {
       const std::unique_lock<std::mutex> lock = fleet_->LockCommitState();
-      p.candidates = FilterCandidates(ctx_, *index_, *p.r, p.L, now);
+      FilterCandidatesInto(ctx_, *index_, *p.r, p.L, now, &p.candidates);
     }
     p.alive = !p.candidates.empty();
   }
@@ -382,15 +412,25 @@ void DispatchWindowPlanner::PlanSpeculative(
     p.spec_queries = 0;
     p.spec_versions.clear();
     const SpecCapture capture{&p.spec_versions};
+    EvalMemo* const memo = config_.use_eval_memo ? &p.memo : nullptr;
     if (billing_ != nullptr) {
       const CachedOracle::BillingScope scope(&p.spec_queries);
-      p.planned =
-          PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals, &capture);
+      p.planned = PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals,
+                                 &capture, memo);
     } else {
-      p.planned =
-          PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals, &capture);
+      p.planned = PlanSequential(*p.r, p.candidates, &proposals[b], &p.evals,
+                                 &capture, memo);
     }
   });
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t saved = 0;
+  for (Prep& p : preps) p.memo.Drain(&hits, &misses, &saved);
+  memo_hits_ += hits;
+  memo_misses_ += misses;
+  memo_saved_ += saved;
+  obs::Inc(memo_hit_counter_, hits);
+  obs::Inc(memo_miss_counter_, misses);
   // No accept schedule yet: commit-time validation re-derives candidates
   // and versions, then builds it from the surviving proposals.
 }
@@ -409,9 +449,16 @@ void DispatchWindowPlanner::ValidateSpeculative(WindowSlot* slot) {
   // retired before CommitWindow(epoch) was called, so the full advance
   // runs without epoch waits — in the same fixed shard-then-worker order
   // the exact path uses, producing the identical commit-event stream.
+  // Version bumps are logged to the dirty set: later in-flight
+  // speculative slots must see these advances as mutations too.
+  const bool track_dirty = pipelined_ && depth_ > 2;
   for (std::size_t s = 0; s < shard_count; ++s) {
     for (const WorkerId w : shards_->workers_in(static_cast<int>(s))) {
+      const std::uint64_t v0 = fleet_->route(w).version();
       fleet_->AdvanceWorkerTo(w, now);
+      if (track_dirty && fleet_->route(w).version() != v0) {
+        shards_->RecordDirty(slot->epoch, w);
+      }
     }
   }
   // Fresh filter + touch, exactly as a non-speculative prep would run
@@ -420,16 +467,30 @@ void DispatchWindowPlanner::ValidateSpeculative(WindowSlot* slot) {
   // version change on any speculatively-read candidate it affects.
   touched_.assign(static_cast<std::size_t>(fleet_->size()), 0);
   for (Prep& p : preps) {
-    p.fresh = FilterCandidates(ctx_, *index_, *p.r, p.L, now);
+    FilterCandidatesInto(ctx_, *index_, *p.r, p.L, now, &p.fresh);
     for (const WorkerId w : p.fresh) {
       auto& flag = touched_[static_cast<std::size_t>(w)];
       if (flag == 0) {
         flag = 1;
+        const std::uint64_t v0 = fleet_->route(w).version();
         fleet_->Touch(w, now);
+        if (track_dirty && fleet_->route(w).version() != v0) {
+          shards_->RecordDirty(slot->epoch, w);
+        }
       }
     }
   }
   shards_->Rebuild();
+
+  // Dirty set since the scan's baseline: a proven superset of the workers
+  // whose routes can have changed under the speculative scan (the commit
+  // stages — the fleet's only mutators while windows are in flight — log
+  // every worker they touch).
+  shards_->CollectDirtySince(slot->spec_base, &dirty_scratch_);
+  dirty_flag_.assign(static_cast<std::size_t>(fleet_->size()), 0);
+  for (const WorkerId w : dirty_scratch_) {
+    dirty_flag_[static_cast<std::size_t>(w)] = 1;
+  }
 
   // Hit = the speculative scan provably read what a fresh scan would
   // read: same candidate list, and every captured route version still
@@ -442,10 +503,24 @@ void DispatchWindowPlanner::ValidateSpeculative(WindowSlot* slot) {
     Prep& p = preps[b];
     bool hit = p.fresh == p.candidates;
     if (hit) {
+      // Fast path: no speculatively-read worker appears in the dirty set,
+      // so every captured version is provably still current — the
+      // per-candidate comparison is skipped entirely. Dirty candidates
+      // (a conservative superset of actual changes) still get the exact
+      // version check, so both paths accept exactly the same scans.
+      bool any_dirty = false;
       for (const auto& [w, version] : p.spec_versions) {
-        if (fleet_->route(w).version() != version) {
-          hit = false;
+        if (dirty_flag_[static_cast<std::size_t>(w)] != 0) {
+          any_dirty = true;
           break;
+        }
+      }
+      if (any_dirty) {
+        for (const auto& [w, version] : p.spec_versions) {
+          if (fleet_->route(w).version() != version) {
+            hit = false;
+            break;
+          }
         }
       }
     }
@@ -468,12 +543,51 @@ void DispatchWindowPlanner::ValidateSpeculative(WindowSlot* slot) {
     p.planned = false;
     slot->proposals[b] = Proposal{};
     if (p.alive) {
-      const obs::ScopedTimerMs replan_timer(spec_replan_hist_);
-      p.planned = PlanSequential(*p.r, p.candidates, &slot->proposals[b],
-                                 &replan_evals);
+      // Replan through the request's memo: every candidate whose route
+      // version held since the speculative scan reuses its recorded
+      // evaluation verbatim, so the replan's fresh work is O(changed
+      // candidates), not O(candidates).
+      const std::int64_t h0 = p.memo.hits;
+      const std::int64_t m0 = p.memo.misses;
+      {
+        const obs::ScopedTimerMs replan_timer(spec_replan_hist_);
+        p.planned = PlanSequential(*p.r, p.candidates, &slot->proposals[b],
+                                   &replan_evals, /*spec=*/nullptr,
+                                   config_.use_eval_memo ? &p.memo : nullptr);
+      }
+      const std::int64_t reused = p.memo.hits - h0;
+      const std::int64_t fresh = p.memo.misses - m0;
+      if (reused > 0) {
+        ++slot->commit_narrowed;
+        obs::Inc(replan_narrowed_counter_);
+        if (tracer_ != nullptr) {
+          tracer_->Instant("replan.narrowed",
+                           {{"epoch", static_cast<std::int64_t>(slot->epoch)},
+                            {"request", p.r->id},
+                            {"reused", reused}});
+        }
+      } else {
+        ++slot->commit_full;
+        obs::Inc(replan_full_counter_);
+      }
+      if (reused + fresh > 0) {
+        replan_scope_.Add(static_cast<double>(fresh) /
+                          static_cast<double>(reused + fresh));
+      }
     }
   }
   slot->commit_evals += replan_evals;
+  // Validation-stage memo traffic (the planning-stage traffic was drained
+  // on the planning thread; Drain zeroes, so this picks up the delta).
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t saved = 0;
+  for (Prep& p : preps) p.memo.Drain(&hits, &misses, &saved);
+  slot->commit_memo_hits += hits;
+  slot->commit_memo_misses += misses;
+  slot->commit_memo_saved += saved;
+  obs::Inc(memo_hit_counter_, hits);
+  obs::Inc(memo_miss_counter_, misses);
   if (tracer_ != nullptr) {
     tracer_->Instant("speculation",
                      {{"epoch", static_cast<std::int64_t>(slot->epoch)},
@@ -566,8 +680,11 @@ void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
   for (std::size_t s = 0; s < shard_count; ++s) {
     commit_heads_[s].store(0, std::memory_order_relaxed);
   }
-  apply_evals_.assign(n, 0);
-  apply_replans_.assign(n, 0);
+  apply_stats_.assign(n, ApplyStats{});
+  // Dirty recording matters only while speculative scans can be in
+  // flight (a deep pipelined ring); the fused and double-buffer modes
+  // never consult the log.
+  const bool track_dirty = pipelined_ && depth_ > 2;
   ThreadPool* commit_exec = pipelined_ ? commit_pool_.get() : pool_;
   ForEachOn(commit_exec, n, [&](std::int64_t i) {
     const auto idx = static_cast<std::size_t>(i);
@@ -607,19 +724,41 @@ void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
         // Still the fleet snapshot the proposal was computed against (for
         // this worker): feasibility and delta hold verbatim.
         fleet_->ApplyInsertion(p.worker, r, p.i, p.j, ctx_->oracle());
+        if (track_dirty) shards_->RecordDirty(epoch, p.worker);
       } else {
         // An earlier (cheaper) batch member took this worker: replan
         // against the updated fleet. The grid index did not move (Insert
         // keeps anchors), so the original candidate list is still the
-        // filter's output.
-        apply_replans_[idx] = 1;
+        // filter's output. The request's memo narrows the replan to the
+        // candidates whose routes actually changed; untouched candidates
+        // reuse their recorded evaluations verbatim.
+        ApplyStats& stats = apply_stats_[idx];
+        stats.replans = 1;
         obs::Inc(conflict_replan_counter_);
-        const obs::ScopedTimerMs replan_timer(conflict_replan_hist_);
+        Prep& prep = slot->preps[b];
         Proposal replanned;
-        if (PlanSequential(r, slot->preps[b].candidates, &replanned,
-                           &apply_evals_[idx])) {
+        bool planned = false;
+        {
+          const obs::ScopedTimerMs replan_timer(conflict_replan_hist_);
+          planned = PlanSequential(
+              r, prep.candidates, &replanned, &stats.evals,
+              /*spec=*/nullptr, config_.use_eval_memo ? &prep.memo : nullptr);
+        }
+        if (planned) {
           fleet_->ApplyInsertion(replanned.worker, r, replanned.i,
                                  replanned.j, ctx_->oracle());
+          if (track_dirty) shards_->RecordDirty(epoch, replanned.worker);
+        }
+        // The memo counters were drained after planning (and after
+        // validation for speculative slots), and each prep belongs to at
+        // most one accepted proposal — so this drain is exactly the
+        // replan's own traffic.
+        prep.memo.Drain(&stats.memo_hits, &stats.memo_misses,
+                        &stats.memo_saved);
+        if (stats.memo_hits > 0) {
+          stats.narrowed = 1;
+        } else {
+          stats.full = 1;
         }
       }
     }
@@ -640,10 +779,40 @@ void DispatchWindowPlanner::CommitSlot(WindowSlot* slot) {
     }
   });
   for (std::size_t idx = 0; idx < n; ++idx) {
-    slot->commit_evals += apply_evals_[idx];
-    slot->commit_replans += apply_replans_[idx];
+    const ApplyStats& stats = apply_stats_[idx];
+    slot->commit_evals += stats.evals;
+    slot->commit_replans += stats.replans;
+    slot->commit_memo_hits += stats.memo_hits;
+    slot->commit_memo_misses += stats.memo_misses;
+    slot->commit_memo_saved += stats.memo_saved;
+    slot->commit_narrowed += stats.narrowed;
+    slot->commit_full += stats.full;
+    obs::Inc(memo_hit_counter_, stats.memo_hits);
+    obs::Inc(memo_miss_counter_, stats.memo_misses);
+    if (stats.narrowed != 0) {
+      obs::Inc(replan_narrowed_counter_);
+      if (tracer_ != nullptr) {
+        tracer_->Instant(
+            "replan.narrowed",
+            {{"epoch", static_cast<std::int64_t>(epoch)},
+             {"request", slot->proposals[slot->accepted[idx]].request},
+             {"reused", stats.memo_hits}});
+      }
+    }
+    if (stats.full != 0) obs::Inc(replan_full_counter_);
+    if (stats.replans != 0 && stats.memo_hits + stats.memo_misses > 0) {
+      replan_scope_.Add(
+          static_cast<double>(stats.memo_misses) /
+          static_cast<double>(stats.memo_hits + stats.memo_misses));
+    }
   }
   shards_->MarkAllCommitted(epoch);
+  // Entries tagged <= epoch - depth_ can never be consulted again: any
+  // future speculative scan passes the slot-free gate first, so its
+  // baseline is at least epoch + 1 - depth_.
+  if (track_dirty && epoch > static_cast<WindowEpoch>(depth_)) {
+    shards_->PruneDirtyBefore(epoch - static_cast<WindowEpoch>(depth_));
+  }
   slot->state.store(SlotState::kFree, std::memory_order_relaxed);
 }
 

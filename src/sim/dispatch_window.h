@@ -14,6 +14,7 @@
 #include "src/parallel/fleet_shards.h"
 #include "src/parallel/thread_pool.h"
 #include "src/shortest/oracle.h"
+#include "src/util/scratch.h"
 
 namespace urpsm {
 
@@ -113,6 +114,34 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   void ConfigurePipeline(int depth) override;
   std::int64_t speculation_hits() const override { return spec_hits_; }
   std::int64_t speculation_misses() const override { return spec_misses_; }
+  std::int64_t memo_hits() const override {
+    std::int64_t total = memo_hits_;
+    for (const WindowSlot& slot : slots_) total += slot.commit_memo_hits;
+    return total;
+  }
+  std::int64_t memo_misses() const override {
+    std::int64_t total = memo_misses_;
+    for (const WindowSlot& slot : slots_) total += slot.commit_memo_misses;
+    return total;
+  }
+  /// Distance queries that memo hits avoided issuing (accounted apart
+  /// from the re-billed totals, which stay memo-independent).
+  std::int64_t memo_saved_queries() const override {
+    std::int64_t total = memo_saved_;
+    for (const WindowSlot& slot : slots_) total += slot.commit_memo_saved;
+    return total;
+  }
+  std::int64_t replans_narrowed() const override {
+    std::int64_t total = 0;
+    for (const WindowSlot& slot : slots_) total += slot.commit_narrowed;
+    return total;
+  }
+  std::int64_t replans_full() const override {
+    std::int64_t total = 0;
+    for (const WindowSlot& slot : slots_) total += slot.commit_full;
+    return total;
+  }
+  StatsAccumulator replan_scope() const override { return replan_scope_; }
   std::string_view name() const override {
     return config_.use_pruning ? "windowPruneGreedyDP" : "windowGreedyDP";
   }
@@ -171,6 +200,11 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
     bool alive = false;             // candidates non-empty, not rejected
     bool prepped = false;           // filter + touch ran (gated loop)
     bool planned = false;           // proposal holds a chosen insertion
+    /// Route-version memo spanning this request's evaluations within the
+    /// window: the planning scan populates it; validation-miss replans
+    /// and commit conflict replans reuse every candidate whose version
+    /// held (see EvalMemo). Reset when the slot takes a new request.
+    EvalMemo memo;
   };
 
   /// Slot lifecycle; purely diagnostic ordering (the epoch marks are the
@@ -191,6 +225,10 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
     WindowEpoch epoch = 0;
     double now = 0.0;
     bool speculative = false;
+    /// Dirty-set baseline of a speculative slot: FleetShards'
+    /// MinCommittedEpoch() at scan start. Every fleet mutation since the
+    /// scan began carries a dirty-log tag > this value.
+    std::uint64_t spec_base = 0;
     std::atomic<SlotState> state{SlotState::kFree};
     std::vector<Prep> preps;
     std::vector<Proposal> proposals;
@@ -208,6 +246,15 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
     // (written by the commit thread; read quiescently).
     std::int64_t commit_evals = 0;
     std::int64_t commit_replans = 0;
+    std::int64_t commit_memo_hits = 0;
+    std::int64_t commit_memo_misses = 0;
+    std::int64_t commit_memo_saved = 0;
+    std::int64_t commit_narrowed = 0;  // replans that reused memo entries
+    std::int64_t commit_full = 0;      // replans with zero memo reuse
+    // Reusable-workspace clamps: the slot's buffers recycle across
+    // windows; these trim capacity back to the recent high-water mark.
+    HighWaterClamp preps_clamp;
+    HighWaterClamp footprints_clamp;
   };
 
   /// Runs body over [0, n) on `pool` when attached, inline otherwise.
@@ -223,7 +270,8 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   /// speculative planning path).
   bool PlanSequential(const Request& r, const std::vector<WorkerId>& candidates,
                       Proposal* out, std::int64_t* evals,
-                      const SpecCapture* spec = nullptr);
+                      const SpecCapture* spec = nullptr,
+                      EvalMemo* memo = nullptr);
   /// The window = 0 / singleton-batch path: filter + touch + the shared
   /// sequential scan + apply. No shard rebuild, no footprint machinery.
   void PlanAndApplySingle(const Request& r, double now);
@@ -268,6 +316,12 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   std::int64_t exact_evaluations_ = 0;  // planning-thread evaluations
   std::int64_t spec_hits_ = 0;          // commit-thread only
   std::int64_t spec_misses_ = 0;        // commit-thread only
+  std::int64_t memo_hits_ = 0;          // planning-thread memo traffic
+  std::int64_t memo_misses_ = 0;        // (commit-side lives on the slots)
+  std::int64_t memo_saved_ = 0;
+  /// Per validation replan: fraction of its memo lookups that missed
+  /// (commit-thread writes; quiescent reads).
+  StatsAccumulator replan_scope_;
   // Borrowed instruments, wired from the context's registry/tracer at
   // construction; all null (and every probe a single branch) when the
   // simulation runs without observability.
@@ -276,6 +330,10 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   obs::Counter* spec_hit_counter_ = nullptr;
   obs::Counter* spec_miss_counter_ = nullptr;
   obs::Counter* conflict_replan_counter_ = nullptr;
+  obs::Counter* memo_hit_counter_ = nullptr;
+  obs::Counter* memo_miss_counter_ = nullptr;
+  obs::Counter* replan_narrowed_counter_ = nullptr;
+  obs::Counter* replan_full_counter_ = nullptr;
   obs::Histogram* ticket_wait_hist_ = nullptr;    // commit ticket spins
   obs::Histogram* conflict_replan_hist_ = nullptr;
   obs::Histogram* spec_replan_hist_ = nullptr;    // speculation-miss cost
@@ -286,8 +344,23 @@ class DispatchWindowPlanner : public PipelinedBatchPlanner {
   std::vector<std::uint8_t> shard_flag_;      // footprint dedup
   std::vector<std::size_t> shard_seq_;        // next ticket per shard
   std::vector<std::atomic<std::size_t>> commit_heads_;  // retired tickets
-  std::vector<std::int64_t> apply_evals_;     // per accepted index
-  std::vector<std::int64_t> apply_replans_;   // per accepted index
+  /// Per-accepted-index stats of the parallel apply stage, accumulated
+  /// into the slot's commit counters after the tasks join (the tasks run
+  /// concurrently, so each writes only its own index).
+  struct ApplyStats {
+    std::int64_t evals = 0;
+    std::int64_t replans = 0;
+    std::int64_t memo_hits = 0;
+    std::int64_t memo_misses = 0;
+    std::int64_t memo_saved = 0;
+    std::int64_t narrowed = 0;
+    std::int64_t full = 0;
+  };
+  std::vector<ApplyStats> apply_stats_;       // per accepted index
+  // Dirty-set scratch (commit thread only): the workers mutated since a
+  // speculative slot's baseline, and a worker-indexed flag of them.
+  std::vector<WorkerId> dirty_scratch_;
+  std::vector<std::uint8_t> dirty_flag_;
   std::vector<WindowSlot> slots_;
 };
 

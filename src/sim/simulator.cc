@@ -671,6 +671,12 @@ double Simulation::RunPipelined(PipelinedBatchPlanner* planner,
   ps.backpressure_waits = queue.backpressure_waits();
   ps.speculation_hits = planner->speculation_hits();
   ps.speculation_misses = planner->speculation_misses();
+  ps.memo_hits = planner->memo_hits();
+  ps.memo_misses = planner->memo_misses();
+  ps.memo_saved_queries = planner->memo_saved_queries();
+  ps.replans_narrowed = planner->replans_narrowed();
+  ps.replans_full = planner->replans_full();
+  ps.replan_scope = planner->replan_scope();
   // Queue-full evictions (kShedOldestSlack safety valve) are only known
   // to the queue; fold them into the overload bucket here. The evicted
   // arrivals were already counted by total_pushed, so ingested covers
